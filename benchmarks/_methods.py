@@ -1,0 +1,85 @@
+"""Shared method drivers for the Chapter 3 benches.
+
+Each driver returns one topic representation per discovered topic:
+``{node type: ranked name list}`` — the common currency of the HPMI and
+intrusion evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines import NetClus
+from repro.cathy import BuilderConfig, CathyHIN, HierarchyBuilder
+from repro.corpus import Corpus
+from repro.datasets import SyntheticDataset
+from repro.eval import top_frequency_topic
+from repro.hierarchy import TopicalHierarchy
+from repro.network import TERM_TYPE, build_collapsed_network
+from repro.phrases import attach_entity_rankings, attach_phrases
+
+TopicRep = Dict[str, List[str]]
+
+
+ENTITY_TOP_K = {"venue": 3, "person": 3, "location": 4}
+
+
+def cathyhin_topics(dataset: SyntheticDataset, num_topics: int,
+                    weight_mode: object, entity_types: Sequence[str],
+                    top_k: int = 20, seed: int = 0) -> List[TopicRep]:
+    """One-level CATHYHIN clustering -> per-topic type rankings."""
+    network = build_collapsed_network(dataset.corpus)
+    model = CathyHIN(num_topics=num_topics, weight_mode=weight_mode,
+                     max_iter=100, seed=seed).fit(network)
+    topics = []
+    for z in range(num_topics):
+        rep: TopicRep = {TERM_TYPE: model.top_nodes(TERM_TYPE, z, top_k)}
+        for etype in entity_types:
+            rep[etype] = model.top_nodes(
+                etype, z, ENTITY_TOP_K.get(etype, top_k))
+        topics.append(rep)
+    return topics
+
+
+def netclus_topics(dataset: SyntheticDataset, num_topics: int,
+                   entity_types: Sequence[str], top_k: int = 20,
+                   seed: int = 0, smoothing: float = 0.3) -> List[TopicRep]:
+    """NetClus clustering -> per-cluster type rankings."""
+    model = NetClus(num_clusters=num_topics, smoothing=smoothing,
+                    seed=seed).fit(dataset.corpus)
+    topics = []
+    for z in range(num_topics):
+        rep: TopicRep = {TERM_TYPE: model.top_nodes(TERM_TYPE, z, top_k)}
+        for etype in entity_types:
+            rep[etype] = model.top_nodes(
+                etype, z, ENTITY_TOP_K.get(etype, top_k))
+        topics.append(rep)
+    return topics
+
+
+def topk_topics(dataset: SyntheticDataset, num_topics: int,
+                entity_types: Sequence[str],
+                top_k: int = 20) -> List[TopicRep]:
+    """The TopK pseudo-topic baseline, replicated per topic slot."""
+    baseline = top_frequency_topic(dataset.corpus, entity_types,
+                                   top_k=top_k)
+    return [dict(baseline) for _ in range(num_topics)]
+
+
+def build_decorated_hierarchy(corpus: Corpus,
+                              num_children,
+                              weight_mode: object = "learn",
+                              max_phrase_tokens=None,
+                              seed: int = 0,
+                              entity_types=None) -> TopicalHierarchy:
+    """Full CATHYHIN hierarchy with phrases and entity rankings."""
+    network = build_collapsed_network(corpus, entity_types=entity_types)
+    builder = HierarchyBuilder(
+        BuilderConfig(num_children=num_children,
+                      max_depth=len(num_children)
+                      if isinstance(num_children, (list, tuple)) else 1,
+                      weight_mode=weight_mode, max_iter=80), seed=seed)
+    hierarchy = builder.build(network)
+    attach_phrases(hierarchy, corpus, max_phrase_tokens=max_phrase_tokens)
+    attach_entity_rankings(hierarchy)
+    return hierarchy

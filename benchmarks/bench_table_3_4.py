@@ -1,0 +1,44 @@
+"""Table 3.4 — dataset / network statistics.
+
+The paper reports node and link counts for the constructed DBLP and NEWS
+networks (e.g. DBLP: 6,998 terms / 12,886 authors / 20 venues with 693k
+term-term links).  Our synthetic corpora are smaller by design; the bench
+reports the same statistics table for the generated datasets.
+"""
+
+from repro.network import build_collapsed_network, network_statistics
+
+from conftest import fmt_row, report
+
+
+def _stats_lines(name, dataset):
+    network = build_collapsed_network(dataset.corpus)
+    stats = network_statistics(network)
+    lines = [f"{name}: documents={len(dataset.corpus)}, "
+             f"vocabulary={len(dataset.corpus.vocabulary)}"]
+    lines.append(fmt_row("node type", ["count"]))
+    for node_type, count in sorted(stats["nodes"].items()):
+        lines.append(fmt_row(node_type, [count]))
+    lines.append(fmt_row("link type", ["pairs", "weight"]))
+    for link_type, info in sorted(stats["links"].items()):
+        lines.append(fmt_row(link_type, [info["pairs"],
+                                         info["weight"]]))
+    return lines, stats
+
+
+def test_table_3_4_statistics(benchmark, dblp, news16):
+    def run():
+        dblp_lines, dblp_stats = _stats_lines("DBLP (synthetic)", dblp)
+        news_lines, news_stats = _stats_lines("NEWS (synthetic)", news16)
+        return dblp_lines + [""] + news_lines, dblp_stats, news_stats
+
+    lines, dblp_stats, news_stats = benchmark.pedantic(run, rounds=1,
+                                                       iterations=1)
+    report("table_3_4_statistics", lines)
+    # Same structural shape as the paper's networks.
+    assert set(dblp_stats["nodes"]) == {"author", "term", "venue"}
+    assert set(news_stats["nodes"]) == {"location", "person", "term"}
+    assert "term-term" in dblp_stats["links"]
+    # Venue-venue links cannot exist (one venue per paper).
+    assert "venue-venue" not in dblp_stats["links"]
+    assert "location-location" in news_stats["links"]

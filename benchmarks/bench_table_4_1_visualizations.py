@@ -1,0 +1,79 @@
+"""Tables 4.1 / 4.6 / 4.7 / 4.8 — qualitative ToPMine topic visualizations.
+
+The paper shows ToPMine's topics on DBLP titles (Table 4.1, the
+Information Retrieval topic with top unigrams and phrases side by side),
+DBLP abstracts (Table 4.6), AP news (Table 4.7) and Yelp (Table 4.8):
+coherent phrase lists that make hard-to-read unigram topics
+interpretable.  The bench renders the same two-column visualization for
+the synthetic DBLP and NEWS corpora and checks the structural claims —
+every topic gets multiword phrases, and the phrase column is judged more
+interpretable (higher simulated-judge scores) than the unigram column.
+"""
+
+import numpy as np
+
+from repro.eval import SimulatedPhraseJudge
+from repro.phrases import ToPMine, ToPMineConfig
+
+from conftest import fmt_row, report
+
+
+def _visualize(result, corpus, num_topics, top_k=8):
+    lines = []
+    for t in range(num_topics):
+        order = np.argsort(-result.model.phi[t])[:top_k]
+        unigrams = [corpus.vocabulary.word_of(int(w)) for w in order]
+        phrases = result.top_phrases(t, top_k, corpus)
+        lines.append(f"topic {t}")
+        lines.append("  terms  : " + ", ".join(unigrams))
+        lines.append("  phrases: " + " / ".join(phrases))
+    return lines
+
+
+def test_table_4_1_dblp_visualization(benchmark, dblp):
+    corpus = dblp.corpus
+
+    def run():
+        topmine = ToPMine(ToPMineConfig(num_topics=6, lda_iterations=50,
+                                        merge_threshold=8.0), seed=0)
+        return topmine.fit(corpus)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = _visualize(result, corpus, 6)
+    lines.append("paper: phrases make unigram topics interpretable "
+                 "(Table 4.1)")
+    report("table_4_1_dblp_visualization", lines)
+
+    judge = SimulatedPhraseJudge(dblp.ground_truth, noise=0.0, seed=0)
+    phrase_scores, unigram_scores = [], []
+    for t in range(6):
+        order = np.argsort(-result.model.phi[t])[:8]
+        unigram_scores.extend(
+            judge.base_score(corpus.vocabulary.word_of(int(w)))
+            for w in order)
+        phrase_scores.extend(judge.base_score(p)
+                             for p in result.top_phrases(t, 8, corpus))
+        # Every topic shows multiword phrases.
+        assert any(" " in p for p in result.top_phrases(t, 8, corpus))
+    assert np.mean(phrase_scores) > np.mean(unigram_scores)
+
+
+def test_table_4_7_news_visualization(benchmark, news16):
+    corpus = news16.corpus
+
+    def run():
+        topmine = ToPMine(ToPMineConfig(num_topics=8, lda_iterations=40,
+                                        min_support=4,
+                                        merge_threshold=3.0), seed=0)
+        return topmine.fit(corpus)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = _visualize(result, corpus, 8)
+    lines.append("paper: news topics form around events; noisier than "
+                 "DBLP but coherent (Table 4.7)")
+    report("table_4_7_news_visualization", lines)
+
+    topics_with_phrases = sum(
+        1 for t in range(8)
+        if any(" " in p for p in result.top_phrases(t, 8, corpus)))
+    assert topics_with_phrases >= 6

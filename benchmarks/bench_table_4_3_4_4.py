@@ -1,0 +1,109 @@
+"""Tables 4.3 and 4.4 — KERT criteria ablation and nKQM@K.
+
+Table 4.3 (qualitative): top-10 phrases of the Machine Learning topic per
+method; KERT-pop is noise, kpRel favors unigrams, KERT-pur favors long
+phrases.
+
+Table 4.4 (nKQM@K, simulated judges standing in for the 10 CS graduate
+students):
+
+    paper ordering: KERT-pop 0.26 < kpRelInt* 0.35 < KERT-con 0.36
+                    < kpRel 0.39 < KERT-com 0.49 < KERT 0.50
+                    < KERT-pur 0.58          (values at K=10)
+
+Expected reproduction: KERT-pop worst; KERT and KERT-com above both
+baselines; KERT-pur at or near the top.
+"""
+
+from typing import Dict, List
+
+from repro.baselines import KpRelRanker, LDAGibbs
+from repro.eval import SimulatedPhraseJudge, judge_phrases, nkqm_at_k
+from repro.phrases import KERT, KERTConfig, mine_frequent_phrases
+
+from conftest import fmt_row, report
+
+PAPER_NKQM10 = {
+    "KERT-pop": 0.2701, "kpRelInt*": 0.3730, "KERT-con": 0.3616,
+    "kpRel": 0.4030, "KERT-com": 0.4932, "KERT": 0.4962,
+    "KERT-pur": 0.5642,
+}
+
+
+def _method_rankings(dataset, seed=0) -> Dict[str, List[List[str]]]:
+    corpus = dataset.corpus
+    lda = LDAGibbs(num_topics=6, iterations=25, seed=seed).fit(
+        [d.tokens for d in corpus], len(corpus.vocabulary))
+    model = lda.to_flat()
+    counts = mine_frequent_phrases(corpus, min_support=5)
+
+    def kert(**kwargs):
+        ranker = KERT(KERTConfig(min_support=5, **kwargs))
+        return ranker.rank_strings(corpus, model, counts=counts, top_k=20)
+
+    methods: Dict[str, List[List[str]]] = {}
+    methods["KERT"] = [[p for p, _ in t] for t in kert()]
+    methods["KERT-pop"] = [[p for p, _ in t]
+                           for t in kert(use_popularity=False)]
+    methods["KERT-pur"] = [[p for p, _ in t]
+                           for t in kert(use_purity=False)]
+    methods["KERT-con"] = [[p for p, _ in t]
+                           for t in kert(use_concordance=False)]
+    methods["KERT-com"] = [[p for p, _ in t]
+                           for t in kert(use_completeness=False)]
+    methods["kpRel"] = [
+        [p for p, _ in t] for t in KpRelRanker().rank_strings(
+            corpus, model, counts=counts, top_k=20)]
+    methods["kpRelInt*"] = [
+        [p for p, _ in t] for t in KpRelRanker(
+            interestingness=True).rank_strings(corpus, model,
+                                               counts=counts, top_k=20)]
+    return methods
+
+
+def test_table_4_3_qualitative(benchmark, dblp):
+    methods = benchmark.pedantic(_method_rankings, args=(dblp,),
+                                 rounds=1, iterations=1)
+    # Show the topic most like "machine learning" per method (the topic
+    # whose top phrases contain 'learning').
+    lines = []
+    for name, rankings in methods.items():
+        ml_topic = max(rankings, key=lambda t: sum(
+            1 for p in t[:10] if "learning" in p or "kernel" in p))
+        lines.append(f"{name:<12}: " + " / ".join(ml_topic[:8]))
+    report("table_4_3_kert_variants", lines)
+
+    # kpRel favors unigrams; KERT-pur favors longer phrases.
+    def mean_length(rankings):
+        phrases = [p for t in rankings for p in t[:10]]
+        return sum(len(p.split()) for p in phrases) / max(len(phrases), 1)
+
+    assert mean_length(methods["kpRel"]) < mean_length(methods["KERT-pur"])
+
+
+def test_table_4_4_nkqm(benchmark, dblp):
+    methods = _method_rankings(dblp)
+    judges = [SimulatedPhraseJudge(dblp.ground_truth, noise=0.5, seed=s)
+              for s in (0, 1, 2)]
+    pool = sorted({p for rankings in methods.values()
+                   for t in rankings for p in t})
+    judged = judge_phrases(pool, judges)
+
+    def run():
+        return {name: {k: nkqm_at_k(rankings, judged, k=k)
+                       for k in (5, 10, 20)}
+                for name, rankings in methods.items()}
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [fmt_row("method", ["nKQM@5", "nKQM@10", "nKQM@20",
+                                "paper@10"])]
+    for name in sorted(scores, key=lambda m: scores[m][10]):
+        lines.append(fmt_row(name, [scores[name][5], scores[name][10],
+                                    scores[name][20],
+                                    PAPER_NKQM10[name]]))
+    report("table_4_4_nkqm", lines)
+
+    at10 = {m: s[10] for m, s in scores.items()}
+    assert at10["KERT-pop"] == min(at10.values())
+    assert at10["KERT"] > at10["kpRelInt*"]
+    assert at10["KERT-pur"] >= at10["kpRel"]

@@ -1,0 +1,96 @@
+"""Table 4.5 — runtime of the phrase+topic methods across corpus sizes.
+
+Paper result (sampled DBLP titles -> full DBLP abstracts):
+
+    PD-LDA and Turbo Topics are orders of magnitude slower than LDA and
+    become intractable beyond small samples; TNG sits between; KERT adds
+    little over LDA on short text; ToPMine runs in the same order as LDA
+    (often faster, since PhraseLDA samples one topic per phrase).
+
+Expected reproduction: the same runtime ordering
+    ToPMine ~ LDA < KERT < TNG < Turbo ~ PD-LDA
+and superlinear cost gaps for the permutation-test / re-segmentation
+methods as the corpus grows.
+"""
+
+import time
+from typing import Dict
+
+from repro.baselines import LDAGibbs, PDLDA, TNG, TurboTopics
+from repro.datasets import DBLPConfig, generate_dblp
+from repro.phrases import (KERT, KERTConfig, ToPMine, ToPMineConfig,
+                           mine_frequent_phrases)
+
+from conftest import fmt_row, report
+
+ITERATIONS = 15
+SIZES = {"small": 60, "medium": 120}
+
+
+def _time_methods(corpus) -> Dict[str, float]:
+    timings: Dict[str, float] = {}
+    docs = [d.tokens for d in corpus]
+
+    start = time.perf_counter()
+    LDAGibbs(num_topics=5, iterations=ITERATIONS, seed=0).fit(
+        docs, len(corpus.vocabulary))
+    timings["LDA"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ToPMine(ToPMineConfig(num_topics=5, lda_iterations=ITERATIONS),
+            seed=0).fit(corpus)
+    timings["ToPMine"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lda = LDAGibbs(num_topics=5, iterations=ITERATIONS, seed=0).fit(
+        docs, len(corpus.vocabulary))
+    counts = mine_frequent_phrases(corpus, min_support=5)
+    KERT(KERTConfig(min_support=5)).rank(corpus, lda.to_flat(),
+                                         counts=counts)
+    timings["KERT"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    TNG(num_topics=5, iterations=ITERATIONS, seed=0).fit(corpus)
+    timings["TNG"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    TurboTopics(num_topics=5, iterations=ITERATIONS, permutations=20,
+                seed=0).fit(corpus)
+    timings["Turbo"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    PDLDA(num_topics=5, iterations=ITERATIONS * 3, seed=0).fit(corpus)
+    timings["PDLDA"] = time.perf_counter() - start
+    return timings
+
+
+def test_table_4_5_runtimes(benchmark):
+    corpora = {name: generate_dblp(DBLPConfig(max_authors=size),
+                                   seed=3).corpus
+               for name, size in SIZES.items()}
+
+    def run():
+        return {name: _time_methods(corpus)
+                for name, corpus in corpora.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    methods = ["LDA", "ToPMine", "KERT", "TNG", "Turbo", "PDLDA"]
+    lines = [fmt_row("corpus (docs)", methods)]
+    for name, corpus in corpora.items():
+        timings = results[name]
+        lines.append(fmt_row(f"{name} ({len(corpus)})",
+                             [timings[m] for m in methods]))
+    lines.append("paper: ToPMine ~ LDA; TNG slower; Turbo/PD-LDA "
+                 "orders slower and intractable at scale")
+    report("table_4_5_runtimes", lines)
+
+    large = results["medium"]
+    assert large["ToPMine"] < large["TNG"]
+    assert large["ToPMine"] < large["Turbo"]
+    assert large["ToPMine"] < large["PDLDA"]
+    # Our token-level TNG and LDA are the same sampler family, so their
+    # runtimes are within noise of each other (the paper's MALLET TNG is
+    # meaningfully slower); assert parity with tolerance rather than a
+    # strict order.
+    assert large["LDA"] < 1.4 * large["TNG"]
+    assert large["PDLDA"] > large["LDA"]

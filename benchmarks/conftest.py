@@ -1,0 +1,69 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench prints a paper-vs-measured table and persists it under
+``benchmarks/results/`` so the comparison survives pytest's output
+capture.  Datasets are generated once per session.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import pytest
+
+from repro.datasets import (DBLPConfig, NewsConfig, generate_dblp,
+                            generate_dblp_area, generate_news,
+                            generate_news_subset)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: Iterable[str]) -> None:
+    """Print a result block and persist it to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(["=" * 72, name, "=" * 72, *lines, ""])
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def fmt_row(label: str, values, width: int = 12) -> str:
+    """One aligned table row: label + formatted numeric cells."""
+    cells = []
+    for value in values:
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.3f}")
+        else:
+            cells.append(f"{str(value):>{width}}")
+    return f"{label:<28}" + "".join(cells)
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    """The '20 conferences' stand-in: all six areas."""
+    return generate_dblp(DBLPConfig(max_authors=150), seed=3)
+
+
+@pytest.fixture(scope="session")
+def dblp_db_area():
+    """The 'Database area' stand-in: one area, its subareas as topics."""
+    return generate_dblp_area(0, DBLPConfig(max_authors=150), seed=3)
+
+
+@pytest.fixture(scope="session")
+def dblp_relations():
+    """Larger network for relation mining (more advising history)."""
+    return generate_dblp(DBLPConfig(max_authors=300), seed=7)
+
+
+@pytest.fixture(scope="session")
+def news16():
+    return generate_news(NewsConfig(num_stories=16, articles_per_story=60),
+                         seed=5)
+
+
+@pytest.fixture(scope="session")
+def news4():
+    return generate_news_subset(
+        seed=5, config=NewsConfig(articles_per_story=80))

@@ -1,0 +1,65 @@
+"""Hierarchical community discovery on a text-absent network.
+
+Section 3.1: "For the data where no text information is available, our
+method can be applied to find hierarchical community structures."  This
+example strips the text from a bibliographic network, clusters the pure
+author/venue link structure into hierarchical communities, and then
+demonstrates the recursive framework's revision property: re-growing one
+subtree while leaving the rest of the hierarchy intact (Section 1.4).
+
+Run:  python examples/community_discovery.py
+"""
+
+from repro.cathy import BuilderConfig, HierarchyBuilder
+from repro.datasets import DBLPConfig, generate_dblp
+from repro.network import build_collapsed_network
+
+
+def community_summary(topic, truth) -> str:
+    """Describe a community by its top authors' true areas."""
+    authors = topic.top_words("author", 5)
+    areas = [truth.topic_of_entity("author", a) for a in authors]
+    area_names = sorted({truth.paths[a[:1]].name
+                         for a in areas if a is not None})
+    return (f"{topic.notation}: authors {', '.join(authors[:3])} ... "
+            f"(true areas: {', '.join(area_names)})")
+
+
+def main() -> None:
+    dataset = generate_dblp(DBLPConfig(max_authors=150), seed=3)
+    truth = dataset.ground_truth
+
+    # Text-absent network: only author-author and author-venue links.
+    network = build_collapsed_network(dataset.corpus, include_text=False)
+    print(f"text-absent network: {network}")
+
+    builder = HierarchyBuilder(
+        BuilderConfig(num_children=[6, 2], max_depth=2,
+                      weight_mode="learn", max_iter=80), seed=0)
+    hierarchy = builder.build(network)
+
+    print("\nhierarchical communities (no text used):")
+    for topic in hierarchy.topics():
+        if topic.level == 1:
+            print("  " + community_summary(topic, truth))
+
+    # Revision: re-grow one community's subtree with a different number
+    # of subcommunities, leaving the siblings untouched.
+    target = hierarchy.root.children[0]
+    sibling = hierarchy.root.children[1]
+    sibling_children_before = [c.notation for c in sibling.children]
+
+    print(f"\nrevising subtree {target.notation} (3 subcommunities "
+          "instead of 2) ...")
+    builder.expand_topic(hierarchy, target, num_children=3)
+
+    print(f"  {target.notation} now has "
+          f"{len(target.children)} children")
+    assert [c.notation for c in sibling.children] == \
+        sibling_children_before
+    print(f"  sibling {sibling.notation} untouched "
+          f"({len(sibling.children)} children)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — Mining latent entity structures from unstructured, interconnected data.
+
+A reproduction of Chi Wang's 2014 dissertation.  The public API is exposed
+through the subpackages:
+
+* :mod:`repro.corpus` — documents, tokenization, vocabulary.
+* :mod:`repro.network` — heterogeneous edge-weighted networks.
+* :mod:`repro.hierarchy` — topical hierarchy containers.
+* :mod:`repro.cathy` — CATHY / CATHYHIN hierarchical topic discovery (Ch. 3).
+* :mod:`repro.phrases` — KERT and ToPMine topical phrase mining (Ch. 4).
+* :mod:`repro.roles` — entity topical role analysis (Ch. 5).
+* :mod:`repro.relations` — TPFG and supervised relation mining (Ch. 6).
+* :mod:`repro.strod` — scalable moment-based topic discovery (Ch. 7).
+* :mod:`repro.baselines` — LDA, PLSA, NetClus, keyphrase baselines.
+* :mod:`repro.eval` — HPMI, intrusion, nKQM, MI_K, robustness metrics.
+* :mod:`repro.datasets` — synthetic DBLP / NEWS / planted-LDA generators.
+* :mod:`repro.core` — the integrated LatentEntityMiner facade.
+"""
+
+from .errors import (ConfigurationError, ConvergenceError, DataError,
+                     NotFittedError, ReproError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "NotFittedError",
+    "ConvergenceError",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline methods used across the evaluation chapters."""
+
+from .kpheuristics import KpRelRanker
+from .lda_gibbs import LDAGibbs, LDAModel
+from .lda_variational import VariationalLDA, VariationalLDAModel
+from .netclus import NetClus, NetClusModel
+from .phrase_topic_models import PDLDA, TNG, TurboTopics
+from .plsa import PLSA, PLSAModel, docs_to_count_matrix
+
+__all__ = [
+    "LDAGibbs",
+    "LDAModel",
+    "VariationalLDA",
+    "VariationalLDAModel",
+    "PLSA",
+    "PLSAModel",
+    "docs_to_count_matrix",
+    "NetClus",
+    "NetClusModel",
+    "KpRelRanker",
+    "TNG",
+    "TurboTopics",
+    "PDLDA",
+]

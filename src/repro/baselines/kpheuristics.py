@@ -1,0 +1,92 @@
+"""kpRel and kpRelInt*: topical keyphrase ranking baselines (Section 4.4.1).
+
+Zhao et al.'s methods rank topical keyphrases by first scoring unigrams
+by topical relevance and then heuristically combining constituent scores
+— the design KERT's comparability property is contrasted against (it
+systematically favors short phrases).
+
+* ``kpRel``: relevance only — the average constituent unigram relevance
+  weighted by the phrase's topical probability.
+* ``kpRelInt*``: relevance times an "interestingness" factor; the paper's
+  original factor is re-tweet counts, re-implemented here (as in the
+  dissertation's own evaluation) as the phrase's relative corpus
+  frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..corpus import Corpus
+from ..utils import EPS
+from ..phrases.frequent import Phrase, PhraseCounts, mine_frequent_phrases
+from ..phrases.ranking import (FlatTopicModel, render_phrase,
+                               topical_frequencies)
+
+
+def _unigram_relevance(model: FlatTopicModel) -> np.ndarray:
+    """Per-topic unigram relevance: p(w|t) log(p(w|t) / p(w))."""
+    marginal = model.rho @ model.phi  # (V,)
+    marginal = np.maximum(marginal, EPS)
+    relevance = model.phi * (np.log(np.maximum(model.phi, EPS))
+                             - np.log(marginal)[None, :])
+    return relevance
+
+
+class KpRelRanker:
+    """Constituent-combination keyphrase ranking.
+
+    Args:
+        interestingness: enable the kpRelInt* frequency factor.
+        min_support: frequent-phrase threshold when counts are mined here.
+    """
+
+    def __init__(self, interestingness: bool = False,
+                 min_support: int = 5) -> None:
+        self.interestingness = interestingness
+        self.min_support = min_support
+
+    def rank(self, corpus: Corpus, model: FlatTopicModel,
+             counts: Optional[PhraseCounts] = None,
+             ) -> List[List[Tuple[Phrase, float]]]:
+        """Per topic, ranked (phrase, score) lists."""
+        if counts is None:
+            counts = mine_frequent_phrases(corpus,
+                                           min_support=self.min_support)
+        relevance = _unigram_relevance(model)
+        freqs = topical_frequencies(counts, model)
+        num_docs = max(counts.num_documents, 1)
+
+        rankings: List[List[Tuple[Phrase, float]]] = []
+        for t in range(model.num_topics):
+            scored = []
+            for phrase, frequency in counts.counts.items():
+                topical = freqs[phrase][t]
+                if topical < counts.min_support:
+                    continue
+                # The probability product is the source of the length
+                # bias the dissertation documents: n-gram probabilities
+                # are not comparable across lengths, so unigrams win.
+                probability = float(np.prod(
+                    [model.phi[t, w] for w in phrase]))
+                constituent = float(np.mean([relevance[t, w]
+                                             for w in phrase]))
+                score = probability * max(constituent, 0.0)
+                if self.interestingness:
+                    score = score * (frequency / num_docs)
+                if score > 0:
+                    scored.append((phrase, score))
+            scored.sort(key=lambda pair: (-pair[1], pair[0]))
+            rankings.append(scored)
+        return rankings
+
+    def rank_strings(self, corpus: Corpus, model: FlatTopicModel,
+                     counts: Optional[PhraseCounts] = None,
+                     top_k: int = 20) -> List[List[Tuple[str, float]]]:
+        """Like :meth:`rank` but rendering phrases as strings."""
+        rankings = self.rank(corpus, model, counts=counts)
+        return [[(render_phrase(p, corpus.vocabulary), s)
+                 for p, s in topic[:top_k]]
+                for topic in rankings]

@@ -1,0 +1,110 @@
+"""Probabilistic latent semantic analysis (PLSA) with EM.
+
+The pre-Bayesian ancestor of LDA (Section 2.1); used in Chapter 7 as the
+second maximum-likelihood baseline for robustness/scalability comparisons.
+Operates on a dense or sparse document-word count matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError
+from ..phrases.ranking import FlatTopicModel
+from ..utils import EPS, RandomState, ensure_rng
+
+
+@dataclass
+class PLSAModel:
+    """Fitted PLSA parameters."""
+
+    phi: np.ndarray     # (k, V): p(w | z)
+    theta: np.ndarray   # (D, k): p(z | d)
+    rho: np.ndarray     # (k,): corpus topic proportions
+    log_likelihood: float
+
+    def to_flat(self) -> FlatTopicModel:
+        """Export as the shared flat-model currency."""
+        return FlatTopicModel(rho=self.rho, phi=self.phi)
+
+
+class PLSA:
+    """EM estimator for PLSA.
+
+    Args:
+        num_topics: k.
+        max_iter: EM sweeps.
+        tol: relative log-likelihood improvement stopping threshold.
+        seed: RNG seed or generator.
+    """
+
+    def __init__(self, num_topics: int, max_iter: int = 100,
+                 tol: float = 1e-6, seed: RandomState = None) -> None:
+        if num_topics < 1:
+            raise ConfigurationError("num_topics must be >= 1")
+        self.num_topics = num_topics
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = ensure_rng(seed)
+        self.model_: Optional[PLSAModel] = None
+
+    def fit(self, count_matrix: np.ndarray) -> PLSAModel:
+        """Fit to a (D, V) document-word count matrix."""
+        counts = np.asarray(count_matrix, dtype=float)
+        if counts.ndim != 2:
+            raise ConfigurationError("count_matrix must be 2-D")
+        num_docs, vocab_size = counts.shape
+        k = self.num_topics
+        rng = self._rng
+
+        phi = rng.dirichlet(np.ones(vocab_size), size=k)          # (k, V)
+        theta = rng.dirichlet(np.ones(k), size=num_docs)          # (D, k)
+
+        prev_ll = -np.inf
+        ll = prev_ll
+        for _ in range(self.max_iter):
+            # E-step folded into M-step accumulators: responsibilities
+            # p(z | d, w) proportional to theta[d, z] * phi[z, w].
+            mix = theta @ phi                                     # (D, V)
+            mix = np.maximum(mix, EPS)
+            ll = float((counts * np.log(mix)).sum())
+
+            ratio = counts / mix                                  # (D, V)
+            new_theta = theta * (ratio @ phi.T)                   # (D, k)
+            new_phi = phi * (theta.T @ ratio)                     # (k, V)
+
+            theta = new_theta / np.maximum(
+                new_theta.sum(axis=1, keepdims=True), EPS)
+            phi = new_phi / np.maximum(
+                new_phi.sum(axis=1, keepdims=True), EPS)
+
+            if np.isfinite(prev_ll) and \
+                    ll - prev_ll < self.tol * max(abs(prev_ll), 1.0):
+                break
+            prev_ll = ll
+
+        doc_weights = counts.sum(axis=1)
+        rho = (theta * doc_weights[:, None]).sum(axis=0)
+        rho = rho / max(rho.sum(), EPS)
+        self.model_ = PLSAModel(phi=phi, theta=theta, rho=rho,
+                                log_likelihood=ll)
+        return self.model_
+
+    def require_model(self) -> PLSAModel:
+        """Return the fitted model or raise :class:`NotFittedError`."""
+        if self.model_ is None:
+            raise NotFittedError("call fit() first")
+        return self.model_
+
+
+def docs_to_count_matrix(docs: Sequence[Sequence[int]],
+                         vocab_size: int) -> np.ndarray:
+    """Convert token-id documents to a dense (D, V) count matrix."""
+    counts = np.zeros((len(docs), vocab_size), dtype=float)
+    for d, doc in enumerate(docs):
+        for w in doc:
+            counts[d, w] += 1
+    return counts

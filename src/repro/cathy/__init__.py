@@ -1,0 +1,18 @@
+"""CATHY / CATHYHIN hierarchical topic and community discovery (Chapter 3)."""
+
+from .builder import BuilderConfig, HierarchyBuilder
+from .em import CathyEM, TermTopicModel
+from .hin_em import CathyHIN, HINTopicModel
+from .model_selection import score_links, select_num_topics, split_network
+
+__all__ = [
+    "CathyEM",
+    "TermTopicModel",
+    "CathyHIN",
+    "HINTopicModel",
+    "HierarchyBuilder",
+    "BuilderConfig",
+    "select_num_topics",
+    "split_network",
+    "score_links",
+]

@@ -1,0 +1,182 @@
+"""Recursive topical hierarchy construction (Steps 1-3 of CATHY/CATHYHIN).
+
+A :class:`HierarchyBuilder` clusters a network into subtopic subnetworks
+with :class:`~repro.cathy.hin_em.CathyHIN` and recurses top-down until the
+requested depth, a too-small subnetwork, or a model-selection stop.  The
+result is a :class:`~repro.hierarchy.TopicalHierarchy` whose topics carry
+per-type ranking distributions and their subnetworks — ready for phrase
+ranking (Chapter 4) and role analysis (Chapter 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hierarchy import Topic, TopicalHierarchy
+from ..network import HeterogeneousNetwork
+from ..utils import RandomState, ensure_rng
+from .hin_em import CathyHIN
+from .model_selection import select_num_topics
+
+
+@dataclass
+class BuilderConfig:
+    """Configuration for :class:`HierarchyBuilder`.
+
+    Attributes:
+        num_children: children per topic — an int used at every level, a
+            sequence indexed by level, or ``"auto"`` for model selection.
+        max_depth: maximal topic level (1 = flat clustering at the root).
+        auto_candidates: candidate k values when ``num_children="auto"``.
+        selection_method: ``"bic"`` or ``"cv"`` for auto selection.
+        min_network_weight: stop recursing below this total link weight.
+        min_nodes: stop recursing when any would-be clustering has fewer
+            nodes than this.
+        weight_mode: CATHYHIN link-type weight mode per level
+            (``"equal"``/``"norm"``/``"learn"`` or mapping).
+        max_iter / restarts / tol: forwarded to the EM.
+        subnetwork_min_weight: threshold for dropping links when extracting
+            child networks (the "expected weight >= 1" rule).
+    """
+
+    num_children: Union[int, Sequence[int], str] = 4
+    max_depth: int = 2
+    auto_candidates: Sequence[int] = tuple(range(2, 9))
+    selection_method: str = "bic"
+    min_network_weight: float = 20.0
+    min_nodes: int = 4
+    weight_mode: object = "equal"
+    max_iter: int = 150
+    restarts: int = 1
+    tol: float = 1e-6
+    subnetwork_min_weight: float = 1.0
+
+
+class HierarchyBuilder:
+    """Builds a topical hierarchy from an edge-weighted network."""
+
+    def __init__(self, config: Optional[BuilderConfig] = None,
+                 seed: RandomState = None) -> None:
+        self.config = config or BuilderConfig()
+        self._rng = ensure_rng(seed)
+
+    # ----------------------------------------------------------------- build
+    def build(self, network: HeterogeneousNetwork) -> TopicalHierarchy:
+        """Construct the hierarchy rooted at topic ``o`` for ``network``."""
+        hierarchy = TopicalHierarchy()
+        hierarchy.root.network = network
+        self._set_parent_phi(hierarchy.root, network)
+        self._expand(hierarchy.root, network, level=0)
+        return hierarchy
+
+    def expand_topic(self, hierarchy: TopicalHierarchy, topic: Topic,
+                     num_children: Optional[int] = None) -> None:
+        """Re-grow the subtree under ``topic`` (the revision primitive).
+
+        This is the "revise part of the hierarchy while remaining other
+        parts intact" operation highlighted in Section 1.4.  With
+        ``num_children`` given, exactly one level of that many subtopics
+        is grown; otherwise the builder's configuration applies as it
+        did during the original construction.
+        """
+        if topic.network is None:
+            raise ConfigurationError(
+                f"topic {topic.notation} has no attached network")
+        topic.children = []
+        if num_children is None:
+            self._expand(topic, topic.network, level=topic.level)
+            return
+        saved_children = self.config.num_children
+        saved_depth = self.config.max_depth
+        self.config.num_children = [0] * topic.level + [num_children]
+        self.config.max_depth = topic.level + 1
+        try:
+            self._expand(topic, topic.network, level=topic.level)
+        finally:
+            self.config.num_children = saved_children
+            self.config.max_depth = saved_depth
+
+    # -------------------------------------------------------------- recursion
+    def _expand(self, topic: Topic, network: HeterogeneousNetwork,
+                level: int) -> None:
+        config = self.config
+        if level >= config.max_depth:
+            return
+        if network.total_weight() < config.min_network_weight:
+            return
+        num_nodes = sum(network.node_count(t) for t in network.node_types())
+        if num_nodes < config.min_nodes or not network.link_types():
+            return
+
+        k = self._children_at(level, network)
+        if k < 2:
+            return
+
+        estimator = CathyHIN(num_topics=k,
+                             weight_mode=config.weight_mode,
+                             max_iter=config.max_iter,
+                             restarts=config.restarts,
+                             tol=config.tol,
+                             seed=self._rng)
+        model = estimator.fit(network)
+
+        # Order children by descending rho so child index 0 is the largest
+        # subtopic — stable, readable hierarchies.
+        order = np.argsort(-model.rho, kind="stable")
+        for z in order:
+            z = int(z)
+            subnetwork = estimator.subnetwork(
+                z, min_weight=config.subnetwork_min_weight)
+            child = Topic(
+                rho=float(model.rho[z]),
+                phi={t: model.topic_distribution(t, z)
+                     for t in model.node_names},
+                network=subnetwork)
+            topic.add_child(child)
+            self._expand(child, subnetwork, level=level + 1)
+
+    def _children_at(self, level: int,
+                     network: HeterogeneousNetwork) -> int:
+        num_children = self.config.num_children
+        if num_children == "auto":
+            best, _ = select_num_topics(
+                network,
+                candidates=self.config.auto_candidates,
+                method=self.config.selection_method,
+                seed=self._rng,
+                weight_mode=self.config.weight_mode,
+                max_iter=min(self.config.max_iter, 60),
+                restarts=1)
+            return best
+        if isinstance(num_children, int):
+            return num_children
+        if isinstance(num_children, Sequence):
+            if level < len(num_children):
+                return int(num_children[level])
+            return 0
+        raise ConfigurationError(
+            f"unsupported num_children: {num_children!r}")
+
+    @staticmethod
+    def _set_parent_phi(root: Topic, network: HeterogeneousNetwork) -> None:
+        """Give the root a phi built from weighted degrees.
+
+        Matches the convention that a topic's ranking distribution is the
+        normalized node participation in its own network.
+        """
+        for node_type in network.node_types():
+            names = network.node_names(node_type)
+            if not names:
+                continue
+            degrees = np.array(
+                [network.degree(node_type, i) for i in range(len(names))])
+            total = degrees.sum()
+            if total <= 0:
+                continue
+            root.phi[node_type] = {
+                name: float(d / total)
+                for name, d in zip(names, degrees) if d > 0}

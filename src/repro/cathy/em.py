@@ -1,0 +1,174 @@
+"""CATHY: Poisson EM clustering of a homogeneous term network (Section 3.1).
+
+The generative model: every co-occurrence link between terms i and j in
+topic ``t/z`` follows ``e_ij ~ Poisson(rho_z * phi_z,i * phi_z,j)``
+(Eq. 3.1–3.2); the observed link weight is the sum over subtopics
+(Eq. 3.3).  Maximum-likelihood inference is the EM of Eq. 3.5–3.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError
+from ..utils import EPS, RandomState, ensure_rng
+from ..network import HeterogeneousNetwork, TERM_TYPE
+
+
+@dataclass
+class TermTopicModel:
+    """Fitted parameters of the homogeneous CATHY model for one topic node.
+
+    Attributes:
+        rho: expected number of links per subtopic, shape (k,)  (Eq. 3.6).
+        phi: subtopic node distributions, shape (k, V)  (Eq. 3.7).
+        node_names: term names aligned with phi's columns.
+        log_likelihood: observed-data log likelihood at convergence (up to
+            link-independent constants).
+    """
+
+    rho: np.ndarray
+    phi: np.ndarray
+    node_names: List[str]
+    log_likelihood: float
+
+    @property
+    def num_topics(self) -> int:
+        """Number of subtopics k."""
+        return self.phi.shape[0]
+
+    def topic_distribution(self, z: int) -> Dict[str, float]:
+        """phi_z as a name -> probability mapping."""
+        return {name: float(p)
+                for name, p in zip(self.node_names, self.phi[z]) if p > 0}
+
+
+class CathyEM:
+    """EM estimator for the homogeneous Poisson link-clustering model.
+
+    Args:
+        num_topics: number of subtopics k.
+        max_iter: EM iteration budget.
+        tol: relative log-likelihood improvement below which EM stops.
+        restarts: random restarts; the best-likelihood solution is kept.
+        seed: RNG seed or generator.
+    """
+
+    def __init__(self, num_topics: int, max_iter: int = 200,
+                 tol: float = 1e-6, restarts: int = 1,
+                 seed: RandomState = None) -> None:
+        if num_topics < 1:
+            raise ConfigurationError("num_topics must be >= 1")
+        if restarts < 1:
+            raise ConfigurationError("restarts must be >= 1")
+        self.num_topics = num_topics
+        self.max_iter = max_iter
+        self.tol = tol
+        self.restarts = restarts
+        self._rng = ensure_rng(seed)
+        self.model_: Optional[TermTopicModel] = None
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, network: HeterogeneousNetwork,
+            node_type: str = TERM_TYPE) -> TermTopicModel:
+        """Fit the model to the ``node_type`` co-occurrence links."""
+        names = network.node_names(node_type)
+        num_nodes = len(names)
+        if num_nodes == 0:
+            raise ConfigurationError("network has no nodes to cluster")
+        links = list(network.links((node_type, node_type)))
+        if not links:
+            raise ConfigurationError("network has no links to cluster")
+        i_idx = np.array([l[0] for l in links], dtype=np.int64)
+        j_idx = np.array([l[1] for l in links], dtype=np.int64)
+        weights = np.array([l[2] for l in links], dtype=float)
+
+        best: Optional[TermTopicModel] = None
+        for _ in range(self.restarts):
+            model = self._fit_once(i_idx, j_idx, weights, num_nodes, names)
+            if best is None or model.log_likelihood > best.log_likelihood:
+                best = model
+        self.model_ = best
+        return best
+
+    def _fit_once(self, i_idx: np.ndarray, j_idx: np.ndarray,
+                  weights: np.ndarray, num_nodes: int,
+                  names: List[str]) -> TermTopicModel:
+        k = self.num_topics
+        total = weights.sum()
+        phi = self._rng.dirichlet(np.ones(num_nodes), size=k)
+        rho = np.full(k, total / k)
+
+        prev_ll = -np.inf
+        ll = prev_ll
+        for _ in range(self.max_iter):
+            # E-step (Eq. 3.5): responsibilities per link and subtopic.
+            scores = rho[:, None] * phi[:, i_idx] * phi[:, j_idx]  # (k, E)
+            denom = scores.sum(axis=0)
+            denom = np.maximum(denom, EPS)
+            q = scores / denom  # (k, E)
+            ll = float(np.dot(weights, np.log(denom)))
+
+            # M-step (Eq. 3.6-3.7).
+            expected = q * weights  # (k, E)
+            rho = expected.sum(axis=1)
+            phi = np.zeros((k, num_nodes))
+            for z in range(k):
+                np.add.at(phi[z], i_idx, expected[z])
+                np.add.at(phi[z], j_idx, expected[z])
+            row_sums = phi.sum(axis=1, keepdims=True)
+            row_sums = np.maximum(row_sums, EPS)
+            phi = phi / row_sums
+            rho = np.maximum(rho, EPS)
+
+            if ll - prev_ll < self.tol * max(abs(prev_ll), 1.0) \
+                    and np.isfinite(prev_ll):
+                break
+            prev_ll = ll
+
+        return TermTopicModel(rho=rho, phi=phi, node_names=list(names),
+                              log_likelihood=ll)
+
+    # ------------------------------------------------------------ subnetwork
+    def expected_link_weights(self, network: HeterogeneousNetwork,
+                              node_type: str = TERM_TYPE,
+                              ) -> List[Dict[Tuple[int, int], float]]:
+        """Expected per-subtopic link weights e-hat (posterior split).
+
+        Returns one ``{(i, j): weight}`` mapping per subtopic, computed
+        with Eq. 3.5 at the fitted parameters.
+        """
+        model = self._require_fitted()
+        result: List[Dict[Tuple[int, int], float]] = [
+            {} for _ in range(model.num_topics)]
+        for i, j, weight in network.links((node_type, node_type)):
+            scores = model.rho * model.phi[:, i] * model.phi[:, j]
+            denom = scores.sum()
+            if denom <= 0:
+                continue
+            for z in range(model.num_topics):
+                expected = weight * scores[z] / denom
+                if expected > 0:
+                    result[z][(i, j)] = expected
+        return result
+
+    def subnetworks(self, network: HeterogeneousNetwork,
+                    node_type: str = TERM_TYPE,
+                    min_weight: float = 1.0) -> List[HeterogeneousNetwork]:
+        """Per-subtopic subnetworks, dropping links below ``min_weight``.
+
+        This is the recursion step of CATHY: extract E^{t/z} =
+        {e-hat >= 1} and cluster again (Section 3.1).
+        """
+        per_topic = self.expected_link_weights(network, node_type)
+        return [network.subnetwork({(node_type, node_type): bucket},
+                                   min_weight=min_weight)
+                for bucket in per_topic]
+
+    def _require_fitted(self) -> TermTopicModel:
+        if self.model_ is None:
+            raise NotFittedError("call fit() before using the model")
+        return self.model_

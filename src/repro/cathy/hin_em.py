@@ -1,0 +1,400 @@
+"""CATHYHIN: heterogeneous Poisson EM with background topic (Section 3.2).
+
+The model generates every unit-weight link by (1) drawing a subtopic label
+z in {0, 1, ..., k} from rho (0 is the background), (2) drawing the link
+type from theta, and (3) drawing both end nodes from the subtopic's
+per-type ranking distributions — or, for the background, the first end
+node from phi_{t/0} and the second from the parent's distribution phi_t.
+Inference is the EM of Eq. 3.24–3.29; link-type weights alpha are learned
+with Eq. 3.37 (module :mod:`repro.cathy.link_weights`).
+
+Undirected links are stored once; the paper's both-directions duplication
+only matters for the asymmetric background component, which is handled by
+averaging the two directions and crediting each endpoint its posterior
+share of "being the background node".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError
+from ..network import HeterogeneousNetwork
+from ..network.weighted import LinkType, canonical_link_type
+from ..utils import EPS, RandomState, ensure_rng
+
+LinkKey = Tuple[int, int]
+
+
+@dataclass
+class _LinkData:
+    """Dense arrays for one link type, extracted from the network."""
+
+    link_type: LinkType
+    i_idx: np.ndarray
+    j_idx: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def num_links(self) -> int:
+        """Number of stored links of this type."""
+        return len(self.weights)
+
+
+@dataclass
+class HINTopicModel:
+    """Fitted CATHYHIN parameters for one topic node.
+
+    Attributes:
+        rho: subtopic proportions, shape (k,); ``rho0`` is the background
+            proportion; together they sum to one (Eq. 3.27).
+        phi: per node type, subtopic ranking distributions (k, n_type).
+        phi_background: per node type, the background distribution phi_{t/0}.
+        phi_parent: per node type, the parent-topic distribution phi_t used
+            by the background component.
+        alpha: learned (or supplied) link-type weights.
+        node_names: per node type, names aligned with phi columns.
+        log_likelihood: scaled-weight observed-data log likelihood.
+    """
+
+    rho: np.ndarray
+    rho0: float
+    phi: Dict[str, np.ndarray]
+    phi_background: Dict[str, np.ndarray]
+    phi_parent: Dict[str, np.ndarray]
+    alpha: Dict[LinkType, float]
+    node_names: Dict[str, List[str]]
+    log_likelihood: float
+    num_free_parameters: int = 0
+
+    @property
+    def num_topics(self) -> int:
+        """Number of subtopics k (excluding the background)."""
+        return len(self.rho)
+
+    def topic_distribution(self, node_type: str, z: int) -> Dict[str, float]:
+        """phi^x_{t/z} as a name -> probability mapping."""
+        dist = self.phi[node_type][z]
+        return {name: float(p)
+                for name, p in zip(self.node_names[node_type], dist)
+                if p > 0}
+
+    def top_nodes(self, node_type: str, z: int, k: int = 10) -> List[str]:
+        """The k most probable type-x nodes in subtopic z."""
+        dist = self.phi[node_type][z]
+        order = np.argsort(-dist, kind="stable")
+        return [self.node_names[node_type][i] for i in order[:k]]
+
+
+class CathyHIN:
+    """EM estimator for the heterogeneous link-clustering model.
+
+    Args:
+        num_topics: number of subtopics k (excluding the background).
+        weight_mode: ``"equal"`` (all alpha = 1), ``"norm"`` (alpha =
+            1 / total type weight, the heuristic baseline of Section 3.3.1),
+            ``"learn"`` (Eq. 3.37), or a mapping of explicit weights.
+        background: include the background topic t/0 (Section 3.2.1); the
+            dissertation always uses it for heterogeneous networks.
+        max_iter: EM iteration budget.
+        weight_update_every: with ``weight_mode="learn"``, how many EM
+            iterations between alpha updates.
+        tol: relative log-likelihood improvement stopping threshold.
+        restarts: random restarts keeping the best likelihood.
+        rho_prior: Dirichlet pseudo-count on the subtopic proportions —
+            the Bayesian extension sketched in Section 3.2.3 for
+            controlling subtree balance (larger values push toward
+            even-sized subtopics).
+        phi_prior: Dirichlet pseudo-count on every ranking distribution
+            (smooths away zero probabilities in small subnetworks).
+        seed: RNG seed or generator.
+    """
+
+    def __init__(self, num_topics: int,
+                 weight_mode: object = "equal",
+                 background: bool = True,
+                 max_iter: int = 150,
+                 weight_update_every: int = 10,
+                 tol: float = 1e-6,
+                 restarts: int = 1,
+                 rho_prior: float = 0.0,
+                 phi_prior: float = 0.0,
+                 seed: RandomState = None) -> None:
+        if num_topics < 1:
+            raise ConfigurationError("num_topics must be >= 1")
+        if isinstance(weight_mode, str) and weight_mode not in (
+                "equal", "norm", "learn"):
+            raise ConfigurationError(
+                "weight_mode must be 'equal', 'norm', 'learn', or a mapping")
+        if rho_prior < 0 or phi_prior < 0:
+            raise ConfigurationError("priors must be non-negative")
+        self.num_topics = num_topics
+        self.weight_mode = weight_mode
+        self.background = background
+        self.max_iter = max_iter
+        self.weight_update_every = weight_update_every
+        self.tol = tol
+        self.restarts = restarts
+        self.rho_prior = rho_prior
+        self.phi_prior = phi_prior
+        self._rng = ensure_rng(seed)
+        self.model_: Optional[HINTopicModel] = None
+        self._link_data: List[_LinkData] = []
+        self._network: Optional[HeterogeneousNetwork] = None
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, network: HeterogeneousNetwork) -> HINTopicModel:
+        """Fit the model to all links of ``network``."""
+        self._network = network
+        self._link_data = self._extract_links(network)
+        if not self._link_data:
+            raise ConfigurationError("network has no links to cluster")
+        node_names = {t: network.node_names(t) for t in network.node_types()
+                      if network.node_count(t) > 0}
+
+        alpha = self._initial_alpha()
+
+        best: Optional[HINTopicModel] = None
+        for _ in range(self.restarts):
+            model = self._fit_once(node_names, dict(alpha))
+            if best is None or model.log_likelihood > best.log_likelihood:
+                best = model
+        self.model_ = best
+        return best
+
+    @staticmethod
+    def _extract_links(network: HeterogeneousNetwork) -> List[_LinkData]:
+        data = []
+        for link_type in network.link_types():
+            links = list(network.links(link_type))
+            if not links:
+                continue
+            data.append(_LinkData(
+                link_type=link_type,
+                i_idx=np.array([l[0] for l in links], dtype=np.int64),
+                j_idx=np.array([l[1] for l in links], dtype=np.int64),
+                weights=np.array([l[2] for l in links], dtype=float)))
+        return data
+
+    def _initial_alpha(self) -> Dict[LinkType, float]:
+        if isinstance(self.weight_mode, Mapping):
+            return {canonical_link_type(*lt): float(w)
+                    for lt, w in self.weight_mode.items()}
+        if self.weight_mode == "norm":
+            # Force each link type's total scaled weight to be equal.
+            alpha = {ld.link_type: 1.0 / max(ld.weights.sum(), EPS)
+                     for ld in self._link_data}
+            # Rescale so the geometric-mean constraint of Theorem 3.2 holds.
+            return _normalize_alpha(alpha, self._link_data)
+        return {ld.link_type: 1.0 for ld in self._link_data}
+
+    def _parent_distributions(self, node_names: Dict[str, List[str]],
+                              ) -> Dict[str, np.ndarray]:
+        """phi_t per type: normalized weighted degree in the current network.
+
+        The parent ranking distribution is what the background component
+        samples its second end node from.  At the root we estimate it from
+        the network itself, which is also how any parent topic's phi was
+        estimated one level up.
+        """
+        degrees = {t: np.zeros(len(names)) + EPS
+                   for t, names in node_names.items()}
+        for ld in self._link_data:
+            type_x, type_y = ld.link_type
+            np.add.at(degrees[type_x], ld.i_idx, ld.weights)
+            np.add.at(degrees[type_y], ld.j_idx, ld.weights)
+        return {t: deg / deg.sum() for t, deg in degrees.items()}
+
+    def _fit_once(self, node_names: Dict[str, List[str]],
+                  alpha: Dict[LinkType, float]) -> HINTopicModel:
+        k = self.num_topics
+        rng = self._rng
+        phi_parent = self._parent_distributions(node_names)
+
+        phi = {t: rng.dirichlet(np.ones(len(names)), size=k)
+               for t, names in node_names.items()}
+        phi0 = {t: np.array(phi_parent[t]) for t in node_names}
+        if self.background:
+            rho = np.full(k, 1.0 / (k + 1))
+            rho0 = 1.0 / (k + 1)
+        else:
+            rho = np.full(k, 1.0 / k)
+            rho0 = 0.0
+
+        learn = self.weight_mode == "learn"
+        prev_ll = -np.inf
+        ll = prev_ll
+        for iteration in range(self.max_iter):
+            ll, rho, rho0, phi, phi0 = self._em_step(
+                alpha, rho, rho0, phi, phi0, phi_parent, node_names)
+            if learn and (iteration + 1) % self.weight_update_every == 0:
+                alpha = self._update_alpha(rho, rho0, phi, phi0, phi_parent)
+            if (np.isfinite(prev_ll)
+                    and ll - prev_ll < self.tol * max(abs(prev_ll), 1.0)
+                    and not (learn and (iteration + 1)
+                             <= self.weight_update_every)):
+                break
+            prev_ll = ll
+
+        num_params = k * sum(len(n) for n in node_names.values())
+        return HINTopicModel(
+            rho=rho, rho0=rho0, phi=phi, phi_background=phi0,
+            phi_parent=phi_parent, alpha=dict(alpha), node_names=node_names,
+            log_likelihood=ll, num_free_parameters=num_params)
+
+    # --------------------------------------------------------------- EM core
+    def _link_scores(self, ld: _LinkData, rho: np.ndarray, rho0: float,
+                     phi: Dict[str, np.ndarray], phi0: Dict[str, np.ndarray],
+                     phi_parent: Dict[str, np.ndarray],
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Mixture scores per link: (topic scores (k,E), bg dir-1, bg dir-2)."""
+        type_x, type_y = ld.link_type
+        scores = (rho[:, None] * phi[type_x][:, ld.i_idx]
+                  * phi[type_y][:, ld.j_idx])
+        if self.background and rho0 > 0:
+            bg_a = rho0 * phi0[type_x][ld.i_idx] * phi_parent[type_y][ld.j_idx]
+            bg_b = rho0 * phi0[type_y][ld.j_idx] * phi_parent[type_x][ld.i_idx]
+            bg_a = bg_a * 0.5
+            bg_b = bg_b * 0.5
+        else:
+            bg_a = np.zeros(ld.num_links)
+            bg_b = np.zeros(ld.num_links)
+        return scores, bg_a, bg_b
+
+    def _em_step(self, alpha, rho, rho0, phi, phi0, phi_parent, node_names):
+        k = self.num_topics
+        new_rho = np.zeros(k)
+        new_rho0 = 0.0
+        new_phi = {t: np.zeros((k, len(names)))
+                   for t, names in node_names.items()}
+        new_phi0 = {t: np.zeros(len(names)) for t, names in node_names.items()}
+        ll = 0.0
+        total_weight = 0.0
+
+        for ld in self._link_data:
+            type_x, type_y = ld.link_type
+            a = alpha.get(ld.link_type, 1.0)
+            w = ld.weights * a
+            scores, bg_a, bg_b = self._link_scores(
+                ld, rho, rho0, phi, phi0, phi_parent)
+            denom = scores.sum(axis=0) + bg_a + bg_b
+            denom = np.maximum(denom, EPS)
+            ll += float(np.dot(w, np.log(denom)))
+            total_weight += w.sum()
+
+            expected = scores / denom * w  # (k, E)
+            new_rho += expected.sum(axis=1)
+            for z in range(k):
+                np.add.at(new_phi[type_x][z], ld.i_idx, expected[z])
+                np.add.at(new_phi[type_y][z], ld.j_idx, expected[z])
+            if self.background:
+                exp_bg_a = bg_a / denom * w
+                exp_bg_b = bg_b / denom * w
+                new_rho0 += float(exp_bg_a.sum() + exp_bg_b.sum())
+                np.add.at(new_phi0[type_x], ld.i_idx, exp_bg_a)
+                np.add.at(new_phi0[type_y], ld.j_idx, exp_bg_b)
+
+        # MAP smoothing (Section 3.2.3's Bayesian extension): Dirichlet
+        # pseudo-counts added to the expected-count statistics.
+        if self.rho_prior > 0:
+            new_rho = new_rho + self.rho_prior
+            if self.background:
+                new_rho0 = new_rho0 + self.rho_prior
+        mass = new_rho.sum() + new_rho0
+        mass = max(mass, EPS)
+        rho = np.maximum(new_rho / mass, EPS)
+        rho0 = max(new_rho0 / mass, EPS if self.background else 0.0)
+        for t in new_phi:
+            counts = new_phi[t] + self.phi_prior
+            row_sums = np.maximum(counts.sum(axis=1, keepdims=True), EPS)
+            phi[t] = counts / row_sums
+            bg_counts = new_phi0[t] + self.phi_prior
+            bg_sum = bg_counts.sum()
+            if self.background and bg_sum > 0:
+                phi0[t] = bg_counts / bg_sum
+        return ll, rho, rho0, phi, phi0
+
+    # -------------------------------------------------------- weight learning
+    def _update_alpha(self, rho, rho0, phi, phi0, phi_parent,
+                      ) -> Dict[LinkType, float]:
+        """Closed-form alpha update (Eq. 3.37-3.38).
+
+        sigma_xy measures, per link type, the average KL-style divergence
+        of the observed link-weight distribution from the model's expected
+        distribution; alpha is inversely proportional to sigma, normalized
+        so the geometric-mean constraint of Theorem 3.2 holds.
+        """
+        sigmas: Dict[LinkType, float] = {}
+        for ld in self._link_data:
+            scores, bg_a, bg_b = self._link_scores(
+                ld, rho, rho0, phi, phi0, phi_parent)
+            s = np.maximum(scores.sum(axis=0) + bg_a + bg_b, EPS)
+            m_xy = ld.weights.sum()
+            divergence = float(np.dot(
+                ld.weights, np.log(np.maximum(ld.weights, EPS) / (m_xy * s))))
+            sigma = divergence / max(ld.num_links, 1)
+            sigmas[ld.link_type] = max(sigma, EPS)
+        alpha = {lt: 1.0 / sigma for lt, sigma in sigmas.items()}
+        return _normalize_alpha(alpha, self._link_data)
+
+    # ------------------------------------------------------------ subnetwork
+    def expected_link_weights(self, subtopic: int,
+                              ) -> Dict[LinkType, Dict[LinkKey, float]]:
+        """e-hat^{x,y,t/z}: expected scaled link weight per link (Eq. 3.23)."""
+        model = self._require_fitted()
+        if not 0 <= subtopic < model.num_topics:
+            raise ConfigurationError(f"subtopic {subtopic} out of range")
+        result: Dict[LinkType, Dict[LinkKey, float]] = {}
+        for ld in self._link_data:
+            a = model.alpha.get(ld.link_type, 1.0)
+            scores, bg_a, bg_b = self._link_scores(
+                ld, model.rho, model.rho0, model.phi, model.phi_background,
+                model.phi_parent)
+            denom = np.maximum(scores.sum(axis=0) + bg_a + bg_b, EPS)
+            expected = ld.weights * a * scores[subtopic] / denom
+            bucket = {}
+            for idx in range(ld.num_links):
+                if expected[idx] > 0:
+                    bucket[(int(ld.i_idx[idx]), int(ld.j_idx[idx]))] = \
+                        float(expected[idx])
+            result[ld.link_type] = bucket
+        return result
+
+    def subnetwork(self, subtopic: int,
+                   min_weight: float = 1.0) -> HeterogeneousNetwork:
+        """The child network G^{t/z} for recursion (Section 3.2.1)."""
+        if self._network is None:
+            raise NotFittedError("call fit() before extracting subnetworks")
+        return self._network.subnetwork(self.expected_link_weights(subtopic),
+                                        min_weight=min_weight)
+
+    def bic(self) -> float:
+        """Bayesian information criterion of the fitted model (Section 3.2.3).
+
+        Higher is worse; model selection picks the k minimizing this.
+        """
+        model = self._require_fitted()
+        num_links = sum(ld.num_links for ld in self._link_data)
+        return (-2.0 * model.log_likelihood
+                + model.num_free_parameters * np.log(max(num_links, 2)))
+
+    def _require_fitted(self) -> HINTopicModel:
+        if self.model_ is None:
+            raise NotFittedError("call fit() before using the model")
+        return self.model_
+
+
+def _normalize_alpha(alpha: Dict[LinkType, float],
+                     link_data: List[_LinkData]) -> Dict[LinkType, float]:
+    """Rescale alpha so that prod alpha^{n_xy} = 1 (Theorem 3.2)."""
+    counts = {ld.link_type: ld.num_links for ld in link_data}
+    total = sum(counts.values())
+    if total == 0:
+        return dict(alpha)
+    log_mean = sum(counts[lt] * np.log(max(alpha.get(lt, 1.0), EPS))
+                   for lt in counts) / total
+    scale = float(np.exp(-log_mean))
+    return {lt: float(alpha.get(lt, 1.0) * scale) for lt in counts}

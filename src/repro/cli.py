@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``generate`` — write a synthetic dataset (DBLP-style or NEWS-style)
+  with ground truth to a JSON file.
+* ``hierarchy`` — build and print a phrase-represented, entity-enriched
+  topical hierarchy from a dataset file.
+* ``phrases`` — run ToPMine and print each topic's ranked phrases.
+* ``relations`` — mine advisor–advisee relations with TPFG and print
+  the predictions (with accuracy when ground truth is available).
+* ``strod`` — run moment-based topic discovery and print topic words.
+
+Every command accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .datasets import (DBLPConfig, NewsConfig, generate_dblp,
+                       generate_news, load_dataset, save_dataset)
+
+
+def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", help="path to a dataset JSON file "
+                                        "written by 'repro generate'")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "dblp":
+        dataset = generate_dblp(DBLPConfig(max_authors=args.max_authors),
+                                seed=args.seed)
+    else:
+        dataset = generate_news(
+            NewsConfig(num_stories=args.stories,
+                       articles_per_story=args.articles), seed=args.seed)
+    save_dataset(dataset, args.output)
+    print(f"wrote {dataset.name}: {len(dataset.corpus)} documents, "
+          f"{len(dataset.corpus.vocabulary)} terms -> {args.output}")
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from .core import LatentEntityMiner, MinerConfig
+
+    dataset = load_dataset(args.dataset)
+    num_children = [int(part) for part in args.children.split(",")]
+    miner = LatentEntityMiner(
+        MinerConfig(num_children=num_children,
+                    max_depth=len(num_children),
+                    weight_mode=args.weights), seed=args.seed)
+    result = miner.fit(dataset.corpus)
+    entity_types = dataset.corpus.entity_types()
+    if args.json:
+        print(result.hierarchy.to_json())
+    else:
+        print(result.render(max_phrases=args.top,
+                            entity_types=entity_types, max_entities=3))
+    return 0
+
+
+def _cmd_phrases(args: argparse.Namespace) -> int:
+    from .phrases import ToPMine, ToPMineConfig
+
+    dataset = load_dataset(args.dataset)
+    topmine = ToPMine(
+        ToPMineConfig(num_topics=args.topics,
+                      min_support=args.min_support,
+                      merge_threshold=args.merge_threshold,
+                      lda_iterations=args.iterations), seed=args.seed)
+    result = topmine.fit(dataset.corpus)
+    for t in range(args.topics):
+        print(f"topic {t}: "
+              + " / ".join(result.top_phrases(t, args.top,
+                                              dataset.corpus)))
+    return 0
+
+
+def _cmd_relations(args: argparse.Namespace) -> int:
+    from .relations import (CollaborationNetwork, TPFG,
+                            build_candidate_graph, evaluate_predictions)
+
+    dataset = load_dataset(args.dataset)
+    network = CollaborationNetwork.from_corpus(dataset.corpus)
+    graph = build_candidate_graph(network)
+    result = TPFG(max_iter=args.iterations).fit(graph)
+    predictions = result.predictions(top_k=args.top_k, theta=args.theta)
+    shown = 0
+    for author in graph.authors:
+        advisor = predictions.get(author)
+        if advisor:
+            print(f"{author}\t{advisor}\t"
+                  f"{result.score(author, advisor):.3f}")
+            shown += 1
+        if args.limit and shown >= args.limit:
+            break
+    if dataset.ground_truth.advising:
+        truth = {r.advisee: r.advisor
+                 for r in dataset.ground_truth.advising}
+        for author in network.authors:
+            truth.setdefault(author, None)
+        accuracy = evaluate_predictions(predictions, truth)
+        print(f"# advisee accuracy {accuracy.advisee_accuracy:.3f} "
+              f"({accuracy.num_advisees} advisees), "
+              f"root accuracy {accuracy.root_accuracy:.3f}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_strod(args: argparse.Namespace) -> int:
+    from .strod import STROD
+
+    dataset = load_dataset(args.dataset)
+    docs = [doc.tokens for doc in dataset.corpus]
+    strod = STROD(num_topics=args.topics,
+                  alpha0=args.alpha0 if args.alpha0 > 0 else None,
+                  sparse=args.sparse, seed=args.seed)
+    model = strod.fit(docs, len(dataset.corpus.vocabulary))
+    vocabulary = dataset.corpus.vocabulary
+    for z in range(args.topics):
+        order = model.phi[z].argsort()[::-1][:args.top]
+        words = [vocabulary.word_of(int(w)) for w in order]
+        print(f"topic {z} (alpha={model.alpha[z]:.3f}): "
+              + ", ".join(words))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mining latent entity structures (Wang, 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset")
+    gen.add_argument("kind", choices=["dblp", "news"])
+    gen.add_argument("output")
+    gen.add_argument("--max-authors", type=int, default=150)
+    gen.add_argument("--stories", type=int, default=8)
+    gen.add_argument("--articles", type=int, default=60)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    hier = sub.add_parser("hierarchy", help="build a topical hierarchy")
+    _add_dataset_argument(hier)
+    hier.add_argument("--children", default="6,3",
+                      help="children per level, comma separated")
+    hier.add_argument("--weights", default="learn",
+                      choices=["equal", "norm", "learn"])
+    hier.add_argument("--top", type=int, default=4)
+    hier.add_argument("--json", action="store_true")
+    hier.add_argument("--seed", type=int, default=0)
+    hier.set_defaults(func=_cmd_hierarchy)
+
+    phr = sub.add_parser("phrases", help="run ToPMine")
+    _add_dataset_argument(phr)
+    phr.add_argument("--topics", type=int, default=6)
+    phr.add_argument("--min-support", type=int, default=5)
+    phr.add_argument("--merge-threshold", type=float, default=2.0)
+    phr.add_argument("--iterations", type=int, default=60)
+    phr.add_argument("--top", type=int, default=8)
+    phr.add_argument("--seed", type=int, default=0)
+    phr.set_defaults(func=_cmd_phrases)
+
+    rel = sub.add_parser("relations", help="mine advisor relations")
+    _add_dataset_argument(rel)
+    rel.add_argument("--iterations", type=int, default=20)
+    rel.add_argument("--top-k", type=int, default=1)
+    rel.add_argument("--theta", type=float, default=0.5)
+    rel.add_argument("--limit", type=int, default=20)
+    rel.add_argument("--seed", type=int, default=0)
+    rel.set_defaults(func=_cmd_relations)
+
+    strod = sub.add_parser("strod", help="moment-based topic discovery")
+    _add_dataset_argument(strod)
+    strod.add_argument("--topics", type=int, default=6)
+    strod.add_argument("--alpha0", type=float, default=1.0,
+                       help="Dirichlet concentration; <= 0 learns it")
+    strod.add_argument("--sparse", action="store_true")
+    strod.add_argument("--top", type=int, default=8)
+    strod.add_argument("--seed", type=int, default=0)
+    strod.set_defaults(func=_cmd_strod)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

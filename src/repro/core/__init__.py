@@ -1,0 +1,5 @@
+"""Integrated mining framework facade."""
+
+from .miner import LatentEntityMiner, MinerConfig, MiningResult
+
+__all__ = ["LatentEntityMiner", "MinerConfig", "MiningResult"]

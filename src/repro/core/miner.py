@@ -1,0 +1,124 @@
+"""The integrated mining framework (Section 1.4).
+
+:class:`LatentEntityMiner` chains the dissertation's modules end to end:
+
+1. collapse the text-attached network (Chapter 1 data model),
+2. recursively construct the phrase-represented, entity-enriched topical
+   hierarchy (Chapters 3-4),
+3. expose entity topical role analysis over it (Chapter 5),
+4. optionally mine hierarchical advisor–advisee relations when documents
+   carry timestamps (Chapter 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cathy import BuilderConfig, HierarchyBuilder
+from ..corpus import Corpus
+from ..errors import DataError
+from ..hierarchy import TopicalHierarchy
+from ..network import HeterogeneousNetwork, build_collapsed_network
+from ..phrases import (PhraseCounts, attach_entity_rankings, attach_phrases)
+from ..relations import (CandidateGraph, CollaborationNetwork, TPFG,
+                         TPFGResult, build_candidate_graph)
+from ..roles import RoleAnalyzer
+from ..utils import RandomState, ensure_rng
+
+
+@dataclass
+class MinerConfig:
+    """End-to-end configuration.
+
+    Attributes:
+        num_children: children per topic per level (see
+            :class:`~repro.cathy.BuilderConfig.num_children`).
+        max_depth: hierarchy depth.
+        weight_mode: CATHYHIN link-type weighting
+            ("equal" / "norm" / "learn" / mapping).
+        min_support: frequent-phrase mining threshold.
+        max_phrase_length: longest mined phrase.
+        entity_types: which entity types to use (default: all present).
+        min_count: minimum term frequency to enter the network.
+        top_k: phrases / entities retained per topic.
+    """
+
+    num_children: Union[int, Sequence[int], str] = 4
+    max_depth: int = 2
+    weight_mode: object = "learn"
+    min_support: int = 5
+    max_phrase_length: int = 6
+    entity_types: Optional[Sequence[str]] = None
+    min_count: int = 1
+    top_k: int = 20
+    builder_overrides: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class MiningResult:
+    """Everything the integrated pipeline produces."""
+
+    corpus: Corpus
+    network: HeterogeneousNetwork
+    hierarchy: TopicalHierarchy
+    counts: PhraseCounts
+    roles: RoleAnalyzer
+
+    def render(self, max_phrases: int = 5,
+               entity_types: Optional[List[str]] = None,
+               max_entities: int = 3) -> str:
+        """ASCII rendering of the hierarchy (Figure 3.4 style)."""
+        return self.hierarchy.render(max_phrases=max_phrases,
+                                     entity_types=entity_types,
+                                     max_entities=max_entities)
+
+
+class LatentEntityMiner:
+    """Facade over the full framework."""
+
+    def __init__(self, config: Optional[MinerConfig] = None,
+                 seed: RandomState = None) -> None:
+        self.config = config or MinerConfig()
+        self._rng = ensure_rng(seed)
+
+    def fit(self, corpus: Corpus) -> MiningResult:
+        """Run network collapse, hierarchy construction, and decoration."""
+        config = self.config
+        network = build_collapsed_network(
+            corpus, entity_types=config.entity_types,
+            min_count=config.min_count)
+        builder_config = BuilderConfig(
+            num_children=config.num_children,
+            max_depth=config.max_depth,
+            weight_mode=config.weight_mode,
+            **config.builder_overrides)
+        builder = HierarchyBuilder(builder_config, seed=self._rng)
+        hierarchy = builder.build(network)
+        counts = attach_phrases(
+            hierarchy, corpus, min_support=config.min_support,
+            max_phrase_length=config.max_phrase_length,
+            top_k=config.top_k)
+        attach_entity_rankings(hierarchy, top_k=config.top_k)
+        roles = RoleAnalyzer(hierarchy, corpus, counts=counts,
+                             min_support=config.min_support,
+                             max_phrase_length=config.max_phrase_length)
+        return MiningResult(corpus=corpus, network=network,
+                            hierarchy=hierarchy, counts=counts, roles=roles)
+
+    def mine_relations(self, corpus: Corpus,
+                       author_type: str = "author",
+                       ) -> Tuple[TPFGResult, CandidateGraph,
+                                  CollaborationNetwork]:
+        """Advisor–advisee mining over the corpus's author links.
+
+        Requires documents to carry years; raises
+        :class:`~repro.errors.DataError` otherwise.
+        """
+        if not any(doc.year is not None for doc in corpus):
+            raise DataError("relation mining requires document years")
+        network = CollaborationNetwork.from_corpus(corpus,
+                                                   author_type=author_type)
+        graph = build_candidate_graph(network)
+        result = TPFG().fit(graph)
+        return result, graph, network

@@ -1,0 +1,17 @@
+"""Corpus substrate: documents, tokenization, vocabulary."""
+
+from .document import Corpus, Document
+from .tokenize import (DEFAULT_STOPWORDS, join_tokens, split_phrase_chunks,
+                       tokenize, tokenize_chunks)
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "Vocabulary",
+    "tokenize",
+    "tokenize_chunks",
+    "split_phrase_chunks",
+    "join_tokens",
+    "DEFAULT_STOPWORDS",
+]

@@ -1,0 +1,66 @@
+"""Bidirectional word <-> integer-id mapping."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from ..errors import DataError
+
+
+class Vocabulary:
+    """Maps words to dense integer ids and back.
+
+    Ids are assigned in first-seen order, so a vocabulary built from a
+    deterministic corpus walk is itself deterministic.
+    """
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._word_to_id: Dict[str, int] = {}
+        self._id_to_word: List[str] = []
+        for word in words:
+            self.add(word)
+
+    def add(self, word: str) -> int:
+        """Add ``word`` if new; return its id either way."""
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_word)
+        self._word_to_id[word] = new_id
+        self._id_to_word.append(word)
+        return new_id
+
+    def id_of(self, word: str) -> int:
+        """Return the id of ``word``; raise :class:`DataError` if unknown."""
+        try:
+            return self._word_to_id[word]
+        except KeyError:
+            raise DataError(f"word not in vocabulary: {word!r}") from None
+
+    def word_of(self, word_id: int) -> str:
+        """Return the word with id ``word_id``."""
+        if not 0 <= word_id < len(self._id_to_word):
+            raise DataError(f"word id out of range: {word_id}")
+        return self._id_to_word[word_id]
+
+    def encode(self, tokens: Sequence[str], add_missing: bool = False) -> List[int]:
+        """Encode a token sequence to ids, optionally growing the vocabulary."""
+        if add_missing:
+            return [self.add(tok) for tok in tokens]
+        return [self.id_of(tok) for tok in tokens]
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Decode a sequence of ids back to words."""
+        return [self.word_of(i) for i in ids]
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

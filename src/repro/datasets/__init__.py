@@ -1,0 +1,36 @@
+"""Synthetic dataset generators with ground truth."""
+
+from .ground_truth import AdvisingRecord, GroundTruth, SyntheticDataset
+from .io import (dataset_from_dict, dataset_to_dict, load_dataset,
+                 save_dataset)
+from .planted_lda import PlantedLDA, generate_planted_lda, make_separated_topics
+from .synthetic_dblp import DBLPConfig, generate_dblp, generate_dblp_area
+from .synthetic_news import NewsConfig, generate_news, generate_news_subset
+from .vocabularies import (BACKGROUND_UNIGRAMS, NEWS_FOUR_TOPIC_SUBSET,
+                           TopicSpec, computer_science_hierarchy,
+                           hierarchy_paths, news_stories)
+
+__all__ = [
+    "AdvisingRecord",
+    "GroundTruth",
+    "SyntheticDataset",
+    "save_dataset",
+    "load_dataset",
+    "dataset_to_dict",
+    "dataset_from_dict",
+    "DBLPConfig",
+    "generate_dblp",
+    "generate_dblp_area",
+    "NewsConfig",
+    "generate_news",
+    "generate_news_subset",
+    "PlantedLDA",
+    "generate_planted_lda",
+    "make_separated_topics",
+    "TopicSpec",
+    "computer_science_hierarchy",
+    "news_stories",
+    "hierarchy_paths",
+    "BACKGROUND_UNIGRAMS",
+    "NEWS_FOUR_TOPIC_SUBSET",
+]

@@ -1,0 +1,112 @@
+"""Persistence for synthetic datasets (JSON).
+
+Saving a generated dataset pins the exact corpus and ground truth used
+by an experiment, so results can be regenerated without re-running the
+generator (or compared across library versions).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..corpus import Corpus
+from ..errors import DataError
+from .ground_truth import AdvisingRecord, GroundTruth, SyntheticDataset
+from .vocabularies import TopicSpec
+
+FORMAT_VERSION = 1
+
+
+def _spec_to_dict(spec: TopicSpec) -> dict:
+    return {
+        "name": spec.name,
+        "phrases": list(spec.phrases),
+        "unigrams": list(spec.unigrams),
+        "children": [_spec_to_dict(child) for child in spec.children],
+    }
+
+
+def _spec_from_dict(data: dict) -> TopicSpec:
+    return TopicSpec(
+        name=data["name"],
+        phrases=list(data["phrases"]),
+        unigrams=list(data["unigrams"]),
+        children=[_spec_from_dict(child) for child in data["children"]])
+
+
+def dataset_to_dict(dataset: SyntheticDataset) -> dict:
+    """Serialize a dataset (corpus + ground truth) to plain data."""
+    corpus = dataset.corpus
+    truth = dataset.ground_truth
+    return {
+        "version": FORMAT_VERSION,
+        "name": dataset.name,
+        "vocabulary": list(corpus.vocabulary),
+        "documents": [
+            {
+                "chunks": [list(chunk) for chunk in doc.chunks],
+                "entities": {k: list(v) for k, v in doc.entities.items()},
+                "year": doc.year,
+                "label": doc.label,
+            }
+            for doc in corpus
+        ],
+        "ground_truth": {
+            "hierarchy": _spec_to_dict(truth.hierarchy),
+            "doc_topic_paths": [list(p) for p in truth.doc_topic_paths],
+            "entity_topics": {
+                etype: {name: list(path) for name, path in mapping.items()}
+                for etype, mapping in truth.entity_topics.items()
+            },
+            "advising": [
+                {"advisee": r.advisee, "advisor": r.advisor,
+                 "start": r.start, "end": r.end}
+                for r in truth.advising
+            ],
+        },
+    }
+
+
+def dataset_from_dict(data: dict) -> SyntheticDataset:
+    """Deserialize a dataset written by :func:`dataset_to_dict`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise DataError(f"unsupported dataset format version: "
+                        f"{data.get('version')!r}")
+    from ..corpus import Vocabulary
+
+    corpus = Corpus(vocabulary=Vocabulary(data["vocabulary"]))
+    for record in data["documents"]:
+        corpus.add_document(
+            chunks=[list(chunk) for chunk in record["chunks"]],
+            entities={k: list(v)
+                      for k, v in record.get("entities", {}).items()},
+            year=record.get("year"),
+            label=record.get("label"))
+
+    truth_data = data["ground_truth"]
+    truth = GroundTruth(
+        hierarchy=_spec_from_dict(truth_data["hierarchy"]),
+        doc_topic_paths=[tuple(p)
+                         for p in truth_data["doc_topic_paths"]],
+        entity_topics={
+            etype: {name: tuple(path) for name, path in mapping.items()}
+            for etype, mapping in truth_data["entity_topics"].items()
+        },
+        advising=[AdvisingRecord(**record)
+                  for record in truth_data["advising"]])
+    return SyntheticDataset(name=data["name"], corpus=corpus,
+                            ground_truth=truth)
+
+
+def save_dataset(dataset: SyntheticDataset, path: str,
+                 indent: Optional[int] = None) -> None:
+    """Write a dataset to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(dataset_to_dict(dataset), handle, indent=indent)
+
+
+def load_dataset(path: str) -> SyntheticDataset:
+    """Read a dataset from a JSON file written by :func:`save_dataset`."""
+    with open(path) as handle:
+        return dataset_from_dict(json.load(handle))

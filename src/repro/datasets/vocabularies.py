@@ -1,0 +1,320 @@
+"""Topic specifications used by the synthetic data generators.
+
+Each topic is described by a name, a list of multi-word *phrases* (the
+collocations the generator emits contiguously, so phrase mining has real
+signal to find), and a list of single *unigrams*.  The computer-science
+hierarchy mirrors the six areas of the dissertation's DBLP dataset
+(Section 3.3), and the news stories mirror its 16-story NEWS dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TopicSpec:
+    """A ground-truth topic: its language model and its children."""
+
+    name: str
+    phrases: List[str] = field(default_factory=list)
+    unigrams: List[str] = field(default_factory=list)
+    children: List["TopicSpec"] = field(default_factory=list)
+
+    def all_words(self) -> List[str]:
+        """Every distinct word appearing in this topic's own language."""
+        words = []
+        seen = set()
+        for phrase in self.phrases:
+            for word in phrase.split():
+                if word not in seen:
+                    seen.add(word)
+                    words.append(word)
+        for word in self.unigrams:
+            if word not in seen:
+                seen.add(word)
+                words.append(word)
+        return words
+
+    def leaves(self, prefix: Tuple[int, ...] = ()) -> List[Tuple[Tuple[int, ...], "TopicSpec"]]:
+        """(path, spec) pairs for all leaf descendants (or self if leaf)."""
+        if not self.children:
+            return [(prefix, self)]
+        result = []
+        for i, child in enumerate(self.children):
+            result.extend(child.leaves(prefix + (i,)))
+        return result
+
+    def find(self, path: Tuple[int, ...]) -> "TopicSpec":
+        """The descendant spec at ``path`` (self for the empty path)."""
+        node = self
+        for index in path:
+            node = node.children[index]
+        return node
+
+
+#: Background vocabulary mixed into every document at a small rate.
+BACKGROUND_UNIGRAMS: List[str] = [
+    "approach", "method", "analysis", "study", "novel", "framework",
+    "efficient", "evaluation", "model", "system", "problem", "results",
+    "technique", "application", "design", "based", "new", "improved",
+]
+
+
+def _topic(name: str, phrases: List[str], unigrams: List[str],
+           children: Optional[List[TopicSpec]] = None) -> TopicSpec:
+    return TopicSpec(name=name, phrases=phrases, unigrams=unigrams,
+                     children=children or [])
+
+
+def computer_science_hierarchy() -> TopicSpec:
+    """A 2-level topic hierarchy over the six CS areas of Section 3.3."""
+    databases = _topic(
+        "databases",
+        ["database systems", "data management"],
+        ["database", "data", "relational", "schema", "storage"],
+        [
+            _topic("query processing",
+                   ["query processing", "query optimization",
+                    "deductive databases", "materialized views"],
+                   ["query", "queries", "optimizer", "views", "plans"]),
+            _topic("transactions",
+                   ["concurrency control", "main memory",
+                    "transaction management", "distributed database systems"],
+                   ["transactions", "locking", "recovery", "logging",
+                    "throughput"]),
+            _topic("data integration",
+                   ["data integration", "data warehousing", "schema matching",
+                    "entity resolution"],
+                   ["integration", "warehouse", "mediator", "mappings",
+                    "cleaning"]),
+        ])
+    data_mining = _topic(
+        "data mining",
+        ["data mining", "knowledge discovery"],
+        ["mining", "patterns", "clusters", "discovery", "datasets"],
+        [
+            _topic("frequent patterns",
+                   ["association rules", "frequent patterns",
+                    "mining association rules", "frequent itemsets"],
+                   ["itemsets", "apriori", "rules", "support", "lattice"]),
+            _topic("stream mining",
+                   ["data streams", "mining data streams", "outlier detection",
+                    "anomaly detection"],
+                   ["streams", "sliding", "window", "outliers", "drift"]),
+            _topic("graph mining",
+                   ["large graphs", "social networks", "graph mining",
+                    "community detection"],
+                   ["graphs", "vertices", "communities", "subgraph",
+                    "centrality"]),
+        ])
+    machine_learning = _topic(
+        "machine learning",
+        ["machine learning", "learning algorithms"],
+        ["learning", "training", "classifier", "features", "labels"],
+        [
+            _topic("kernel methods",
+                   ["support vector machines", "kernel methods",
+                    "feature selection", "dimensionality reduction"],
+                   ["kernel", "margin", "svm", "regularization", "sparse"]),
+            _topic("probabilistic models",
+                   ["graphical models", "hidden markov models",
+                    "conditional random fields", "bayesian networks"],
+                   ["inference", "posterior", "latent", "variational",
+                    "sampling"]),
+            _topic("reinforcement learning",
+                   ["reinforcement learning", "markov decision processes",
+                    "policy gradient", "temporal difference learning"],
+                   ["policy", "reward", "agent", "exploration", "bandit"]),
+        ])
+    information_retrieval = _topic(
+        "information retrieval",
+        ["information retrieval", "retrieval models"],
+        ["retrieval", "search", "ranking", "documents", "relevance"],
+        [
+            _topic("web search",
+                   ["web search", "search engine", "world wide web",
+                    "web pages"],
+                   ["web", "crawler", "hyperlinks", "pagerank", "snippets"]),
+            _topic("retrieval feedback",
+                   ["relevance feedback", "query expansion",
+                    "document retrieval", "language modeling"],
+                   ["feedback", "expansion", "smoothing", "pseudo", "terms"]),
+            _topic("recommendation",
+                   ["collaborative filtering", "recommender systems",
+                    "matrix factorization", "implicit feedback"],
+                   ["recommendation", "ratings", "users", "items",
+                    "preferences"]),
+        ])
+    natural_language = _topic(
+        "natural language processing",
+        ["natural language", "language processing"],
+        ["language", "text", "words", "sentences", "corpus"],
+        [
+            _topic("machine translation",
+                   ["machine translation", "statistical machine translation",
+                    "word alignment", "phrase based translation"],
+                   ["translation", "bilingual", "decoder", "alignment",
+                    "fluency"]),
+            _topic("parsing",
+                   ["dependency parsing", "part of speech tagging",
+                    "syntactic parsing", "context free grammars"],
+                   ["parsing", "grammar", "treebank", "syntax", "tagger"]),
+            _topic("information extraction",
+                   ["information extraction", "named entity recognition",
+                    "relation extraction", "word sense disambiguation"],
+                   ["extraction", "entities", "mentions", "annotation",
+                    "coreference"]),
+        ])
+    artificial_intelligence = _topic(
+        "artificial intelligence",
+        ["artificial intelligence", "intelligent systems"],
+        ["reasoning", "knowledge", "planning", "agents", "logic"],
+        [
+            _topic("search and planning",
+                   ["heuristic search", "constraint satisfaction",
+                    "automated planning", "local search"],
+                   ["heuristic", "constraints", "satisfiability", "solver",
+                    "backtracking"]),
+            _topic("knowledge representation",
+                   ["knowledge representation", "description logics",
+                    "belief revision", "answer set programming"],
+                   ["ontology", "axioms", "semantics", "entailment",
+                    "defaults"]),
+            _topic("multiagent systems",
+                   ["multiagent systems", "game theory",
+                    "mechanism design", "social choice"],
+                   ["auctions", "equilibrium", "negotiation", "voting",
+                    "coalitions"]),
+        ])
+    return _topic(
+        "computer science",
+        [],
+        [],
+        [databases, data_mining, machine_learning, information_retrieval,
+         natural_language, artificial_intelligence])
+
+
+#: (story name, phrases, unigrams, persons, locations) for the NEWS corpus.
+_NEWS_STORIES: List[Tuple[str, List[str], List[str], List[str], List[str]]] = [
+    ("egypt",
+     ["muslim brotherhood", "tahrir square", "imf loan", "president morsi"],
+     ["egypt", "protests", "cairo", "constitution", "military"],
+     ["mohamed morsi", "hosni mubarak", "mohamed elbaradei"],
+     ["egypt", "cairo", "tahrir square", "port said"]),
+    ("boston marathon",
+     ["boston marathon", "finish line", "pressure cooker", "bomb squad"],
+     ["explosion", "runners", "investigation", "suspects", "manhunt"],
+     ["dzhokhar tsarnaev", "tamerlan tsarnaev", "deval patrick"],
+     ["boston", "watertown", "massachusetts", "cambridge"]),
+    ("earthquake",
+     ["magnitude earthquake", "death toll", "rescue teams", "aftershocks felt"],
+     ["earthquake", "damage", "epicenter", "survivors", "tremor"],
+     ["ban ki moon", "red cross", "geological survey"],
+     ["sichuan", "iran", "pakistan", "tehran"]),
+    ("bill clinton",
+     ["bill clinton", "clinton foundation", "campaign trail",
+      "democratic convention"],
+     ["speech", "fundraiser", "endorsement", "initiative", "charity"],
+     ["bill clinton", "hillary clinton", "barack obama"],
+     ["washington", "new york", "arkansas", "charlotte"]),
+    ("gaza",
+     ["gaza strip", "rocket fire", "cease fire", "air strikes"],
+     ["gaza", "militants", "border", "casualties", "truce"],
+     ["benjamin netanyahu", "khaled meshaal", "mahmoud abbas"],
+     ["gaza", "israel", "jerusalem", "rafah"]),
+    ("iran",
+     ["nuclear program", "uranium enrichment", "economic sanctions",
+      "nuclear talks"],
+     ["iran", "centrifuges", "diplomats", "negotiations", "embargo"],
+     ["mahmoud ahmadinejad", "ali khamenei", "saeed jalili"],
+     ["iran", "tehran", "geneva", "vienna"]),
+    ("israel",
+     ["israeli election", "prime minister", "coalition government",
+      "west bank"],
+     ["israel", "parliament", "settlements", "knesset", "ballot"],
+     ["benjamin netanyahu", "ehud barak", "yair lapid"],
+     ["israel", "jerusalem", "tel aviv", "west bank"]),
+    ("joe biden",
+     ["joe biden", "vice president", "gun control", "task force"],
+     ["debate", "legislation", "amendment", "background", "checks"],
+     ["joe biden", "barack obama", "paul ryan"],
+     ["washington", "delaware", "danville", "white house"]),
+    ("microsoft",
+     ["windows phone", "microsoft office", "surface tablet", "windows release"],
+     ["microsoft", "software", "devices", "launch", "licensing"],
+     ["steve ballmer", "bill gates", "steven sinofsky"],
+     ["redmond", "seattle", "silicon valley", "new york"]),
+    ("mitt romney",
+     ["mitt romney", "presidential campaign", "swing states",
+      "republican party"],
+     ["campaign", "votes", "polls", "debate", "nomination"],
+     ["mitt romney", "paul ryan", "barack obama"],
+     ["ohio", "florida", "boston", "iowa"]),
+    ("nuclear power",
+     ["nuclear power", "nuclear plant", "radiation levels", "reactor core"],
+     ["reactor", "energy", "safety", "shutdown", "fuel"],
+     ["naoto kan", "yukiya amano", "gregory jaczko"],
+     ["fukushima", "japan", "tokyo", "chernobyl"]),
+    ("steve jobs",
+     ["steve jobs", "apple founder", "medical leave", "stanford speech"],
+     ["apple", "iphone", "visionary", "biography", "resignation"],
+     ["steve jobs", "tim cook", "steve wozniak"],
+     ["cupertino", "california", "san francisco", "palo alto"]),
+    ("sudan",
+     ["south sudan", "oil fields", "border clashes", "peace agreement"],
+     ["sudan", "independence", "refugees", "conflict", "militia"],
+     ["omar al bashir", "salva kiir", "george clooney"],
+     ["sudan", "juba", "khartoum", "darfur"]),
+    ("syria",
+     ["syrian regime", "civil war", "chemical weapons", "opposition forces"],
+     ["syria", "rebels", "shelling", "uprising", "refugees"],
+     ["bashar al assad", "kofi annan", "lakhdar brahimi"],
+     ["syria", "damascus", "aleppo", "homs"]),
+    ("unemployment",
+     ["unemployment rate", "jobs report", "labor market", "payroll growth"],
+     ["unemployment", "hiring", "economy", "jobless", "claims"],
+     ["ben bernanke", "jack lew", "alan krueger"],
+     ["washington", "new york", "detroit", "chicago"]),
+    ("us crime",
+     ["death penalty", "crime scene", "police department", "court ruling"],
+     ["shooting", "trial", "verdict", "sentencing", "homicide"],
+     ["george zimmerman", "jerry sandusky", "drew peterson"],
+     ["florida", "chicago", "texas", "los angeles"]),
+]
+
+
+def news_stories(num_stories: int = 16) -> TopicSpec:
+    """A flat hierarchy over up to 16 news stories (Section 3.3).
+
+    Each story's persons and locations are encoded in its spec as extra
+    attributes consumed by the NEWS generator.
+    """
+    stories = []
+    for name, phrases, unigrams, persons, locations in \
+            _NEWS_STORIES[:num_stories]:
+        spec = _topic(name, phrases, unigrams)
+        spec.persons = persons            # type: ignore[attr-defined]
+        spec.locations = locations        # type: ignore[attr-defined]
+        stories.append(spec)
+    return _topic("news", [], [], stories)
+
+
+#: Names of the four-story subset used in Section 3.3.1.
+NEWS_FOUR_TOPIC_SUBSET: List[str] = [
+    "bill clinton", "boston marathon", "earthquake", "egypt",
+]
+
+
+def hierarchy_paths(root: TopicSpec) -> Dict[Tuple[int, ...], TopicSpec]:
+    """Map every path (including the root's empty path) to its spec."""
+    paths: Dict[Tuple[int, ...], TopicSpec] = {}
+
+    def visit(spec: TopicSpec, path: Tuple[int, ...]) -> None:
+        paths[path] = spec
+        for i, child in enumerate(spec.children):
+            visit(child, path + (i,))
+
+    visit(root, ())
+    return paths

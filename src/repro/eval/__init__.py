@@ -1,0 +1,52 @@
+"""Evaluation harness: metrics and simulated-judgment tasks."""
+
+from .annotator import LabelAffinity, SimulatedAnnotator, jensen_shannon
+from .intrusion import (IntrusionQuestion, TopicIntrusionQuestion,
+                        generate_intrusion_questions,
+                        generate_topic_intrusion_questions,
+                        hierarchy_entity_groups, hierarchy_phrase_groups,
+                        run_intrusion_task, run_topic_intrusion_task)
+from .mutual_info import label_top_phrases, mutual_information_at_k
+from .nkqm import (SimulatedPhraseJudge, agreement_weight, coherence_score,
+                   judge_phrases, nkqm_at_k, phrase_quality_score,
+                   weighted_cohens_kappa, z_scores)
+from .perplexity import fold_in, held_out_perplexity, split_document
+from .pmi import (CooccurrenceStatistics, hpmi, hpmi_table,
+                  top_frequency_topic)
+from .robustness import (align_topics, pairwise_discrepancy, recovery_error,
+                         run_variability)
+
+__all__ = [
+    "CooccurrenceStatistics",
+    "hpmi",
+    "hpmi_table",
+    "top_frequency_topic",
+    "LabelAffinity",
+    "SimulatedAnnotator",
+    "jensen_shannon",
+    "IntrusionQuestion",
+    "TopicIntrusionQuestion",
+    "generate_intrusion_questions",
+    "generate_topic_intrusion_questions",
+    "hierarchy_phrase_groups",
+    "hierarchy_entity_groups",
+    "run_intrusion_task",
+    "run_topic_intrusion_task",
+    "SimulatedPhraseJudge",
+    "judge_phrases",
+    "agreement_weight",
+    "weighted_cohens_kappa",
+    "nkqm_at_k",
+    "coherence_score",
+    "phrase_quality_score",
+    "z_scores",
+    "label_top_phrases",
+    "mutual_information_at_k",
+    "align_topics",
+    "pairwise_discrepancy",
+    "recovery_error",
+    "run_variability",
+    "held_out_perplexity",
+    "fold_in",
+    "split_document",
+]

@@ -1,0 +1,170 @@
+"""Simulated annotators for the human-judgment tasks.
+
+The dissertation's intrusion, nKQM and coherence experiments rely on
+human judges.  Offline, we substitute annotators whose judgments are
+driven by the *same quantity the humans judged* — topical affinity
+against the generator's ground truth — perturbed by independent noise per
+annotator.  Comparative outcomes (which method wins) are therefore
+preserved while absolute agreement rates depend on the noise level.
+
+An item (phrase or entity) is represented by its distribution over
+ground-truth document labels: the labels of the documents it occurs in.
+Items from one coherent topic have similar label distributions; an
+intruder from a sibling topic does not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..corpus import Corpus
+from ..utils import EPS, RandomState, ensure_rng
+
+
+class LabelAffinity:
+    """Item -> ground-truth-label distributions for one corpus."""
+
+    def __init__(self, corpus: Corpus) -> None:
+        # Label space includes every ancestor prefix of the document
+        # labels ("o/1/2" also activates "o/1" and "o"), so two items
+        # from sibling subtopics of one area are measurably more similar
+        # than items from different areas — matching how a human judge
+        # perceives topical distance in a hierarchy.
+        prefixes = set()
+        for doc in corpus:
+            if doc.label is None:
+                continue
+            parts = doc.label.split("/")
+            for stop in range(1, len(parts) + 1):
+                prefixes.add("/".join(parts[:stop]))
+        labels = sorted(prefixes)
+        self.labels = labels
+        self._label_index = {lab: i for i, lab in enumerate(labels)}
+        full_labels = {doc.label for doc in corpus if doc.label is not None}
+        #: Indices of complete (leaf-level) document labels.
+        self.leaf_label_indices = [i for i, lab in enumerate(labels)
+                                   if lab in full_labels]
+        #: Indices of top-level (area) labels — the shallowest non-root
+        #: prefix level, e.g. "o/1".
+        self.area_label_indices = [i for i, lab in enumerate(labels)
+                                   if lab.count("/") == 1]
+        self._doc_prefix_ids: List[List[int]] = []
+        for doc in corpus:
+            if doc.label is None:
+                self._doc_prefix_ids.append([])
+                continue
+            parts = doc.label.split("/")
+            self._doc_prefix_ids.append(
+                [self._label_index["/".join(parts[:stop])]
+                 for stop in range(1, len(parts) + 1)])
+        self._phrase_cache: Dict[str, np.ndarray] = {}
+        self._entity_cache: Dict[Tuple[str, str], np.ndarray] = {}
+
+        # Pre-index documents by token text and entities.
+        self._doc_texts: List[str] = []
+        for doc in corpus:
+            words = corpus.vocabulary.decode(doc.tokens)
+            self._doc_texts.append(" " + " ".join(words) + " ")
+        self._entity_docs: Dict[Tuple[str, str], List[int]] = {}
+        for doc in corpus:
+            for etype, names in doc.entities.items():
+                for name in names:
+                    self._entity_docs.setdefault((etype, name),
+                                                 []).append(doc.doc_id)
+
+    @property
+    def num_labels(self) -> int:
+        """Size of the (prefix-extended) label space."""
+        return len(self.labels)
+
+    def phrase_distribution(self, phrase: str) -> np.ndarray:
+        """Label distribution of documents containing ``phrase``."""
+        cached = self._phrase_cache.get(phrase)
+        if cached is not None:
+            return cached
+        needle = " " + phrase + " "
+        counts = np.zeros(max(self.num_labels, 1))
+        for text, prefix_ids in zip(self._doc_texts, self._doc_prefix_ids):
+            if prefix_ids and needle in text:
+                counts[prefix_ids] += 1
+        total = counts.sum()
+        dist = counts / total if total > 0 else np.full_like(
+            counts, 1.0 / max(len(counts), 1))
+        self._phrase_cache[phrase] = dist
+        return dist
+
+    def entity_distribution(self, entity_type: str,
+                            name: str) -> np.ndarray:
+        """Label distribution of documents linked to the entity."""
+        key = (entity_type, name)
+        cached = self._entity_cache.get(key)
+        if cached is not None:
+            return cached
+        counts = np.zeros(max(self.num_labels, 1))
+        for doc_id in self._entity_docs.get(key, []):
+            prefix_ids = self._doc_prefix_ids[doc_id]
+            if prefix_ids:
+                counts[prefix_ids] += 1
+        total = counts.sum()
+        dist = counts / total if total > 0 else np.full_like(
+            counts, 1.0 / max(len(counts), 1))
+        self._entity_cache[key] = dist
+        return dist
+
+
+def jensen_shannon(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen–Shannon divergence between two label distributions."""
+    p = np.maximum(np.asarray(p, dtype=float), EPS)
+    q = np.maximum(np.asarray(q, dtype=float), EPS)
+    p = p / p.sum()
+    q = q / q.sum()
+    mix = 0.5 * (p + q)
+    return float(0.5 * np.sum(p * np.log(p / mix))
+                 + 0.5 * np.sum(q * np.log(q / mix)))
+
+
+class SimulatedAnnotator:
+    """One annotator with an independent noise stream.
+
+    Args:
+        affinity: ground-truth label affinity index.
+        noise: standard deviation of Gaussian noise added to divergence
+            judgments; 0 makes the annotator a perfect oracle of topical
+            separation.
+        seed: RNG seed or generator.
+    """
+
+    def __init__(self, affinity: LabelAffinity, noise: float = 0.08,
+                 seed: RandomState = None) -> None:
+        self.affinity = affinity
+        self.noise = noise
+        self._rng = ensure_rng(seed)
+
+    def pick_intruder(self, distributions: Sequence[np.ndarray]) -> int:
+        """Choose the option most dissimilar from the rest.
+
+        For each option, the annotator considers its average divergence
+        from the other options and picks the maximum (with noise).
+        """
+        n = len(distributions)
+        scores = np.zeros(n)
+        for i in range(n):
+            others = [jensen_shannon(distributions[i], distributions[j])
+                      for j in range(n) if j != i]
+            scores[i] = float(np.mean(others)) if others else 0.0
+        scores = scores + self._rng.normal(0.0, self.noise, size=n)
+        return int(scores.argmax())
+
+    def pick_phrase_intruder(self, phrases: Sequence[str]) -> int:
+        """Pick the intruder among phrase strings."""
+        return self.pick_intruder(
+            [self.affinity.phrase_distribution(p) for p in phrases])
+
+    def pick_entity_intruder(self, entity_type: str,
+                             names: Sequence[str]) -> int:
+        """Pick the intruder among entity names of one type."""
+        return self.pick_intruder(
+            [self.affinity.entity_distribution(entity_type, n)
+             for n in names])

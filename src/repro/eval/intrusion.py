@@ -1,0 +1,240 @@
+"""Intruder-detection tasks (Sections 3.3.2 and 4.4.2).
+
+Three tasks: Phrase Intrusion, Entity Intrusion, Topic Intrusion.  Each
+question shows X options, X-1 drawn from one topic and one from a sibling
+topic; simulated annotators (three, with independent noise) must spot the
+intruder.  A question counts as answered correctly when the annotators'
+majority answer is the true intruder — the stand-in for the paper's
+"choose incorrectly or inconsistently -> failure" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..corpus import Corpus
+from ..hierarchy import TopicalHierarchy
+from ..utils import RandomState, ensure_rng
+from .annotator import LabelAffinity, SimulatedAnnotator, jensen_shannon
+
+
+@dataclass
+class IntrusionQuestion:
+    """One question: options plus the index of the planted intruder."""
+
+    options: List[str]
+    intruder_index: int
+    entity_type: Optional[str] = None
+
+
+SiblingGroups = Sequence[Sequence[Sequence[str]]]
+
+
+def generate_intrusion_questions(groups: SiblingGroups,
+                                 num_questions: int,
+                                 options_per_question: int = 5,
+                                 entity_type: Optional[str] = None,
+                                 top_k: int = 10,
+                                 seed: RandomState = None,
+                                 ) -> List[IntrusionQuestion]:
+    """Sample intrusion questions from sibling topic groups.
+
+    Args:
+        groups: sibling groups; each group is a list of topics; each
+            topic is its ranked item list (phrases or entity names).
+            For flat methods there is a single group of k topics.
+        num_questions: how many questions to sample.
+        options_per_question: X (the paper uses 5).
+        entity_type: set for entity questions (stored on the question).
+        top_k: items are drawn from each topic's top-k.
+    """
+    rng = ensure_rng(seed)
+    usable: List[Tuple[List[str], List[str]]] = []
+    for group in groups:
+        topics = [list(t[:top_k]) for t in group if len(t) >= 2]
+        for i, topic in enumerate(topics):
+            for j, sibling in enumerate(topics):
+                if i == j:
+                    continue
+                intruders = [item for item in sibling if item not in topic]
+                if len(topic) >= options_per_question - 1 and intruders:
+                    usable.append((topic, intruders))
+    questions: List[IntrusionQuestion] = []
+    if not usable:
+        return questions
+    for _ in range(num_questions):
+        topic, intruders = usable[int(rng.integers(len(usable)))]
+        own = [topic[i] for i in rng.choice(
+            len(topic), size=options_per_question - 1, replace=False)]
+        intruder = intruders[int(rng.integers(len(intruders)))]
+        options = own + [intruder]
+        order = rng.permutation(len(options))
+        shuffled = [options[i] for i in order]
+        questions.append(IntrusionQuestion(
+            options=shuffled,
+            intruder_index=int(np.where(order == len(options) - 1)[0][0]),
+            entity_type=entity_type))
+    return questions
+
+
+def run_intrusion_task(questions: Sequence[IntrusionQuestion],
+                       corpus: Corpus,
+                       num_annotators: int = 3,
+                       noise: float = 0.08,
+                       seed: RandomState = None,
+                       affinity: Optional[LabelAffinity] = None) -> float:
+    """Fraction of questions whose majority answer is the true intruder."""
+    rng = ensure_rng(seed)
+    if affinity is None:
+        affinity = LabelAffinity(corpus)
+    annotators = [SimulatedAnnotator(affinity, noise=noise, seed=rng)
+                  for _ in range(num_annotators)]
+    if not questions:
+        return 0.0
+    correct = 0
+    for question in questions:
+        answers = []
+        for annotator in annotators:
+            if question.entity_type is None:
+                answers.append(
+                    annotator.pick_phrase_intruder(question.options))
+            else:
+                answers.append(annotator.pick_entity_intruder(
+                    question.entity_type, question.options))
+        counts = np.bincount(answers, minlength=len(question.options))
+        majority = int(counts.argmax())
+        if counts[majority] >= (num_annotators + 1) // 2 and \
+                majority == question.intruder_index:
+            correct += 1
+    return correct / len(questions)
+
+
+def hierarchy_phrase_groups(hierarchy: TopicalHierarchy,
+                            top_k: int = 10) -> List[List[List[str]]]:
+    """Sibling groups of phrase lists from a built hierarchy."""
+    groups = []
+    for topic in hierarchy.topics():
+        if len(topic.children) >= 2:
+            groups.append([child.top_phrases(top_k)
+                           for child in topic.children])
+    return groups
+
+
+def hierarchy_entity_groups(hierarchy: TopicalHierarchy, entity_type: str,
+                            top_k: int = 10,
+                            max_parent_level: Optional[int] = None,
+                            ) -> List[List[List[str]]]:
+    """Sibling groups of entity rankings from a built hierarchy.
+
+    ``max_parent_level`` restricts question generation to sibling groups
+    whose parent is at most that level — useful when entities only carry
+    topical signal down to a certain granularity (e.g. venues distinguish
+    areas but not subareas).
+    """
+    groups = []
+    for topic in hierarchy.topics():
+        if max_parent_level is not None and topic.level > max_parent_level:
+            continue
+        if len(topic.children) >= 2:
+            groups.append([child.top_entities(entity_type, top_k)
+                           for child in topic.children])
+    return groups
+
+
+@dataclass
+class TopicIntrusionQuestion:
+    """One topic-intrusion question: candidate subtopics of a parent."""
+
+    parent_items: List[str]
+    candidates: List[List[str]]
+    intruder_index: int
+
+
+def generate_topic_intrusion_questions(hierarchy: TopicalHierarchy,
+                                       num_questions: int,
+                                       candidates_per_question: int = 4,
+                                       top_k: int = 5,
+                                       seed: RandomState = None,
+                                       ) -> List[TopicIntrusionQuestion]:
+    """Parent + (X-1) true children + 1 non-child (Section 3.3.2)."""
+    rng = ensure_rng(seed)
+    parents = [t for t in hierarchy.topics()
+               if len(t.children) >= candidates_per_question - 1
+               and t.phrases]
+    questions: List[TopicIntrusionQuestion] = []
+    if not parents:
+        return questions
+    all_topics = [t for t in hierarchy.topics() if t.phrases]
+    for _ in range(num_questions):
+        parent = parents[int(rng.integers(len(parents)))]
+        child_notations = {c.notation for c in parent.children}
+        outsiders = [t for t in all_topics
+                     if t.notation not in child_notations
+                     and t.notation != parent.notation
+                     and t.level == parent.level + 1]
+        if not outsiders:
+            continue
+        chosen_children = [parent.children[i] for i in rng.choice(
+            len(parent.children), size=candidates_per_question - 1,
+            replace=False)]
+        intruder = outsiders[int(rng.integers(len(outsiders)))]
+        candidates = [c.top_phrases(top_k) for c in chosen_children]
+        candidates.append(intruder.top_phrases(top_k))
+        order = rng.permutation(len(candidates))
+        shuffled = [candidates[i] for i in order]
+        questions.append(TopicIntrusionQuestion(
+            parent_items=parent.top_phrases(top_k),
+            candidates=shuffled,
+            intruder_index=int(np.where(
+                order == len(candidates) - 1)[0][0])))
+    return questions
+
+
+def run_topic_intrusion_task(questions: Sequence[TopicIntrusionQuestion],
+                             corpus: Corpus,
+                             num_annotators: int = 3,
+                             noise: float = 0.03,
+                             seed: RandomState = None,
+                             affinity: Optional[LabelAffinity] = None,
+                             ) -> float:
+    """Fraction of topic-intrusion questions answered correctly.
+
+    The annotator represents each candidate topic by the average label
+    distribution of its top phrases and flags the candidate farthest
+    from the parent's distribution.
+    """
+    rng = ensure_rng(seed)
+    if affinity is None:
+        affinity = LabelAffinity(corpus)
+    if not questions:
+        return 0.0
+
+    def topic_distribution(items: List[str]) -> np.ndarray:
+        dists = [affinity.phrase_distribution(p) for p in items]
+        if not dists:
+            return np.full(max(affinity.num_labels, 1),
+                           1.0 / max(affinity.num_labels, 1))
+        return np.mean(dists, axis=0)
+
+    correct = 0
+    annotator_rngs = [ensure_rng(rng.integers(2 ** 32))
+                      for _ in range(num_annotators)]
+    for question in questions:
+        parent_dist = topic_distribution(question.parent_items)
+        divergences = np.array([
+            jensen_shannon(parent_dist, topic_distribution(candidate))
+            for candidate in question.candidates])
+        answers = []
+        for annotator_rng in annotator_rngs:
+            noisy = divergences + annotator_rng.normal(
+                0.0, noise, size=len(divergences))
+            answers.append(int(noisy.argmax()))
+        counts = np.bincount(answers, minlength=len(question.candidates))
+        majority = int(counts.argmax())
+        if counts[majority] >= (num_annotators + 1) // 2 and \
+                majority == question.intruder_index:
+            correct += 1
+    return correct / len(questions)

@@ -1,0 +1,75 @@
+"""Mutual information MI_K between phrase-labeled topics and true labels
+(Section 4.4.1, Fig. 4.2).
+
+Each of a method's top-K phrases (across topics) is labeled with the
+topic in which it ranks highest.  Every document is then checked for the
+labeled phrases it contains: if any are present, the joint event counts
+(topic t, category c) are updated with the averaged topic counts of the
+contained phrases; otherwise the document contributes uniformly over
+topics.  MI_K is the mutual information of the resulting joint
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..corpus import Corpus
+from ..utils import EPS
+
+
+def label_top_phrases(rankings: Sequence[Sequence[Tuple[str, float]]],
+                      k: int) -> Dict[str, int]:
+    """Assign each top-K phrase to the topic where it ranks highest.
+
+    ``rankings[t]`` is a ranked (phrase, score) list for topic t; a
+    phrase appearing in several topics is labeled with the topic giving
+    it the best score.
+    """
+    best: Dict[str, Tuple[float, int]] = {}
+    for t, ranking in enumerate(rankings):
+        for phrase, score in list(ranking)[:k]:
+            current = best.get(phrase)
+            if current is None or score > current[0]:
+                best[phrase] = (score, t)
+    return {phrase: t for phrase, (_, t) in best.items()}
+
+
+def mutual_information_at_k(corpus: Corpus,
+                            rankings: Sequence[Sequence[Tuple[str, float]]],
+                            k: int) -> float:
+    """MI_K of the method's top-K phrase labeling against document labels."""
+    num_topics = len(rankings)
+    labels = sorted({doc.label for doc in corpus if doc.label is not None})
+    label_index = {lab: i for i, lab in enumerate(labels)}
+    if not labels or num_topics == 0:
+        return 0.0
+    phrase_topics = label_top_phrases(rankings, k)
+
+    joint = np.zeros((num_topics, len(labels)))
+    for doc in corpus:
+        if doc.label is None:
+            continue
+        c = label_index[doc.label]
+        text = " " + " ".join(corpus.vocabulary.decode(doc.tokens)) + " "
+        contained = [t for phrase, t in phrase_topics.items()
+                     if " " + phrase + " " in text]
+        if contained:
+            for t in contained:
+                joint[t, c] += 1.0 / len(contained)
+        else:
+            joint[:, c] += 1.0 / num_topics
+
+    total = joint.sum()
+    if total <= 0:
+        return 0.0
+    joint = joint / total
+    p_topic = joint.sum(axis=1, keepdims=True)
+    p_label = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = joint / np.maximum(p_topic @ p_label, EPS)
+        terms = np.where(joint > 0, joint * np.log2(np.maximum(ratio, EPS)),
+                         0.0)
+    return float(terms.sum())

@@ -1,0 +1,80 @@
+"""Held-out perplexity for flat topic models.
+
+Section 3.3.1 notes that PMI "is generally preferred over other
+quantitative metrics such as perplexity or the likelihood of held-out
+data" — but perplexity remains the standard sanity metric for topic
+model fit, so the library provides it: documents are split into an
+observed half (used to fold in a document-topic mixture) and a held-out
+half (scored under the folded-in mixture).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..phrases.ranking import FlatTopicModel
+from ..utils import EPS, RandomState, ensure_rng
+
+
+def split_document(doc: Sequence[int], rng: np.random.Generator,
+                   observed_fraction: float = 0.5,
+                   ) -> Tuple[List[int], List[int]]:
+    """Randomly split one document's tokens into observed and held-out."""
+    tokens = list(doc)
+    rng.shuffle(tokens)
+    cut = max(1, int(len(tokens) * observed_fraction))
+    return tokens[:cut], tokens[cut:]
+
+
+def fold_in(model: FlatTopicModel, observed: Sequence[int],
+            iterations: int = 30) -> np.ndarray:
+    """EM fold-in: estimate a document's topic mixture from its words.
+
+    phi stays fixed; only the document mixture theta is optimized, so
+    held-out scoring never trains on test words.
+    """
+    k = model.num_topics
+    theta = np.full(k, 1.0 / k)
+    if len(observed) == 0:
+        return theta
+    word_ids = np.asarray(observed, dtype=np.int64)
+    word_probs = model.phi[:, word_ids]  # (k, n)
+    for _ in range(iterations):
+        responsibilities = theta[:, None] * word_probs
+        responsibilities /= np.maximum(
+            responsibilities.sum(axis=0, keepdims=True), EPS)
+        theta = responsibilities.sum(axis=1)
+        theta /= max(theta.sum(), EPS)
+    return theta
+
+
+def held_out_perplexity(model: FlatTopicModel,
+                        docs: Sequence[Sequence[int]],
+                        observed_fraction: float = 0.5,
+                        fold_iterations: int = 30,
+                        seed: RandomState = None) -> float:
+    """Document-completion perplexity of ``model`` on ``docs``.
+
+    Lower is better; a uniform model over V words scores exactly V.
+    """
+    if not 0 < observed_fraction < 1:
+        raise ConfigurationError("observed_fraction must be in (0, 1)")
+    rng = ensure_rng(seed)
+    log_likelihood = 0.0
+    token_count = 0
+    for doc in docs:
+        if len(doc) < 2:
+            continue
+        observed, held_out = split_document(doc, rng, observed_fraction)
+        if not held_out:
+            continue
+        theta = fold_in(model, observed, iterations=fold_iterations)
+        probs = theta @ model.phi[:, np.asarray(held_out, dtype=np.int64)]
+        log_likelihood += float(np.log(np.maximum(probs, EPS)).sum())
+        token_count += len(held_out)
+    if token_count == 0:
+        return float("inf")
+    return float(np.exp(-log_likelihood / token_count))

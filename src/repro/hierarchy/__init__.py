@@ -1,0 +1,12 @@
+"""Topical hierarchy substrate."""
+
+from .topic import ROOT_NOTATION, Topic, notation_to_path, path_to_notation
+from .tree import TopicalHierarchy
+
+__all__ = [
+    "Topic",
+    "TopicalHierarchy",
+    "path_to_notation",
+    "notation_to_path",
+    "ROOT_NOTATION",
+]

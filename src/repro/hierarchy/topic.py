@@ -1,0 +1,123 @@
+"""Topic nodes of a topical hierarchy (Definition 2).
+
+Each topic carries, per node type, a ranking distribution ``phi`` over the
+named nodes of its associated network; a subtopic proportion ``rho``; an
+ordered list of representative phrases; and ordered entity rankings.  The
+topic also keeps a handle to the subnetwork it was mined from so the
+recursion (Step 2 of CATHY) can continue from any node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DataError
+
+Path = Tuple[int, ...]
+
+ROOT_NOTATION = "o"
+
+
+def path_to_notation(path: Path) -> str:
+    """Render a topic path as the paper's ``o/1/2`` notation.
+
+    Child indices in the notation are 1-based, matching Figure 3.1.
+    """
+    if not path:
+        return ROOT_NOTATION
+    return ROOT_NOTATION + "/" + "/".join(str(i + 1) for i in path)
+
+
+def notation_to_path(notation: str) -> Path:
+    """Parse ``o/1/2`` notation back into a 0-based path tuple."""
+    parts = notation.strip().split("/")
+    if not parts or parts[0] != ROOT_NOTATION:
+        raise DataError(f"topic notation must start with 'o': {notation!r}")
+    try:
+        return tuple(int(p) - 1 for p in parts[1:])
+    except ValueError:
+        raise DataError(f"malformed topic notation: {notation!r}") from None
+
+
+@dataclass
+class Topic:
+    """One node of a topical hierarchy.
+
+    Attributes:
+        path: 0-based child-index path from the root; ``()`` is the root.
+        rho: expected share of the parent's links attributed to this topic.
+        phi: per node type, a dict mapping node *name* to its probability in
+            this topic's ranking distribution (Section 3.2.1).  Names are
+            used instead of indices because subnetworks renumber nodes.
+        phrases: ranked (phrase, score) pairs, best first (Chapter 4).
+        entity_ranks: per entity type, ranked (name, score) pairs (Chapter 5).
+        network: the subnetwork associated with this topic, when retained.
+        children: subtopics in index order.
+    """
+
+    path: Path = ()
+    rho: float = 1.0
+    phi: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    phrases: List[Tuple[str, float]] = field(default_factory=list)
+    entity_ranks: Dict[str, List[Tuple[str, float]]] = field(default_factory=dict)
+    network: Optional[object] = None
+    children: List["Topic"] = field(default_factory=list)
+
+    @property
+    def notation(self) -> str:
+        """The ``o/1/2`` style name of this topic."""
+        return path_to_notation(self.path)
+
+    @property
+    def level(self) -> int:
+        """Depth of the topic; the root is level 0."""
+        return len(self.path)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the topic has no children."""
+        return not self.children
+
+    def add_child(self, topic: "Topic") -> "Topic":
+        """Append a child and fix up its path to extend this topic's path."""
+        topic.path = self.path + (len(self.children),)
+        self.children.append(topic)
+        return topic
+
+    def top_words(self, node_type: str, k: int = 10) -> List[str]:
+        """The ``k`` most probable node names of ``node_type``."""
+        dist = self.phi.get(node_type, {})
+        ranked = sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [name for name, _ in ranked[:k]]
+
+    def top_phrases(self, k: int = 10) -> List[str]:
+        """The ``k`` best phrases of this topic."""
+        return [phrase for phrase, _ in self.phrases[:k]]
+
+    def top_entities(self, entity_type: str, k: int = 10) -> List[str]:
+        """The ``k`` top-ranked entities of ``entity_type``."""
+        return [name for name, _ in self.entity_ranks.get(entity_type, [])[:k]]
+
+    def phi_vector(self, node_type: str, names: Sequence[str]) -> np.ndarray:
+        """The phi distribution restricted to ``names``, in that order."""
+        dist = self.phi.get(node_type, {})
+        return np.array([dist.get(name, 0.0) for name in names], dtype=float)
+
+    def to_dict(self, max_items: int = 10) -> dict:
+        """A JSON-friendly summary of the topic (and its subtree)."""
+        return {
+            "notation": self.notation,
+            "rho": self.rho,
+            "phrases": self.phrases[:max_items],
+            "entities": {etype: ranks[:max_items]
+                         for etype, ranks in self.entity_ranks.items()},
+            "children": [child.to_dict(max_items) for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        head = ", ".join(self.top_phrases(3)) or ", ".join(
+            self.top_words("term", 3))
+        return f"Topic({self.notation}: {head})"

@@ -1,0 +1,14 @@
+"""Network substrate: heterogeneous edge-weighted networks and builders."""
+
+from .build import (TERM_TYPE, build_collapsed_network, build_term_network,
+                    network_statistics)
+from .weighted import HeterogeneousNetwork, canonical_link_type
+
+__all__ = [
+    "HeterogeneousNetwork",
+    "canonical_link_type",
+    "build_term_network",
+    "build_collapsed_network",
+    "network_statistics",
+    "TERM_TYPE",
+]

@@ -1,0 +1,219 @@
+"""Edge-weighted heterogeneous network (the G^t of Chapter 3).
+
+A :class:`HeterogeneousNetwork` holds typed nodes and non-negative link
+weights grouped by link type.  Link types are *unordered* pairs of node
+types; within a type pair the node pair is stored canonically so that each
+undirected link appears exactly once.  This matches the dissertation's
+model, which duplicates undirected links in both directions only as a
+modelling device (Section 3.2.1) — the sufficient statistics are symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import DataError
+
+LinkType = Tuple[str, str]
+LinkKey = Tuple[int, int]
+
+
+def canonical_link_type(type_x: str, type_y: str) -> LinkType:
+    """Order a node-type pair canonically (lexicographically)."""
+    return (type_x, type_y) if type_x <= type_y else (type_y, type_x)
+
+
+class HeterogeneousNetwork:
+    """Typed nodes plus weighted links grouped by unordered link type.
+
+    Node identities are (type, name) pairs; each type has its own dense
+    integer index space.  Link weights are floats so subnetworks produced
+    by soft clustering (expected link weights, Eq. 3.23) are representable.
+    """
+
+    def __init__(self, node_types: Iterable[str] = ()) -> None:
+        self._names: Dict[str, List[str]] = {}
+        self._index: Dict[str, Dict[str, int]] = {}
+        self._links: Dict[LinkType, Dict[LinkKey, float]] = {}
+        for node_type in node_types:
+            self.add_node_type(node_type)
+
+    # ------------------------------------------------------------------ nodes
+    def add_node_type(self, node_type: str) -> None:
+        """Register an (initially empty) node type."""
+        if node_type not in self._names:
+            self._names[node_type] = []
+            self._index[node_type] = {}
+
+    def add_node(self, node_type: str, name: str) -> int:
+        """Add a node (idempotent) and return its per-type index."""
+        self.add_node_type(node_type)
+        index = self._index[node_type]
+        existing = index.get(name)
+        if existing is not None:
+            return existing
+        node_id = len(self._names[node_type])
+        self._names[node_type].append(name)
+        index[name] = node_id
+        return node_id
+
+    def node_types(self) -> List[str]:
+        """All registered node types, sorted."""
+        return sorted(self._names)
+
+    def node_names(self, node_type: str) -> List[str]:
+        """Names of all nodes of ``node_type`` in index order."""
+        self._require_type(node_type)
+        return list(self._names[node_type])
+
+    def node_count(self, node_type: str) -> int:
+        """Number of nodes of ``node_type``."""
+        self._require_type(node_type)
+        return len(self._names[node_type])
+
+    def node_id(self, node_type: str, name: str) -> int:
+        """Index of a named node; raises :class:`DataError` if absent."""
+        self._require_type(node_type)
+        try:
+            return self._index[node_type][name]
+        except KeyError:
+            raise DataError(f"no {node_type} node named {name!r}") from None
+
+    def has_node(self, node_type: str, name: str) -> bool:
+        """True when a node of that type and name exists."""
+        return node_type in self._index and name in self._index[node_type]
+
+    # ------------------------------------------------------------------ links
+    @staticmethod
+    def _canonical_key(link_type: LinkType, i: int, j: int) -> LinkKey:
+        type_x, type_y = link_type
+        if type_x == type_y and i > j:
+            return (j, i)
+        return (i, j)
+
+    def add_link(self, type_x: str, i: int, type_y: str, j: int,
+                 weight: float = 1.0) -> None:
+        """Accumulate ``weight`` onto the undirected link (x:i, y:j)."""
+        if weight < 0:
+            raise DataError("link weights must be non-negative")
+        self._require_type(type_x)
+        self._require_type(type_y)
+        self._check_index(type_x, i)
+        self._check_index(type_y, j)
+        link_type = canonical_link_type(type_x, type_y)
+        if (type_x, type_y) != link_type:
+            i, j = j, i
+        key = self._canonical_key(link_type, i, j)
+        bucket = self._links.setdefault(link_type, {})
+        bucket[key] = bucket.get(key, 0.0) + float(weight)
+
+    def set_link(self, type_x: str, i: int, type_y: str, j: int,
+                 weight: float) -> None:
+        """Overwrite (rather than accumulate) a link weight."""
+        if weight < 0:
+            raise DataError("link weights must be non-negative")
+        link_type = canonical_link_type(type_x, type_y)
+        if (type_x, type_y) != link_type:
+            i, j = j, i
+        key = self._canonical_key(link_type, i, j)
+        bucket = self._links.setdefault(link_type, {})
+        if weight == 0:
+            bucket.pop(key, None)
+        else:
+            bucket[key] = float(weight)
+
+    def link_weight(self, type_x: str, i: int, type_y: str, j: int) -> float:
+        """Weight of the undirected link (0.0 when absent)."""
+        link_type = canonical_link_type(type_x, type_y)
+        if (type_x, type_y) != link_type:
+            i, j = j, i
+        key = self._canonical_key(link_type, i, j)
+        return self._links.get(link_type, {}).get(key, 0.0)
+
+    def link_types(self) -> List[LinkType]:
+        """Link types with at least one non-zero link, sorted."""
+        return sorted(lt for lt, bucket in self._links.items() if bucket)
+
+    def links(self, link_type: LinkType) -> Iterator[Tuple[int, int, float]]:
+        """Iterate (i, j, weight) over the links of ``link_type``."""
+        canonical = canonical_link_type(*link_type)
+        for (i, j), weight in self._links.get(canonical, {}).items():
+            yield i, j, weight
+
+    def link_dict(self, link_type: LinkType) -> Dict[LinkKey, float]:
+        """A copy of the weight mapping for ``link_type``."""
+        canonical = canonical_link_type(*link_type)
+        return dict(self._links.get(canonical, {}))
+
+    def total_weight(self, link_type: Optional[LinkType] = None) -> float:
+        """Sum of link weights for one link type, or over all types."""
+        if link_type is not None:
+            canonical = canonical_link_type(*link_type)
+            return float(sum(self._links.get(canonical, {}).values()))
+        return float(sum(sum(bucket.values())
+                         for bucket in self._links.values()))
+
+    def num_links(self, link_type: Optional[LinkType] = None) -> int:
+        """Count of non-zero stored links (n_{x,y} in the paper)."""
+        if link_type is not None:
+            canonical = canonical_link_type(*link_type)
+            return len(self._links.get(canonical, {}))
+        return sum(len(bucket) for bucket in self._links.values())
+
+    # ------------------------------------------------------------ subnetworks
+    def subnetwork(self,
+                   link_weights: Mapping[LinkType, Mapping[LinkKey, float]],
+                   min_weight: float = 1.0) -> "HeterogeneousNetwork":
+        """Build a child network from per-link expected weights.
+
+        Implements the recursion step of Section 3.2.1: links whose expected
+        topic weight falls below ``min_weight`` are dropped, and nodes keep
+        their identity (name) so rankings remain comparable across levels.
+        Isolated nodes are *not* added to the child network.
+        """
+        child = HeterogeneousNetwork()
+        for link_type, bucket in link_weights.items():
+            canonical = canonical_link_type(*link_type)
+            type_x, type_y = canonical
+            for (i, j), weight in bucket.items():
+                if weight < min_weight:
+                    continue
+                name_x = self._names[type_x][i]
+                name_y = self._names[type_y][j]
+                new_i = child.add_node(type_x, name_x)
+                new_j = child.add_node(type_y, name_y)
+                child.add_link(type_x, new_i, type_y, new_j, weight)
+        return child
+
+    # -------------------------------------------------------------- utilities
+    def degree(self, node_type: str, node_id: int) -> float:
+        """Total weight of links incident to one node (self-links once)."""
+        self._require_type(node_type)
+        self._check_index(node_type, node_id)
+        total = 0.0
+        for (type_x, type_y), bucket in self._links.items():
+            if node_type not in (type_x, type_y):
+                continue
+            for (i, j), weight in bucket.items():
+                if type_x == node_type and i == node_id:
+                    total += weight
+                elif type_y == node_type and j == node_id and not (
+                        type_x == type_y and i == node_id):
+                    total += weight
+        return total
+
+    def _require_type(self, node_type: str) -> None:
+        if node_type not in self._names:
+            raise DataError(f"unknown node type: {node_type!r}")
+
+    def _check_index(self, node_type: str, node_id: int) -> None:
+        if not 0 <= node_id < len(self._names[node_type]):
+            raise DataError(
+                f"{node_type} node id {node_id} out of range "
+                f"(have {len(self._names[node_type])})")
+
+    def __repr__(self) -> str:
+        types = ", ".join(f"{t}:{len(names)}"
+                          for t, names in sorted(self._names.items()))
+        return (f"HeterogeneousNetwork({types}; links={self.num_links()}, "
+                f"weight={self.total_weight():.1f})")

@@ -1,0 +1,145 @@
+"""Frequent contiguous phrase mining (Algorithm 1, Section 4.3.1).
+
+Collects aggregate counts of all contiguous token sequences that meet a
+minimum support threshold, using two prunings:
+
+* *position-based Apriori* (downward closure): a position stays active at
+  length n only if the length-(n-1) phrase starting there is frequent;
+* *data antimonotonicity*: a chunk with no active positions is dropped
+  from further consideration.
+
+Chunks (text between phrase-invariant punctuation) are processed
+independently, so phrases never cross punctuation, and the worst case per
+chunk is quadratic in the (small) chunk length — linear overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..corpus import Corpus
+from ..errors import ConfigurationError
+
+Phrase = Tuple[int, ...]
+
+
+class PhraseCounts:
+    """Frequent-phrase counts plus the corpus constants rankers need.
+
+    Attributes:
+        counts: mapping from phrase (tuple of token ids) to its frequency;
+            contains every phrase of length >= 1 meeting ``min_support``.
+        min_support: the threshold used while mining.
+        num_documents: N, the number of documents in the corpus.
+        num_tokens: L, the total token count of the corpus.
+    """
+
+    def __init__(self, counts: Dict[Phrase, int], min_support: int,
+                 num_documents: int, num_tokens: int) -> None:
+        self.counts = counts
+        self.min_support = min_support
+        self.num_documents = num_documents
+        self.num_tokens = num_tokens
+
+    def frequency(self, phrase: Sequence[int]) -> int:
+        """f(P): the mined count of ``phrase`` (0 when infrequent)."""
+        return self.counts.get(tuple(phrase), 0)
+
+    def phrases(self, min_length: int = 1,
+                max_length: int = 10**9) -> List[Phrase]:
+        """All frequent phrases with length in [min_length, max_length]."""
+        return [p for p in self.counts
+                if min_length <= len(p) <= max_length]
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __contains__(self, phrase: Sequence[int]) -> bool:
+        return tuple(phrase) in self.counts
+
+
+def mine_frequent_phrases(corpus: Corpus,
+                          min_support: int = 5,
+                          max_length: int = 6) -> PhraseCounts:
+    """Run Algorithm 1 over ``corpus``.
+
+    Args:
+        corpus: tokenized corpus; each document's chunks are mined
+            independently, counts aggregate corpus-wide.
+        min_support: mu, the minimum frequency for a phrase to be kept.
+        max_length: safety cap on phrase length (the algorithm terminates
+            naturally well before this on real text).
+    """
+    if min_support < 1:
+        raise ConfigurationError("min_support must be >= 1")
+    chunks: List[List[int]] = [list(chunk) for doc in corpus
+                               for chunk in doc.chunks if chunk]
+    return mine_frequent_phrases_from_chunks(
+        chunks, min_support=min_support, max_length=max_length,
+        num_documents=len(corpus), num_tokens=corpus.num_tokens)
+
+
+def mine_frequent_phrases_from_chunks(chunks: Sequence[Sequence[int]],
+                                      min_support: int,
+                                      max_length: int = 6,
+                                      num_documents: int = 0,
+                                      num_tokens: int = 0) -> PhraseCounts:
+    """Algorithm 1 on raw token-id chunks (corpus-free entry point)."""
+    counts: Dict[Phrase, int] = {}
+
+    # Length-1 counts.
+    for chunk in chunks:
+        for tok in chunk:
+            key = (tok,)
+            counts[key] = counts.get(key, 0) + 1
+    counts = {p: c for p, c in counts.items() if c >= min_support}
+
+    # Active indices per chunk: positions whose length-(n-1) phrase is
+    # frequent.  Start with positions whose unigram is frequent.
+    active: List[Tuple[Sequence[int], List[int]]] = []
+    for chunk in chunks:
+        indices = [i for i, tok in enumerate(chunk) if (tok,) in counts]
+        if indices:
+            active.append((chunk, indices))
+
+    length = 2
+    while active and length <= max_length:
+        new_counts: Dict[Phrase, int] = {}
+        still_active: List[Tuple[Sequence[int], List[int]]] = []
+        for chunk, indices in active:
+            # Keep positions whose length-(n-1) phrase is frequent.
+            kept = [i for i in indices
+                    if i + length - 1 <= len(chunk)
+                    and tuple(chunk[i:i + length - 1]) in counts]
+            # The last kept position cannot start a length-n phrase.
+            kept = [i for i in kept if i + length <= len(chunk)]
+            if not kept:
+                continue  # data antimonotonicity: drop this chunk
+            kept_set = set(kept)
+            counted = []
+            for i in kept:
+                # Count w_i..w_{i+n-1} only when the suffix start i+1 was
+                # also viable (Apriori on both the prefix and the suffix).
+                if i + 1 in kept_set or tuple(
+                        chunk[i + 1:i + length]) in counts:
+                    phrase = tuple(chunk[i:i + length])
+                    new_counts[phrase] = new_counts.get(phrase, 0) + 1
+                    counted.append(i)
+            if counted:
+                still_active.append((chunk, counted))
+        frequent = {p: c for p, c in new_counts.items() if c >= min_support}
+        if not frequent:
+            break
+        counts.update(frequent)
+        # Restrict active positions to those whose length-n phrase is
+        # frequent, for the next round.
+        active = []
+        for chunk, indices in still_active:
+            kept = [i for i in indices
+                    if tuple(chunk[i:i + length]) in frequent]
+            if kept:
+                active.append((chunk, kept))
+        length += 1
+
+    return PhraseCounts(counts=counts, min_support=min_support,
+                        num_documents=num_documents, num_tokens=num_tokens)

@@ -1,0 +1,140 @@
+"""Frequent word-set (itemset) mining for short documents.
+
+The original KERT formulation (Section 4.2) mines frequent *patterns* —
+unordered word sets — from short, content-representative texts such as
+paper titles, where word order carries little information.  This module
+implements Apriori-style itemset mining over document word sets, an
+alternative candidate source for KERT next to the contiguous phrase
+miner of Algorithm 1.
+
+Mined itemsets are canonicalized by each set's most frequent surface
+order in the corpus, so downstream ranking and rendering can treat them
+exactly like contiguous phrases.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..corpus import Corpus
+from ..errors import ConfigurationError
+from .frequent import Phrase, PhraseCounts
+
+Itemset = FrozenSet[int]
+
+
+def mine_frequent_itemsets(corpus: Corpus,
+                           min_support: int = 5,
+                           max_size: int = 4) -> Dict[Itemset, int]:
+    """Apriori over document word sets.
+
+    Args:
+        corpus: tokenized corpus; each document contributes its word
+            *set* once (titles rarely repeat words).
+        min_support: minimum number of documents containing the set.
+        max_size: largest itemset size mined.
+
+    Returns:
+        Mapping from frozenset of word ids to document frequency, for
+        all itemsets of size >= 1 meeting the support threshold.
+    """
+    if min_support < 1:
+        raise ConfigurationError("min_support must be >= 1")
+    doc_sets: List[FrozenSet[int]] = [frozenset(doc.tokens)
+                                      for doc in corpus]
+
+    counts: Dict[Itemset, int] = {}
+    for words in doc_sets:
+        for word in words:
+            key = frozenset((word,))
+            counts[key] = counts.get(key, 0) + 1
+    counts = {s: c for s, c in counts.items() if c >= min_support}
+    result = dict(counts)
+
+    current = set(counts)
+    size = 2
+    while current and size <= max_size:
+        # Candidate generation: join frequent (size-1)-sets sharing a
+        # (size-2)-prefix is overkill for small sizes; count directly
+        # from documents restricted to frequent singletons.
+        frequent_words = {next(iter(s)) for s in current} \
+            if size == 2 else None
+        new_counts: Dict[Itemset, int] = {}
+        for words in doc_sets:
+            if size == 2:
+                eligible = sorted(w for w in words
+                                  if w in frequent_words)
+                candidates = combinations(eligible, 2)
+            else:
+                eligible = sorted(words)
+                candidates = (
+                    c for c in combinations(eligible, size)
+                    if all(frozenset(sub) in current
+                           for sub in combinations(c, size - 1)))
+            for candidate in candidates:
+                key = frozenset(candidate)
+                new_counts[key] = new_counts.get(key, 0) + 1
+        current = {s for s, c in new_counts.items()
+                   if c >= min_support}
+        result.update({s: new_counts[s] for s in current})
+        size += 1
+    return result
+
+
+def canonical_orders(corpus: Corpus,
+                     itemsets: Dict[Itemset, int]) -> Dict[Itemset, Phrase]:
+    """Most frequent surface order of each itemset's words.
+
+    For each document containing all of an itemset's words, the words'
+    relative order of first occurrence votes; ties break lexically.
+    """
+    votes: Dict[Itemset, Dict[Phrase, int]] = {s: {} for s in itemsets
+                                               if len(s) >= 2}
+    multi = [s for s in itemsets if len(s) >= 2]
+    for doc in corpus:
+        positions: Dict[int, int] = {}
+        for index, tok in enumerate(doc.tokens):
+            positions.setdefault(tok, index)
+        present = set(positions)
+        for itemset in multi:
+            if itemset <= present:
+                order = tuple(sorted(itemset,
+                                     key=lambda w: positions[w]))
+                bucket = votes[itemset]
+                bucket[order] = bucket.get(order, 0) + 1
+    result: Dict[Itemset, Phrase] = {}
+    for itemset in itemsets:
+        if len(itemset) == 1:
+            result[itemset] = (next(iter(itemset)),)
+        else:
+            bucket = votes.get(itemset, {})
+            if bucket:
+                result[itemset] = max(sorted(bucket),
+                                      key=lambda o: bucket[o])
+            else:
+                result[itemset] = tuple(sorted(itemset))
+    return result
+
+
+def itemsets_as_phrase_counts(corpus: Corpus,
+                              min_support: int = 5,
+                              max_size: int = 4) -> PhraseCounts:
+    """Mine itemsets and expose them through the PhraseCounts interface.
+
+    This is the adapter that lets :class:`~repro.phrases.kert.KERT` rank
+    unordered patterns exactly like contiguous phrases — the short-text
+    setting of the original KERT evaluation.
+    """
+    itemsets = mine_frequent_itemsets(corpus, min_support=min_support,
+                                      max_size=max_size)
+    orders = canonical_orders(corpus, itemsets)
+    counts: Dict[Phrase, int] = {}
+    for itemset, frequency in itemsets.items():
+        phrase = orders[itemset]
+        existing = counts.get(phrase)
+        if existing is None or frequency > existing:
+            counts[phrase] = frequency
+    return PhraseCounts(counts=counts, min_support=min_support,
+                        num_documents=len(corpus),
+                        num_tokens=corpus.num_tokens)

@@ -1,0 +1,219 @@
+"""KERT: topical keyphrase extraction and ranking (Section 4.2).
+
+KERT scores each frequent phrase per topic with four criteria —
+popularity (Eq. 4.4), purity (Eq. 4.5), concordance (Eq. 4.1) and
+completeness (Eq. 4.2) — combined as the pointwise-KL quality function of
+Eq. 4.6.  Any criterion can be switched off, reproducing the ablation
+variants KERT−pop / −pur / −con / −com of Section 4.4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..corpus import Corpus
+from ..errors import ConfigurationError
+from ..utils import EPS
+from .frequent import Phrase, PhraseCounts, mine_frequent_phrases
+from .ranking import (FlatTopicModel, document_phrase_instances,
+                      render_phrase, topical_frequencies)
+
+
+@dataclass
+class KERTConfig:
+    """Knobs for :class:`KERT`.
+
+    Attributes:
+        min_support: mu, the frequent-phrase mining threshold; also the
+            topical-frequency threshold in the N_t normalizer.
+        gamma: completeness filter strength in [0, 1]; 0 keeps all closed
+            phrases, values near 1 keep only maximal phrases.
+        omega: purity/concordance mixing weight in [0, 1]; the quality is
+            ``pop * ((1-omega) * pur + omega * con)``.
+        use_popularity: disable for the KERT−pop ablation (quality becomes
+            the bare criterion mix).
+        use_purity: disable for KERT−pur (equivalent to omega = 1).
+        use_concordance: disable for KERT−con (equivalent to omega = 0).
+        use_completeness: disable for KERT−com (equivalent to gamma = 0).
+        max_phrase_length: restrict candidate phrase length; 1 reproduces
+            the unigram-only variants (CATHY1 etc.).
+    """
+
+    min_support: int = 5
+    gamma: float = 0.5
+    omega: float = 0.5
+    use_popularity: bool = True
+    use_purity: bool = True
+    use_concordance: bool = True
+    use_completeness: bool = True
+    max_phrase_length: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.gamma <= 1:
+            raise ConfigurationError("gamma must be in [0, 1]")
+        if not 0 <= self.omega <= 1:
+            raise ConfigurationError("omega must be in [0, 1]")
+
+
+@dataclass
+class TopicalPhraseScores:
+    """Scored phrases for one topic, sorted best-first."""
+
+    ranked: List[Tuple[Phrase, float]]
+
+    def top(self, k: int) -> List[Phrase]:
+        """The k best phrases (tuples of token ids)."""
+        return [phrase for phrase, _ in self.ranked[:k]]
+
+
+class KERT:
+    """Rank frequent phrases per topic of a flat topic model."""
+
+    def __init__(self, config: Optional[KERTConfig] = None) -> None:
+        self.config = config or KERTConfig()
+
+    # ------------------------------------------------------------------ rank
+    def rank(self, corpus: Corpus, model: FlatTopicModel,
+             counts: Optional[PhraseCounts] = None,
+             ) -> List[TopicalPhraseScores]:
+        """Score and rank phrases for every topic of ``model``."""
+        config = self.config
+        if counts is None:
+            counts = mine_frequent_phrases(
+                corpus, min_support=config.min_support,
+                max_length=config.max_phrase_length)
+        freqs = topical_frequencies(counts, model)
+        candidates = [p for p in counts.counts
+                      if len(p) <= config.max_phrase_length]
+
+        doc_counts = self._topic_document_counts(corpus, counts, freqs,
+                                                 model.num_topics)
+        completeness = completeness_scores(counts)
+        results: List[TopicalPhraseScores] = []
+        for t in range(model.num_topics):
+            scored = []
+            for phrase in candidates:
+                score = self._quality(phrase, t, counts, freqs, doc_counts,
+                                      completeness)
+                if score > 0:
+                    scored.append((phrase, score))
+            scored.sort(key=lambda pair: (-pair[1], pair[0]))
+            results.append(TopicalPhraseScores(ranked=scored))
+        return results
+
+    def rank_strings(self, corpus: Corpus, model: FlatTopicModel,
+                     counts: Optional[PhraseCounts] = None,
+                     top_k: int = 20) -> List[List[Tuple[str, float]]]:
+        """Like :meth:`rank` but rendering phrases as strings."""
+        results = self.rank(corpus, model, counts=counts)
+        return [[(render_phrase(p, corpus.vocabulary), s)
+                 for p, s in topic.ranked[:top_k]]
+                for topic in results]
+
+    # ------------------------------------------------------------- criteria
+    def _topic_document_counts(self, corpus: Corpus, counts: PhraseCounts,
+                               freqs: Dict[Phrase, np.ndarray],
+                               num_topics: int) -> Dict[str, object]:
+        """N_t and N_{t,t'} of Eq. 4.4-4.5 from frequent phrase instances."""
+        mu = counts.min_support
+        doc_sets: List[set] = [set() for _ in range(num_topics)]
+        instances = document_phrase_instances(
+            corpus, counts, max_length=self.config.max_phrase_length)
+        for doc_id, phrases in enumerate(instances):
+            for phrase in set(phrases):
+                topic_freq = freqs.get(phrase)
+                if topic_freq is None:
+                    continue
+                for t in range(num_topics):
+                    if topic_freq[t] >= mu:
+                        doc_sets[t].add(doc_id)
+        n_t = np.array([max(len(s), 1) for s in doc_sets], dtype=float)
+        n_tt = np.ones((num_topics, num_topics))
+        for t in range(num_topics):
+            for u in range(num_topics):
+                if t != u:
+                    n_tt[t, u] = max(len(doc_sets[t] | doc_sets[u]), 1)
+        return {"n_t": n_t, "n_tt": n_tt, "n_docs": max(len(corpus), 1)}
+
+    def _quality(self, phrase: Phrase, t: int, counts: PhraseCounts,
+                 freqs: Dict[Phrase, np.ndarray],
+                 doc_counts: Dict[str, object],
+                 completeness: Dict[Phrase, float]) -> float:
+        config = self.config
+        topic_freq = freqs[phrase]
+        f_t = float(topic_freq[t])
+        if f_t < counts.min_support:
+            return 0.0
+
+        if config.use_completeness and \
+                completeness.get(phrase, 1.0) <= config.gamma:
+            return 0.0
+
+        n_t = doc_counts["n_t"]
+        n_tt = doc_counts["n_tt"]
+        popularity = f_t / n_t[t]
+
+        purity = 0.0
+        if config.use_purity:
+            contrast = -np.inf
+            for u in range(len(n_t)):
+                if u == t:
+                    continue
+                mixed = (f_t + float(topic_freq[u])) / n_tt[t, u]
+                contrast = max(contrast, mixed)
+            if np.isfinite(contrast):
+                purity = float(np.log(max(popularity, EPS))
+                               - np.log(max(contrast, EPS)))
+
+        concordance = 0.0
+        if config.use_concordance:
+            concordance = self._concordance(phrase, counts)
+
+        if config.use_purity and config.use_concordance:
+            mix = (1 - config.omega) * purity + config.omega * concordance
+        elif config.use_purity:
+            mix = purity
+        elif config.use_concordance:
+            mix = concordance
+        else:
+            mix = 1.0
+
+        if config.use_popularity:
+            return popularity * mix
+        return mix
+
+    @staticmethod
+    def _concordance(phrase: Phrase, counts: PhraseCounts) -> float:
+        """kappa_con of Eq. 4.1: log p(P) - sum log p(v)."""
+        n_docs = max(counts.num_documents, 1)
+        score = float(np.log(max(counts.frequency(phrase), EPS) / n_docs))
+        for word in phrase:
+            score -= float(np.log(max(counts.frequency((word,)), EPS)
+                                  / n_docs))
+        return score
+
+
+def completeness_scores(counts: PhraseCounts) -> Dict[Phrase, float]:
+    """kappa_com of Eq. 4.2 for every frequent phrase, in one pass.
+
+    Both right extensions (P (+) v) and left extensions (v (+) P) are
+    considered, because "vector machines" is incomplete on the left.
+    Phrases with no frequent extension are fully complete (score 1).
+    """
+    best_extension: Dict[Phrase, int] = {}
+    for candidate, count in counts.counts.items():
+        if len(candidate) < 2:
+            continue
+        for sub in (candidate[:-1], candidate[1:]):
+            if count > best_extension.get(sub, 0):
+                best_extension[sub] = count
+    scores: Dict[Phrase, float] = {}
+    for phrase, frequency in counts.counts.items():
+        if frequency <= 0:
+            scores[phrase] = 0.0
+        else:
+            scores[phrase] = 1.0 - best_extension.get(phrase, 0) / frequency
+    return scores

@@ -1,0 +1,104 @@
+"""Bottom-up phrase construction / document segmentation (Algorithm 2).
+
+Each document chunk starts as a sequence of single-token phrase
+instances.  The pair of *adjacent* instances whose merge has the highest
+significance (Eq. 4.7) is merged, repeatedly, until no candidate merge
+reaches the threshold ``alpha``.  The surviving instances form a partition
+of the document — its "bag of phrases" — which implicitly filters the
+quadratic candidate set down to at most a linear number of true phrases.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from ..corpus import Corpus, Document
+from .frequent import PhraseCounts
+from .significance import NEVER, merge_significance
+
+Phrase = Tuple[int, ...]
+
+
+def segment_chunk(chunk: Sequence[int],
+                  counts: PhraseCounts,
+                  alpha: float = 2.0) -> List[Phrase]:
+    """Partition one token chunk into phrases (Algorithm 2).
+
+    Uses a max-heap of candidate adjacent merges keyed by significance;
+    stale entries are skipped via a version counter per slot, giving the
+    O(n log n)-per-chunk behaviour described in the paper.
+    """
+    phrases: List[Phrase] = [(tok,) for tok in chunk]
+    if len(phrases) < 2:
+        return phrases
+
+    # Doubly linked list over slots; merging into the left slot.
+    next_slot = list(range(1, len(phrases))) + [-1]
+    prev_slot = [-1] + list(range(len(phrases) - 1))
+    alive = [True] * len(phrases)
+    version = [0] * len(phrases)
+
+    heap: List[Tuple[float, int, int]] = []
+
+    def push(slot: int) -> None:
+        nslot = next_slot[slot]
+        if nslot == -1:
+            return
+        sig = merge_significance(counts, phrases[slot], phrases[nslot])
+        if sig > NEVER:
+            heapq.heappush(heap, (-sig, slot, version[slot]))
+
+    for slot in range(len(phrases) - 1):
+        push(slot)
+
+    while heap:
+        neg_sig, slot, ver = heapq.heappop(heap)
+        if not alive[slot] or version[slot] != ver:
+            continue
+        if -neg_sig < alpha:
+            break
+        nslot = next_slot[slot]
+        if nslot == -1 or not alive[nslot]:
+            continue
+        # Merge slot and nslot into slot.
+        phrases[slot] = phrases[slot] + phrases[nslot]
+        alive[nslot] = False
+        next_slot[slot] = next_slot[nslot]
+        if next_slot[slot] != -1:
+            prev_slot[next_slot[slot]] = slot
+        version[slot] += 1
+        push(slot)
+        pslot = prev_slot[slot]
+        if pslot != -1 and alive[pslot]:
+            version[pslot] += 1
+            push(pslot)
+
+    return [phrases[i] for i in range(len(phrases)) if alive[i]]
+
+
+def segment_document(doc: Document,
+                     counts: PhraseCounts,
+                     alpha: float = 2.0) -> List[Phrase]:
+    """Segment every chunk of ``doc`` and concatenate the partitions."""
+    result: List[Phrase] = []
+    for chunk in doc.chunks:
+        result.extend(segment_chunk(chunk, counts, alpha=alpha))
+    return result
+
+
+def segment_corpus(corpus: Corpus,
+                   counts: PhraseCounts,
+                   alpha: float = 2.0) -> List[List[Phrase]]:
+    """Bag-of-phrases partition for every document of ``corpus``."""
+    return [segment_document(doc, counts, alpha=alpha) for doc in corpus]
+
+
+def partition_is_valid(doc: Document, partition: List[Phrase]) -> bool:
+    """Check the partition property: concatenation reproduces the document.
+
+    This is Definition 4's invariant and is exercised by the property
+    tests.
+    """
+    flattened = [tok for phrase in partition for tok in phrase]
+    return flattened == doc.tokens

@@ -1,0 +1,58 @@
+"""Merging significance score (Eq. 4.7, Section 4.3.2).
+
+Under the null hypothesis that the corpus is a stream of independent
+Bernoulli trials, the count of the concatenation P1 (+) P2 is
+approximately normal with mean ``L * p(P1) * p(P2)``; the significance of
+a merge is the number of (sample-estimated) standard deviations the
+observed count sits above that mean.  Treating each already-merged phrase
+as a single constituent is what defuses the "free-rider" problem.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Sequence
+
+from .frequent import PhraseCounts
+
+#: Significance assigned to merges whose result was never frequent.
+NEVER = float("-inf")
+
+
+def merge_significance(counts: PhraseCounts,
+                       left: Sequence[int],
+                       right: Sequence[int]) -> float:
+    """sig(P1, P2) of Eq. 4.7 for merging ``left`` and ``right``.
+
+    Returns ``-inf`` when the concatenation is not a frequent phrase (its
+    true count is below the mining support, so merging is never
+    justified).
+    """
+    merged = tuple(left) + tuple(right)
+    observed = counts.frequency(merged)
+    if observed <= 0:
+        return NEVER
+    total_tokens = max(counts.num_tokens, 1)
+    p_left = counts.frequency(left) / total_tokens
+    p_right = counts.frequency(right) / total_tokens
+    expected = total_tokens * p_left * p_right
+    return (observed - expected) / sqrt(observed)
+
+
+def phrase_significance(counts: PhraseCounts,
+                        phrase: Sequence[int]) -> float:
+    """Significance of a whole phrase: its best binary split.
+
+    Used by the final ToPMine ranking term ``p(P|t) * log sig(P)``
+    (Section 4.3.3).  Unigrams have no split; they get significance 1 so
+    ``log sig`` contributes zero.
+    """
+    phrase = tuple(phrase)
+    if len(phrase) < 2:
+        return 1.0
+    best = NEVER
+    for cut in range(1, len(phrase)):
+        score = merge_significance(counts, phrase[:cut], phrase[cut:])
+        if score > best:
+            best = score
+    return best

@@ -1,0 +1,40 @@
+"""Mining hierarchical relations: TPFG and the supervised CRF (Chapter 6)."""
+
+from .baselines import IndMaxBaseline, RuleBaseline, SupervisedPairClassifier
+from .collab import CollaborationNetwork, YearSeries
+from .crf import HierarchicalRelationCRF
+from .genealogy import (AdvisingEdge, AdvisingForest,
+                        build_advising_forest, render_genealogy)
+from .features import FEATURE_NAMES, FeatureScaler, pair_features
+from .metrics import RelationAccuracy, evaluate_predictions, precision_at
+from .preprocess import (Candidate, CandidateGraph, PreprocessConfig,
+                         build_candidate_graph, imbalance_ratio, kulczynski)
+from .tpfg import ROOT, TPFG, TPFGResult
+
+__all__ = [
+    "CollaborationNetwork",
+    "YearSeries",
+    "Candidate",
+    "CandidateGraph",
+    "PreprocessConfig",
+    "build_candidate_graph",
+    "kulczynski",
+    "imbalance_ratio",
+    "TPFG",
+    "TPFGResult",
+    "ROOT",
+    "RuleBaseline",
+    "IndMaxBaseline",
+    "SupervisedPairClassifier",
+    "HierarchicalRelationCRF",
+    "FEATURE_NAMES",
+    "FeatureScaler",
+    "pair_features",
+    "RelationAccuracy",
+    "evaluate_predictions",
+    "precision_at",
+    "AdvisingEdge",
+    "AdvisingForest",
+    "build_advising_forest",
+    "render_genealogy",
+]

@@ -1,0 +1,101 @@
+"""Pair features for supervised hierarchical relation learning (Section 6.2.2).
+
+Each candidate (advisee x, advisor i) pair is described by semantic
+signals computed from the temporal collaboration network — the same
+quantities TPFG's preprocessing uses, exposed individually so a learned
+model can weight them (the unified potential-function design of the
+supervised setting).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .collab import CollaborationNetwork
+from .preprocess import Candidate, imbalance_ratio, kulczynski
+
+#: Human-readable names, aligned with the vector from pair_features.
+FEATURE_NAMES: List[str] = [
+    "local_likelihood",
+    "kulczynski_avg",
+    "imbalance_avg",
+    "joint_papers",
+    "collaboration_years",
+    "seniority_gap",
+    "advisee_career_at_start",
+    "joint_fraction_of_advisee",
+    "is_virtual_root",
+]
+
+
+def pair_features(network: CollaborationNetwork,
+                  candidate: Candidate) -> np.ndarray:
+    """Feature vector for one candidate relation.
+
+    The virtual-root option gets a dedicated indicator and zeros
+    elsewhere, letting the model learn the no-advisor prior.
+    """
+    if candidate.advisor == "":
+        features = np.zeros(len(FEATURE_NAMES))
+        features[-1] = 1.0
+        return features
+
+    series_x = network.series_of(candidate.advisee)
+    series_i = network.series_of(candidate.advisor)
+    pair = network.pair(candidate.advisee, candidate.advisor)
+    years = pair.years() if pair is not None else []
+    window = [y for y in years if candidate.start <= y <= candidate.end] \
+        or years
+
+    if pair is not None and window:
+        kulc_avg = float(np.mean([
+            kulczynski(pair, series_x, series_i, y) for y in window]))
+        ir_avg = float(np.mean([
+            imbalance_ratio(pair, series_x, series_i, y) for y in window]))
+        joint = pair.total()
+    else:
+        kulc_avg, ir_avg, joint = 0.0, 0.0, 0
+
+    first_x = series_x.first_year or 0
+    first_i = series_i.first_year or 0
+    advisee_papers_in_window = sum(
+        c for y, c in series_x.counts.items()
+        if candidate.start <= y <= candidate.end)
+    joint_in_window = sum(
+        c for y, c in (pair.counts.items() if pair else [])
+        if candidate.start <= y <= candidate.end)
+    joint_fraction = (joint_in_window / advisee_papers_in_window
+                      if advisee_papers_in_window else 0.0)
+
+    return np.array([
+        candidate.likelihood,
+        kulc_avg,
+        ir_avg,
+        float(joint),
+        float(len(years)),
+        float(first_x - first_i),
+        float(candidate.start - first_x),
+        joint_fraction,
+        0.0,
+    ])
+
+
+class FeatureScaler:
+    """Per-feature standardization fitted on training pairs."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray = np.zeros(len(FEATURE_NAMES))
+        self.std_: np.ndarray = np.ones(len(FEATURE_NAMES))
+
+    def fit(self, features: np.ndarray) -> "FeatureScaler":
+        """Estimate per-feature mean and standard deviation."""
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Standardize ``features`` with the fitted statistics."""
+        return (features - self.mean_) / self.std_

@@ -1,0 +1,146 @@
+"""Chronological advising genealogy (the visualization of Figure 6.2).
+
+Given TPFG's predictions, the advisor choices form a forest; each edge
+carries the estimated advising interval.  This module materializes that
+forest and renders it as an ASCII genealogy — the "visualized
+chronological hierarchies" output of the advisor-mining system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DataError
+from .preprocess import CandidateGraph
+from .tpfg import ROOT, TPFGResult
+
+
+@dataclass
+class AdvisingEdge:
+    """One predicted advising relation with its interval and score."""
+
+    advisee: str
+    advisor: str
+    start: int
+    end: int
+    score: float
+
+
+@dataclass
+class AdvisingForest:
+    """The predicted advisor forest.
+
+    Attributes:
+        children: advisor -> advising edges to their predicted students,
+            sorted by advising start year.
+        roots: authors with no predicted advisor, sorted by name.
+    """
+
+    children: Dict[str, List[AdvisingEdge]] = field(default_factory=dict)
+    roots: List[str] = field(default_factory=list)
+
+    def descendants(self, author: str) -> List[str]:
+        """All academic descendants of ``author`` (pre-order)."""
+        result: List[str] = []
+        stack = [author]
+        while stack:
+            node = stack.pop()
+            for edge in self.children.get(node, []):
+                result.append(edge.advisee)
+                stack.append(edge.advisee)
+        return result
+
+    def generation_of(self, author: str) -> int:
+        """Distance from the author's forest root (roots are 0)."""
+        depth = 0
+        node = author
+        seen = set()
+        while True:
+            parent = self._parent_of(node)
+            if parent is None:
+                return depth
+            if parent in seen:
+                raise DataError("advising forest contains a cycle")
+            seen.add(parent)
+            node = parent
+            depth += 1
+
+    def _parent_of(self, author: str) -> Optional[str]:
+        for advisor, edges in self.children.items():
+            if any(edge.advisee == author for edge in edges):
+                return advisor
+        return None
+
+
+def build_advising_forest(result: TPFGResult,
+                          graph: CandidateGraph,
+                          top_k: int = 1,
+                          theta: float = 0.5) -> AdvisingForest:
+    """Materialize the predicted advisor forest from TPFG's ranking.
+
+    Predictions use the same P@(k, theta) rule as evaluation; the
+    interval attached to each edge is the candidate's estimated
+    [st, ed] from Stage-1 preprocessing.
+    """
+    forest = AdvisingForest()
+    predicted: Dict[str, Optional[str]] = result.predictions(
+        top_k=top_k, theta=theta)
+    for advisee in graph.authors:
+        advisor = predicted.get(advisee)
+        if advisor is None or advisor == ROOT:
+            forest.roots.append(advisee)
+            continue
+        candidate = next(
+            (c for c in graph.advisors_of(advisee)
+             if c.advisor == advisor), None)
+        if candidate is None:
+            forest.roots.append(advisee)
+            continue
+        forest.children.setdefault(advisor, []).append(AdvisingEdge(
+            advisee=advisee, advisor=advisor,
+            start=candidate.start, end=candidate.end,
+            score=result.score(advisee, advisor)))
+    for edges in forest.children.values():
+        edges.sort(key=lambda e: (e.start, e.advisee))
+    forest.roots.sort()
+    # Advisors that are themselves advised should not appear as roots.
+    advised = {edge.advisee for edges in forest.children.values()
+               for edge in edges}
+    forest.roots = [name for name in forest.roots
+                    if name not in advised]
+    return forest
+
+
+def render_genealogy(forest: AdvisingForest,
+                     root: Optional[str] = None,
+                     max_depth: int = 10) -> str:
+    """ASCII rendering of (part of) the advising genealogy.
+
+    Args:
+        forest: the predicted forest.
+        root: render only this author's subtree; default renders every
+            root that has at least one student.
+        max_depth: generation cut-off.
+    """
+    lines: List[str] = []
+
+    def visit(author: str, depth: int) -> None:
+        if depth > max_depth:
+            return
+        for edge in forest.children.get(author, []):
+            lines.append("  " * depth
+                         + f"+- {edge.advisee} "
+                         f"[{edge.start}-{edge.end}] "
+                         f"({edge.score:.2f})")
+            visit(edge.advisee, depth + 1)
+
+    if root is not None:
+        lines.append(root)
+        visit(root, 1)
+    else:
+        for name in forest.roots:
+            if forest.children.get(name):
+                lines.append(name)
+                visit(name, 1)
+    return "\n".join(lines)

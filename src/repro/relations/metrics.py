@@ -1,0 +1,87 @@
+"""Evaluation metrics for hierarchical relation mining (Section 6.1.6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from .tpfg import TPFGResult
+
+
+@dataclass
+class RelationAccuracy:
+    """Accuracy breakdown for advisor predictions.
+
+    Attributes:
+        accuracy: overall fraction of authors predicted correctly
+            (matching advisor, or correctly predicted to have none).
+        advisee_accuracy: accuracy restricted to authors that truly have
+            an advisor in the data — the headline number of Section 6.1.6.
+        num_advisees / num_roots: evaluation set sizes.
+    """
+
+    accuracy: float
+    advisee_accuracy: float
+    root_accuracy: float
+    num_advisees: int
+    num_roots: int
+
+
+def evaluate_predictions(predictions: Mapping[str, Optional[str]],
+                         truth: Mapping[str, Optional[str]],
+                         ) -> RelationAccuracy:
+    """Compare predicted advisors against ground truth.
+
+    ``truth`` maps every evaluated author to their advisor name or None
+    (forest roots).  Authors absent from ``predictions`` count as a None
+    prediction.
+    """
+    advisee_total = advisee_correct = 0
+    root_total = root_correct = 0
+    for author, true_advisor in truth.items():
+        predicted = predictions.get(author)
+        if true_advisor is None:
+            root_total += 1
+            if predicted is None:
+                root_correct += 1
+        else:
+            advisee_total += 1
+            if predicted == true_advisor:
+                advisee_correct += 1
+    total = advisee_total + root_total
+    correct = advisee_correct + root_correct
+    return RelationAccuracy(
+        accuracy=correct / total if total else 0.0,
+        advisee_accuracy=advisee_correct / advisee_total
+        if advisee_total else 0.0,
+        root_accuracy=root_correct / root_total if root_total else 0.0,
+        num_advisees=advisee_total,
+        num_roots=root_total)
+
+
+def precision_at(result: TPFGResult,
+                 truth: Mapping[str, Optional[str]],
+                 top_k: int = 1,
+                 theta: float = 0.5) -> RelationAccuracy:
+    """P@(k, theta) of Section 6.1.1 against the ground truth.
+
+    A true advisor counts as found when it appears in the top-k ranked
+    candidates with score above the root score or ``theta``.
+    """
+    predictions: Dict[str, Optional[str]] = {}
+    for author in truth:
+        predicted = result.predicted_advisor(author, top_k=top_k,
+                                             theta=theta)
+        true_advisor = truth[author]
+        if true_advisor is not None and predicted != true_advisor:
+            # Within top-k semantics: the relation is found if the true
+            # advisor is anywhere in the top-k above the acceptance bar.
+            ranked = result.ranking.get(author, [])[:top_k]
+            root_score = result.score(author, "")
+            for name, score in ranked:
+                if name == true_advisor and (score > root_score
+                                             or score > theta):
+                    predicted = true_advisor
+                    break
+        predictions[author] = predicted
+    return evaluate_predictions(predictions, truth)

@@ -1,0 +1,193 @@
+"""Stage 2 of advisor–advisee mining: the TPFG model (Section 6.1.4–6.1.5).
+
+The joint probability over all advisor variables ``y_i`` is the product
+of local feature functions ``f_i`` (Eq. 6.7): each combines the local
+likelihood ``g(y_i) = l_{i, y_i}`` with the time-constraint indicators of
+Eq. 6.9 — if x is advised by i, then i's own advised period must end
+before i starts advising x (Assumption 6.1).
+
+Inference maximizes the joint likelihood by max-sum message passing on
+the factor graph.  Because constraint factors couple exactly two
+variables (y_x and y_i), the factor graph reduces to a pairwise MRF whose
+messages cost O(|Y_x| + |Y_i|) each; the candidate graph is a DAG, so a
+small number of flooding iterations converges in practice.  The ranking
+score ``r_ij`` (Eq. 6.10) is the normalized max-marginal belief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils import EPS
+from .preprocess import Candidate, CandidateGraph
+
+ROOT = CandidateGraph.ROOT
+
+
+@dataclass
+class TPFGResult:
+    """Ranked advisor candidates per author.
+
+    ``ranking[author]`` is a list of (advisor name, score) pairs sorted by
+    descending score; scores are normalized beliefs summing to one, so
+    they are directly comparable to the prediction threshold theta.
+    """
+
+    ranking: Dict[str, List[Tuple[str, float]]]
+
+    def score(self, advisee: str, advisor: str) -> float:
+        """r_ij for one candidate pair (0 when not a candidate)."""
+        for name, score in self.ranking.get(advisee, []):
+            if name == advisor:
+                return score
+        return 0.0
+
+    def predicted_advisor(self, advisee: str, top_k: int = 1,
+                          theta: float = 0.5) -> Optional[str]:
+        """P@(k, theta) prediction rule (Section 6.1.1).
+
+        Returns the best-ranked real advisor within the top-k real
+        candidates whose score exceeds the virtual-root score or
+        ``theta`` — or None when the author is predicted to have no
+        advisor in the data.
+        """
+        ranked = [(name, score)
+                  for name, score in self.ranking.get(advisee, [])
+                  if name != ROOT]
+        root_score = self.score(advisee, ROOT)
+        for name, score in ranked[:top_k]:
+            if score > root_score or score > theta:
+                return name
+        return None
+
+    def predictions(self, top_k: int = 1,
+                    theta: float = 0.5) -> Dict[str, Optional[str]]:
+        """Predicted advisor (or None) for every author."""
+        return {author: self.predicted_advisor(author, top_k, theta)
+                for author in self.ranking}
+
+
+class TPFG:
+    """Max-sum inference over the time-constrained factor graph.
+
+    Args:
+        max_iter: flooding message-passing iterations.
+        penalty: log-domain penalty standing in for the hard constraint
+            (a soft -infinity keeps beliefs finite under loopy passing).
+        damping: message damping factor in [0, 1); 0 disables damping.
+    """
+
+    def __init__(self, max_iter: int = 25, penalty: float = 50.0,
+                 damping: float = 0.0) -> None:
+        if not 0 <= damping < 1:
+            raise ConfigurationError("damping must be in [0, 1)")
+        self.max_iter = max_iter
+        self.penalty = penalty
+        self.damping = damping
+
+    def fit(self, graph: CandidateGraph) -> TPFGResult:
+        """Run inference and return the advisor rankings."""
+        authors = graph.authors
+        domain: Dict[str, List[Candidate]] = {
+            a: graph.advisors_of(a) for a in authors}
+        unary: Dict[str, np.ndarray] = {
+            a: np.log(np.maximum(
+                np.array([c.likelihood for c in domain[a]]), EPS))
+            for a in authors}
+        index_in_domain: Dict[str, Dict[str, int]] = {
+            a: {c.advisor: idx for idx, c in enumerate(domain[a])}
+            for a in authors}
+
+        # Factor edges: (advisee x, advisor i) for every real candidate of
+        # x whose advisor node exists in the graph.
+        edges: List[Tuple[str, str]] = []
+        for x in authors:
+            for cand in domain[x]:
+                if cand.advisor != ROOT and cand.advisor in domain:
+                    edges.append((x, cand.advisor))
+
+        # allowed[x, i][j-index of i's domain]: True when i choosing its
+        # j-th advisor does not conflict with advising x.
+        allowed: Dict[Tuple[str, str], np.ndarray] = {}
+        start_of: Dict[Tuple[str, str], int] = {}
+        for x, i in edges:
+            st_xi = domain[x][index_in_domain[x][i]].start
+            start_of[(x, i)] = st_xi
+            mask = np.array([
+                c.advisor == ROOT or c.end < st_xi for c in domain[i]],
+                dtype=bool)
+            allowed[(x, i)] = mask
+
+        messages: Dict[Tuple[str, str, str], np.ndarray] = {}
+        for x, i in edges:
+            messages[("down", x, i)] = np.zeros(len(domain[i]))
+            messages[("up", i, x)] = np.zeros(len(domain[x]))
+
+        neighbors_down: Dict[str, List[str]] = {a: [] for a in authors}
+        neighbors_up: Dict[str, List[str]] = {a: [] for a in authors}
+        for x, i in edges:
+            neighbors_down[x].append(i)   # x sends "down" messages to i
+            neighbors_up[i].append(x)     # i sends "up" messages to x
+
+        def node_belief(a: str, exclude: Optional[Tuple[str, str]] = None,
+                        ) -> np.ndarray:
+            belief = np.array(unary[a])
+            for i in neighbors_down[a]:
+                if exclude != ("up", i):
+                    belief = belief + messages[("up", i, a)]
+            for x in neighbors_up[a]:
+                if exclude != ("down", x):
+                    belief = belief + messages[("down", x, a)]
+            return belief
+
+        for _ in range(self.max_iter):
+            new_messages: Dict[Tuple[str, str, str], np.ndarray] = {}
+            for x, i in edges:
+                # Message from advisee x to advisor i over y_i.
+                base = node_belief(x, exclude=("up", i))
+                xi = index_in_domain[x][i]
+                others = np.delete(base, xi)
+                best_other = others.max() if len(others) else -np.inf
+                s_choose_i = base[xi]
+                mask = allowed[(x, i)]
+                msg = np.where(
+                    mask,
+                    np.maximum(best_other, s_choose_i),
+                    np.maximum(best_other, s_choose_i - self.penalty))
+                msg = msg - msg.max()
+                new_messages[("down", x, i)] = msg
+
+                # Message from advisor i to advisee x over y_x.
+                base_i = node_belief(i, exclude=("down", x))
+                best_all = base_i.max()
+                allowed_scores = base_i[mask]
+                best_allowed = (allowed_scores.max()
+                                if len(allowed_scores) else
+                                best_all - self.penalty)
+                msg_up = np.full(len(domain[x]), best_all)
+                msg_up[xi] = max(best_allowed, best_all - self.penalty)
+                msg_up = msg_up - msg_up.max()
+                new_messages[("up", i, x)] = msg_up
+
+            if self.damping > 0:
+                for key, value in new_messages.items():
+                    messages[key] = (self.damping * messages[key]
+                                     + (1 - self.damping) * value)
+            else:
+                messages.update(new_messages)
+
+        ranking: Dict[str, List[Tuple[str, float]]] = {}
+        for a in authors:
+            belief = node_belief(a)
+            belief = belief - belief.max()
+            probs = np.exp(belief)
+            probs = probs / max(probs.sum(), EPS)
+            pairs = sorted(
+                ((c.advisor, float(p)) for c, p in zip(domain[a], probs)),
+                key=lambda pair: (-pair[1], pair[0]))
+            ranking[a] = pairs
+        return TPFGResult(ranking=ranking)

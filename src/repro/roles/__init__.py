@@ -1,0 +1,5 @@
+"""Entity topical role analysis (Chapter 5)."""
+
+from .analyzer import RoleAnalyzer
+
+__all__ = ["RoleAnalyzer"]

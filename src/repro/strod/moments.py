@@ -1,0 +1,145 @@
+"""Empirical word moments for moment-based LDA inference (Section 7.3.1).
+
+For LDA with Dirichlet prior alpha (alpha0 = sum(alpha)) the population
+moments satisfy
+
+    M2 = E[x1 (x) x2] - alpha0/(alpha0+1) M1 (x) M1
+       = sum_z  pi_z      mu_z (x) mu_z,        pi_z  = a_z/(a0 (a0+1))
+    M3 = E[x1 (x) x2 (x) x3] - (cross terms)  = sum_z pit_z mu_z^(x)3,
+                                       pit_z = 2 a_z/(a0 (a0+1) (a0+2))
+
+where x1, x2, x3 are distinct word draws of one document.  The empirical
+estimators debias repeated-word effects with the standard count-correction
+identities; M3 is never materialized — it is only ever *applied* to the
+(V, k) whitening matrix, which is the scalability improvement of
+Section 7.3.2 (per-document cost O(nnz * k + k^3)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DataError
+
+
+def word_count_rows(docs: Sequence[Sequence[int]], vocab_size: int,
+                    min_length: int = 3) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Per-document sparse counts: (word ids, counts), filtering short docs.
+
+    Documents with fewer than ``min_length`` tokens cannot contribute to
+    the third moment and are dropped (the estimator needs three distinct
+    draws).
+    """
+    rows = []
+    for doc in docs:
+        doc = np.asarray(doc, dtype=np.int64)
+        if len(doc) < min_length:
+            continue
+        if len(doc) and (doc.min() < 0 or doc.max() >= vocab_size):
+            raise DataError("token id outside vocabulary")
+        ids, counts = np.unique(doc, return_counts=True)
+        rows.append((ids, counts.astype(float)))
+    return rows
+
+
+def first_moment(rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+                 vocab_size: int) -> np.ndarray:
+    """M1: the expected single-word distribution."""
+    m1 = np.zeros(vocab_size)
+    for ids, counts in rows:
+        length = counts.sum()
+        m1[ids] += counts / length
+    return m1 / max(len(rows), 1)
+
+
+def second_moment(rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+                  vocab_size: int, alpha0: float) -> np.ndarray:
+    """M2 (dense, V x V): pair moment with the Dirichlet correction.
+
+    E[x1 (x) x2] is estimated per document as
+    (c c^T - diag(c)) / (l (l-1)) — the unbiased estimator over ordered
+    pairs of *distinct* token positions.
+    """
+    pair = np.zeros((vocab_size, vocab_size))
+    for ids, counts in rows:
+        length = counts.sum()
+        denom = length * (length - 1)
+        outer = np.outer(counts, counts)
+        outer[np.diag_indices_from(outer)] -= counts
+        pair[np.ix_(ids, ids)] += outer / denom
+    pair /= max(len(rows), 1)
+    m1 = first_moment(rows, vocab_size)
+    return pair - (alpha0 / (alpha0 + 1)) * np.outer(m1, m1)
+
+
+def whitened_third_moment(rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+                          whitener: np.ndarray,
+                          m1: np.ndarray,
+                          alpha0: float) -> np.ndarray:
+    """T = M3(W, W, W) in R^{k x k x k} without materializing M3.
+
+    Uses the debiased per-document estimator of E[x1 (x) x2 (x) x3]
+
+        [ y^(x)3  -  sum_i c_i (w_i (x) w_i (x) y + perms)
+                  + 2 sum_i c_i w_i^(x)3 ] / (l (l-1) (l-2))
+
+    with y = W^T c and w_i the i-th row of W, followed by the alpha0
+    cross-term and M1^(x)3 corrections, all in the whitened k-dim space.
+    """
+    k = whitener.shape[1]
+    tensor = np.zeros((k, k, k))
+    pair_with_m1 = np.zeros((k, k))   # E[x1 (x) x2] (W, W) for cross terms
+    num_docs = len(rows)
+    if num_docs == 0:
+        raise DataError("no documents long enough for third-moment estimation")
+
+    for ids, counts in rows:
+        length = counts.sum()
+        w_rows = whitener[ids]                        # (n, k)
+        y = w_rows.T @ counts                         # (k,)
+
+        # Third-moment core.
+        denom3 = length * (length - 1) * (length - 2)
+        yyy = np.einsum("i,j,l->ijl", y, y, y)
+        cw = w_rows * counts[:, None]                 # c_i * w_i rows
+        wwy = np.einsum("ni,nj,l->ijl", cw, w_rows, y)
+        wyw = np.einsum("ni,j,nl->ijl", cw, y, w_rows)
+        yww = np.einsum("i,nj,nl->ijl", y, cw, w_rows)
+        www = np.einsum("ni,nj,nl->ijl", cw, w_rows, w_rows)
+        tensor += (yyy - (wwy + wyw + yww) + 2.0 * www) / denom3
+
+        # Pair moment in whitened space (for the M1 cross terms).
+        denom2 = length * (length - 1)
+        pair_with_m1 += (np.outer(y, y) - w_rows.T @ cw) / denom2
+
+    tensor /= num_docs
+    pair_with_m1 /= num_docs
+
+    wm1 = whitener.T @ m1                             # (k,)
+    c1 = alpha0 / (alpha0 + 2)
+    cross = (np.einsum("ij,l->ijl", pair_with_m1, wm1)
+             + np.einsum("il,j->ijl", pair_with_m1, wm1)
+             + np.einsum("jl,i->ijl", pair_with_m1, wm1))
+    m1_cube = np.einsum("i,j,l->ijl", wm1, wm1, wm1)
+    c2 = 2.0 * alpha0 ** 2 / ((alpha0 + 1) * (alpha0 + 2))
+    return tensor - c1 * cross + c2 * m1_cube
+
+
+def compute_whitener(m2: np.ndarray, num_topics: int,
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Whitening matrix W and un-whitening matrix B from M2.
+
+    W = U S^{-1/2} over the top-k eigenpairs, so W^T M2 W = I_k;
+    B = U S^{1/2} satisfies B v = (W^T)^+ v, mapping whitened
+    eigenvectors back to the word simplex.
+    """
+    # M2 is symmetric; eigh returns ascending eigenvalues.
+    eigenvalues, eigenvectors = np.linalg.eigh(m2)
+    order = np.argsort(eigenvalues)[::-1][:num_topics]
+    top_values = np.maximum(eigenvalues[order], 1e-12)
+    top_vectors = eigenvectors[:, order]
+    whitener = top_vectors / np.sqrt(top_values)[None, :]
+    unwhitener = top_vectors * np.sqrt(top_values)[None, :]
+    return whitener, unwhitener

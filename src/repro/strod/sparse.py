@@ -1,0 +1,82 @@
+"""Sparse second-moment whitening for large vocabularies (Section 7.3.2).
+
+The dense M2 of :mod:`repro.strod.moments` is O(V^2) memory.  For large
+vocabularies the pair-count matrix is sparse (documents touch few
+words), and the Dirichlet correction is a rank-one update — so the top-k
+eigendecomposition needed for whitening can run on a
+``LinearOperator`` that never materializes M2:
+
+    M2 @ v  =  S @ v  -  c * m1 * (m1 @ v),      c = alpha0/(alpha0+1)
+
+with S the sparse debiased pair-moment matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import LinearOperator, eigsh
+
+from ..errors import ConfigurationError
+from .moments import first_moment
+
+
+def sparse_pair_moment(rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+                       vocab_size: int) -> csr_matrix:
+    """The empirical E[x1 (x) x2] as a sparse symmetric matrix.
+
+    Per document: (c c^T - diag(c)) / (l (l-1)), accumulated in COO
+    triplets over the document's distinct words only.
+    """
+    data, row_idx, col_idx = [], [], []
+    num_docs = max(len(rows), 1)
+    for ids, counts in rows:
+        length = counts.sum()
+        denom = length * (length - 1) * num_docs
+        outer = np.outer(counts, counts)
+        outer[np.diag_indices_from(outer)] -= counts
+        outer /= denom
+        n = len(ids)
+        row_idx.append(np.repeat(ids, n))
+        col_idx.append(np.tile(ids, n))
+        data.append(outer.ravel())
+    if not data:
+        return csr_matrix((vocab_size, vocab_size))
+    matrix = coo_matrix(
+        (np.concatenate(data),
+         (np.concatenate(row_idx), np.concatenate(col_idx))),
+        shape=(vocab_size, vocab_size))
+    return matrix.tocsr()
+
+
+def compute_whitener_sparse(rows: Sequence[Tuple[np.ndarray, np.ndarray]],
+                            vocab_size: int,
+                            alpha0: float,
+                            num_topics: int,
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Whitening matrices from the implicit (sparse + rank-one) M2.
+
+    Returns (whitener W, unwhitener B, m1); W and B satisfy the same
+    contracts as :func:`repro.strod.moments.compute_whitener`.
+    """
+    if num_topics >= vocab_size:
+        raise ConfigurationError("num_topics must be < vocab_size")
+    pair = sparse_pair_moment(rows, vocab_size)
+    m1 = first_moment(rows, vocab_size)
+    correction = alpha0 / (alpha0 + 1)
+
+    def matvec(vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector).ravel()
+        return pair @ vector - correction * m1 * float(m1 @ vector)
+
+    operator = LinearOperator((vocab_size, vocab_size), matvec=matvec,
+                              rmatvec=matvec, dtype=float)
+    eigenvalues, eigenvectors = eigsh(operator, k=num_topics, which="LA")
+    order = np.argsort(eigenvalues)[::-1]
+    top_values = np.maximum(eigenvalues[order], 1e-12)
+    top_vectors = eigenvectors[:, order]
+    whitener = top_vectors / np.sqrt(top_values)[None, :]
+    unwhitener = top_vectors * np.sqrt(top_values)[None, :]
+    return whitener, unwhitener, m1

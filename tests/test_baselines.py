@@ -1,0 +1,182 @@
+"""Tests for the baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (KpRelRanker, LDAGibbs, NetClus, PDLDA, PLSA,
+                             TNG, TurboTopics, docs_to_count_matrix)
+from repro.corpus import Corpus
+from repro.errors import ConfigurationError, NotFittedError
+from repro.phrases import mine_frequent_phrases, render_phrase
+
+
+@pytest.fixture(scope="module")
+def two_topic_corpus():
+    texts = (["red green blue colors"] * 15
+             + ["cat dog bird animals"] * 15)
+    entities = ([{"venue": ["COLOR"]}] * 15 + [{"venue": ["ANIMAL"]}] * 15)
+    labels = ["c"] * 15 + ["a"] * 15
+    return Corpus.from_texts(texts, entities=entities, labels=labels)
+
+
+class TestLDAGibbs:
+    def test_separates_clean_topics(self, two_topic_corpus):
+        corpus = two_topic_corpus
+        lda = LDAGibbs(num_topics=2, iterations=30, seed=0).fit(
+            [d.tokens for d in corpus], len(corpus.vocabulary))
+        top0 = set(np.argsort(-lda.phi[0])[:4])
+        top1 = set(np.argsort(-lda.phi[1])[:4])
+        assert top0.isdisjoint(top1)
+
+    def test_phi_theta_are_distributions(self, two_topic_corpus):
+        corpus = two_topic_corpus
+        lda = LDAGibbs(num_topics=3, iterations=10, seed=0).fit(
+            [d.tokens for d in corpus], len(corpus.vocabulary))
+        assert np.allclose(lda.phi.sum(axis=1), 1.0, atol=1e-9)
+        assert np.allclose(lda.theta.sum(axis=1), 1.0, atol=1e-9)
+        assert lda.rho.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_phrase_constraints_share_topics(self, two_topic_corpus):
+        corpus = two_topic_corpus
+        partitions = [[tuple(doc.tokens)] for doc in corpus]
+        lda = LDAGibbs(num_topics=2, iterations=10, seed=0).fit(
+            [d.tokens for d in corpus], len(corpus.vocabulary),
+            partitions=partitions)
+        assert all(len(labels) == 1 for labels in lda.assignments)
+
+    def test_invalid_topics(self):
+        with pytest.raises(ConfigurationError):
+            LDAGibbs(num_topics=0)
+
+    def test_require_model(self):
+        with pytest.raises(NotFittedError):
+            LDAGibbs(num_topics=2).require_model()
+
+
+class TestPLSA:
+    def test_separates_clean_topics(self, two_topic_corpus):
+        corpus = two_topic_corpus
+        counts = docs_to_count_matrix([d.tokens for d in corpus],
+                                      len(corpus.vocabulary))
+        model = PLSA(num_topics=2, seed=0).fit(counts)
+        top0 = set(np.argsort(-model.phi[0])[:4])
+        top1 = set(np.argsort(-model.phi[1])[:4])
+        assert top0.isdisjoint(top1)
+
+    def test_likelihood_monotone(self, two_topic_corpus):
+        corpus = two_topic_corpus
+        counts = docs_to_count_matrix([d.tokens for d in corpus],
+                                      len(corpus.vocabulary))
+        values = [PLSA(num_topics=2, max_iter=i, seed=3).fit(
+            counts).log_likelihood for i in (1, 5, 30)]
+        assert values[-1] >= values[0] - 1e-9
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            PLSA(num_topics=2).fit(np.zeros(5))
+
+    def test_count_matrix_helper(self):
+        counts = docs_to_count_matrix([[0, 0, 1]], vocab_size=3)
+        assert counts.tolist() == [[2.0, 1.0, 0.0]]
+
+
+class TestNetClus:
+    def test_clusters_align_with_truth(self, two_topic_corpus):
+        model = NetClus(num_clusters=2, seed=0).fit(two_topic_corpus)
+        labels = [doc.label for doc in two_topic_corpus]
+        agreement = np.mean([
+            model.assignments[i] == model.assignments[0]
+            if labels[i] == labels[0]
+            else model.assignments[i] != model.assignments[0]
+            for i in range(len(labels))])
+        assert agreement > 0.9
+
+    def test_rankings_are_distributions_after_smoothing(self,
+                                                        two_topic_corpus):
+        model = NetClus(num_clusters=2, smoothing=0.3,
+                        seed=0).fit(two_topic_corpus)
+        for node_type, ranking in model.rankings.items():
+            assert np.allclose(ranking.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_top_nodes_and_distribution(self, two_topic_corpus):
+        model = NetClus(num_clusters=2, seed=0).fit(two_topic_corpus)
+        venues = model.top_nodes("venue", 0, 1)
+        assert venues[0] in ("COLOR", "ANIMAL")
+        dist = model.topic_distribution("venue", 0)
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            NetClus(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            NetClus(num_clusters=2, smoothing=1.5)
+
+
+class TestKpRel:
+    def test_favors_short_phrases(self, dblp_small):
+        """The documented bias: kpRel's top list is mostly unigrams."""
+        corpus = dblp_small.corpus
+        lda = LDAGibbs(num_topics=6, iterations=15, seed=0).fit(
+            [d.tokens for d in corpus], len(corpus.vocabulary))
+        ranked = KpRelRanker().rank_strings(corpus, lda.to_flat(),
+                                            top_k=10)
+        unigram_fraction = np.mean([
+            sum(1 for p, _ in topic if " " not in p) / max(len(topic), 1)
+            for topic in ranked])
+        assert unigram_fraction > 0.4
+
+    def test_interestingness_changes_ranking(self, dblp_small):
+        corpus = dblp_small.corpus
+        lda = LDAGibbs(num_topics=4, iterations=15, seed=0).fit(
+            [d.tokens for d in corpus], len(corpus.vocabulary))
+        counts = mine_frequent_phrases(corpus, min_support=5)
+        plain = KpRelRanker(interestingness=False).rank(
+            corpus, lda.to_flat(), counts=counts)
+        interesting = KpRelRanker(interestingness=True).rank(
+            corpus, lda.to_flat(), counts=counts)
+        assert any(
+            [p for p, _ in plain[t][:10]] !=
+            [p for p, _ in interesting[t][:10]]
+            for t in range(4))
+
+
+class TestPhraseTopicModels:
+    def test_tng_produces_ngrams(self, two_topic_corpus):
+        tng = TNG(num_topics=2, iterations=15, seed=0).fit(
+            two_topic_corpus)
+        rankings = tng.topical_phrases()
+        assert len(rankings) == 2
+        all_units = [p for topic in rankings for p, _ in topic]
+        assert any(len(p) >= 2 for p in all_units)
+
+    def test_turbo_merges_significant_pairs(self, dblp_small):
+        turbo = TurboTopics(num_topics=4, iterations=10, permutations=10,
+                            seed=0).fit(dblp_small.corpus)
+        rankings = turbo.topical_phrases()
+        merged = [p for topic in rankings for p, _ in topic if len(p) >= 2]
+        assert merged  # at least some true collocations merged
+        rendered = {render_phrase(p, dblp_small.corpus.vocabulary)
+                    for p in merged}
+        planted = set()
+        for path in dblp_small.ground_truth.paths:
+            planted.update(
+                dblp_small.ground_truth.normalized_phrases(path))
+        assert rendered & planted
+
+    def test_pdlda_runs_and_ranks(self, two_topic_corpus):
+        pdlda = PDLDA(num_topics=2, iterations=20, seed=0).fit(
+            two_topic_corpus)
+        rankings = pdlda.topical_phrases()
+        assert len(rankings) == 2
+        assert all(
+            [s for _, s in topic] == sorted((s for _, s in topic),
+                                            reverse=True)
+            for topic in rankings)
+
+    def test_unfitted_raise(self, two_topic_corpus):
+        with pytest.raises(NotFittedError):
+            TNG(num_topics=2).topical_phrases()
+        with pytest.raises(NotFittedError):
+            TurboTopics(num_topics=2).topical_phrases()
+        with pytest.raises(NotFittedError):
+            PDLDA(num_topics=2).topical_phrases()

@@ -1,0 +1,72 @@
+"""Tests for the variational LDA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VariationalLDA
+from repro.datasets import generate_planted_lda
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return generate_planted_lda(num_docs=500, num_topics=3,
+                                vocab_size=60, doc_length=40, seed=4)
+
+
+class TestVariationalLDA:
+    def test_phi_rows_are_distributions(self, planted):
+        model = VariationalLDA(num_topics=3, em_iterations=10,
+                               seed=0).fit(planted.docs,
+                                           planted.vocab_size)
+        assert np.allclose(model.phi.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(model.phi >= 0)
+
+    def test_theta_rows_are_distributions(self, planted):
+        model = VariationalLDA(num_topics=3, em_iterations=10,
+                               seed=0).fit(planted.docs,
+                                           planted.vocab_size)
+        assert np.allclose(model.theta.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_bound_improves(self, planted):
+        model = VariationalLDA(num_topics=3, em_iterations=15,
+                               seed=0).fit(planted.docs,
+                                           planted.vocab_size)
+        trace = model.elbo_trace
+        assert trace[-1] > trace[0]
+
+    def test_recovers_separable_topics_reasonably(self):
+        from repro.eval import recovery_error
+        planted = generate_planted_lda(num_docs=800, num_topics=3,
+                                       vocab_size=60, doc_length=50,
+                                       seed=9)
+        model = VariationalLDA(num_topics=3, em_iterations=40,
+                               seed=1).fit(planted.docs,
+                                           planted.vocab_size)
+        # VB is a local-optimum method (the Chapter 7 point); it should
+        # still land well under the ~2.0 error of random topics.
+        assert recovery_error(planted.phi, model.phi) < 1.2
+
+    def test_seed_dependence(self, planted):
+        """Different seeds can land in different optima — the run-to-run
+        variance Chapter 7 contrasts STROD against."""
+        from repro.eval import pairwise_discrepancy
+        phis = [VariationalLDA(num_topics=3, em_iterations=15,
+                               seed=s).fit(planted.docs,
+                                           planted.vocab_size).phi
+                for s in (0, 1)]
+        assert pairwise_discrepancy(phis) > 1e-4
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            VariationalLDA(num_topics=0)
+        with pytest.raises(NotFittedError):
+            VariationalLDA(num_topics=2).require_model()
+
+    def test_to_flat_export(self, planted):
+        model = VariationalLDA(num_topics=3, em_iterations=5,
+                               seed=0).fit(planted.docs,
+                                           planted.vocab_size)
+        flat = model.to_flat()
+        assert flat.num_topics == 3
+        assert flat.rho.sum() == pytest.approx(1.0, abs=1e-9)

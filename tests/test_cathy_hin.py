@@ -1,0 +1,165 @@
+"""Tests for the heterogeneous CATHYHIN model (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cathy import CathyHIN
+from repro.corpus import Corpus
+from repro.errors import ConfigurationError, NotFittedError
+from repro.network import build_collapsed_network
+
+
+@pytest.fixture
+def hetero_network():
+    """Two clean communities with authors and venues."""
+    texts = (["red green blue"] * 8) + (["cat dog bird"] * 8)
+    entities = ([{"author": ["ann", "abe"], "venue": ["COLOR"]}] * 8
+                + [{"author": ["zoe", "zed"], "venue": ["ANIMAL"]}] * 8)
+    corpus = Corpus.from_texts(texts, entities=entities)
+    return build_collapsed_network(corpus)
+
+
+class TestBasicModel:
+    def test_separates_communities(self, hetero_network):
+        model = CathyHIN(num_topics=2, seed=0).fit(hetero_network)
+        venues0 = model.top_nodes("venue", 0, 1)
+        venues1 = model.top_nodes("venue", 1, 1)
+        assert {venues0[0], venues1[0]} == {"COLOR", "ANIMAL"}
+        # Terms and authors separate consistently with the venue.
+        for z, venue in ((0, venues0[0]), (1, venues1[0])):
+            terms = set(model.top_nodes("term", z, 3))
+            if venue == "COLOR":
+                assert terms == {"red", "green", "blue"}
+            else:
+                assert terms == {"cat", "dog", "bird"}
+
+    def test_phi_distributions_normalized(self, hetero_network):
+        model = CathyHIN(num_topics=2, seed=0).fit(hetero_network)
+        for node_type, phi in model.phi.items():
+            assert np.allclose(phi.sum(axis=1), 1.0, atol=1e-6)
+            assert model.phi_background[node_type].sum() == pytest.approx(
+                1.0, abs=1e-6)
+
+    def test_rho_plus_background_is_one(self, hetero_network):
+        model = CathyHIN(num_topics=2, seed=0).fit(hetero_network)
+        assert model.rho.sum() + model.rho0 == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_background_option(self, hetero_network):
+        model = CathyHIN(num_topics=2, background=False,
+                         seed=0).fit(hetero_network)
+        assert model.rho0 == 0.0
+
+    def test_invalid_weight_mode(self):
+        with pytest.raises(ConfigurationError):
+            CathyHIN(num_topics=2, weight_mode="bogus")
+
+    def test_requires_fit_for_subnetwork(self, hetero_network):
+        with pytest.raises(NotFittedError):
+            CathyHIN(num_topics=2).subnetwork(0)
+
+
+class TestWeightModes:
+    def test_explicit_weights_accepted(self, hetero_network):
+        weights = {lt: 1.0 for lt in hetero_network.link_types()}
+        model = CathyHIN(num_topics=2, weight_mode=weights,
+                         seed=0).fit(hetero_network)
+        assert set(model.alpha) == set(hetero_network.link_types())
+
+    def test_norm_mode_equalizes_scaled_totals(self, hetero_network):
+        model = CathyHIN(num_topics=2, weight_mode="norm",
+                         seed=0).fit(hetero_network)
+        totals = [model.alpha[lt] * hetero_network.total_weight(lt)
+                  for lt in hetero_network.link_types()]
+        assert max(totals) / min(totals) == pytest.approx(1.0, rel=1e-6)
+
+    def test_learned_weights_satisfy_theorem_3_2(self, hetero_network):
+        model = CathyHIN(num_topics=2, weight_mode="learn",
+                         seed=0).fit(hetero_network)
+        log_sum = sum(
+            hetero_network.num_links(lt) * np.log(model.alpha[lt])
+            for lt in hetero_network.link_types())
+        assert log_sum == pytest.approx(0.0, abs=1e-6)
+
+    def test_learned_weights_positive(self, hetero_network):
+        model = CathyHIN(num_topics=2, weight_mode="learn",
+                         seed=0).fit(hetero_network)
+        assert all(v > 0 for v in model.alpha.values())
+
+
+class TestSubnetworks:
+    def test_expected_weights_bounded_by_scaled_observed(self,
+                                                         hetero_network):
+        estimator = CathyHIN(num_topics=2, seed=0)
+        model = estimator.fit(hetero_network)
+        for link_type in hetero_network.link_types():
+            alpha = model.alpha[link_type]
+            observed = hetero_network.link_dict(link_type)
+            for z in range(2):
+                bucket = estimator.expected_link_weights(z)[link_type]
+                for key, value in bucket.items():
+                    assert value <= alpha * observed[key] + 1e-9
+
+    def test_subnetwork_smaller_than_parent(self, hetero_network):
+        estimator = CathyHIN(num_topics=2, seed=0)
+        estimator.fit(hetero_network)
+        sub = estimator.subnetwork(0)
+        assert sub.total_weight() < hetero_network.total_weight()
+
+    def test_bic_computable(self, hetero_network):
+        estimator = CathyHIN(num_topics=2, seed=0)
+        estimator.fit(hetero_network)
+        assert np.isfinite(estimator.bic())
+
+
+class TestOnSyntheticDBLP:
+    def test_recovers_area_venues(self, dblp_network):
+        """Each discovered topic's top venues come from one true area."""
+        model = CathyHIN(num_topics=6, weight_mode="learn",
+                         max_iter=80, seed=0).fit(dblp_network)
+        pure_topics = 0
+        for z in range(6):
+            venues = model.top_nodes("venue", z, 3)
+            prefixes = {v.split("-")[0] for v in venues}
+            if len(prefixes) == 1:
+                pure_topics += 1
+        assert pure_topics >= 4
+
+    def test_monotone_likelihood_on_real_shape(self, dblp_network):
+        values = []
+        for iterations in (2, 10, 40):
+            model = CathyHIN(num_topics=4, max_iter=iterations,
+                             seed=5).fit(dblp_network)
+            values.append(model.log_likelihood)
+        assert values[-1] >= values[0] - 1e-6
+
+
+class TestBayesianPriors:
+    """The Section 3.2.3 extension: Dirichlet pseudo-count smoothing."""
+
+    def test_phi_prior_removes_zeros(self, hetero_network):
+        model = CathyHIN(num_topics=2, phi_prior=0.5, max_iter=40,
+                         seed=0).fit(hetero_network)
+        for phi in model.phi.values():
+            assert np.all(phi > 0)
+
+    def test_rho_prior_balances_subtopics(self):
+        # Unequal communities: 24 vs 4 documents.
+        texts = ["red green blue"] * 24 + ["cat dog bird"] * 4
+        entities = ([{"venue": ["COLOR"]}] * 24
+                    + [{"venue": ["ANIMAL"]}] * 4)
+        network = build_collapsed_network(
+            Corpus.from_texts(texts, entities=entities))
+        plain = CathyHIN(num_topics=2, max_iter=60, seed=2).fit(network)
+        smoothed = CathyHIN(num_topics=2, rho_prior=10 ** 4, max_iter=60,
+                            seed=2).fit(network)
+
+        def spread(rho):
+            return float(rho.max() - rho.min())
+
+        assert spread(smoothed.rho) < spread(plain.rho)
+
+    def test_negative_prior_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CathyHIN(num_topics=2, rho_prior=-1.0)
+        with pytest.raises(ConfigurationError):
+            CathyHIN(num_topics=2, phi_prior=-0.1)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import DBLPConfig, generate_dblp, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "dataset.json"
+    dataset = generate_dblp(DBLPConfig(max_authors=60), seed=3)
+    save_dataset(dataset, str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "dblp", "out.json", "--seed", "7"])
+        assert args.kind == "dblp"
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestGenerate:
+    def test_writes_loadable_dataset(self, tmp_path, capsys):
+        out = tmp_path / "ds.json"
+        code = main(["generate", "dblp", str(out),
+                     "--max-authors", "40", "--seed", "1"])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["version"] == 1
+        assert "wrote synthetic-dblp" in capsys.readouterr().out
+
+    def test_news_kind(self, tmp_path, capsys):
+        out = tmp_path / "news.json"
+        code = main(["generate", "news", str(out), "--stories", "3",
+                     "--articles", "10", "--seed", "1"])
+        assert code == 0
+        assert "synthetic-news" in capsys.readouterr().out
+
+
+class TestHierarchy:
+    def test_renders_tree(self, dataset_path, capsys):
+        code = main(["hierarchy", dataset_path, "--children", "3",
+                     "--top", "3", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[o/1]" in out
+        assert "venue:" in out
+
+    def test_json_output(self, dataset_path, capsys):
+        code = main(["hierarchy", dataset_path, "--children", "3",
+                     "--json", "--seed", "0"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["notation"] == "o"
+        assert len(data["children"]) == 3
+
+
+class TestPhrases:
+    def test_prints_topics(self, dataset_path, capsys):
+        code = main(["phrases", dataset_path, "--topics", "4",
+                     "--iterations", "10", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("topic ") == 4
+
+
+class TestRelations:
+    def test_prints_predictions_and_accuracy(self, dataset_path, capsys):
+        code = main(["relations", dataset_path, "--limit", "5"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "advisee accuracy" in captured.err
+        assert captured.out.strip()
+
+
+class TestStrod:
+    def test_prints_topic_words(self, dataset_path, capsys):
+        code = main(["strod", dataset_path, "--topics", "4",
+                     "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("alpha=") == 4
+
+    def test_sparse_flag(self, dataset_path, capsys):
+        code = main(["strod", dataset_path, "--topics", "3", "--sparse"])
+        assert code == 0
+        assert capsys.readouterr().out.count("alpha=") == 3

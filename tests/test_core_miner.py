@@ -1,0 +1,106 @@
+"""Tests for the integrated LatentEntityMiner facade."""
+
+import pytest
+
+from repro.core import LatentEntityMiner, MinerConfig
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def mined():
+    from repro.datasets import DBLPConfig, generate_dblp
+    dataset = generate_dblp(DBLPConfig(max_authors=100), seed=3)
+    miner = LatentEntityMiner(
+        MinerConfig(num_children=[5, 2], max_depth=2), seed=0)
+    return dataset, miner, miner.fit(dataset.corpus)
+
+
+class TestFit:
+    def test_hierarchy_shape(self, mined):
+        _, _, result = mined
+        assert len(result.hierarchy.root.children) == 5
+        assert result.hierarchy.height == 2
+
+    def test_all_components_present(self, mined):
+        _, _, result = mined
+        assert result.network.num_links() > 0
+        assert len(result.counts) > 0
+        assert result.roles is not None
+
+    def test_topics_decorated(self, mined):
+        _, _, result = mined
+        for child in result.hierarchy.root.children:
+            assert child.phrases
+            assert child.entity_ranks.get("author")
+            assert child.entity_ranks.get("venue")
+
+    def test_render_mentions_entities(self, mined):
+        _, _, result = mined
+        text = result.render(entity_types=["venue"])
+        assert "[o/1]" in text
+        assert "venue:" in text
+
+    def test_entity_type_restriction(self, mined):
+        dataset, _, _ = mined
+        miner = LatentEntityMiner(
+            MinerConfig(num_children=3, max_depth=1,
+                        entity_types=["venue"]), seed=0)
+        result = miner.fit(dataset.corpus)
+        assert "author" not in result.network.node_types()
+
+
+class TestRelations:
+    def test_mine_relations_pipeline(self, mined):
+        dataset, miner, _ = mined
+        result, graph, network = miner.mine_relations(dataset.corpus)
+        truth = {r.advisee: r.advisor
+                 for r in dataset.ground_truth.advising}
+        from repro.relations import evaluate_predictions
+        accuracy = evaluate_predictions(result.predictions(), truth)
+        # This tiny 100-author corpus truncates careers hard; the wiring
+        # test only requires beating chance (~0.2 with ~4 candidates).
+        assert accuracy.advisee_accuracy > 0.35
+
+    def test_requires_years(self, mined):
+        from repro.corpus import Corpus
+        _, miner, _ = mined
+        corpus = Corpus.from_texts(["alpha"],
+                                   entities=[{"author": ["a"]}])
+        with pytest.raises(DataError):
+            miner.mine_relations(corpus)
+
+
+class TestEndToEndIntegration:
+    def test_hierarchy_matches_ground_truth_areas(self, mined):
+        """Level-1 topics mostly align with true areas by venue purity."""
+        dataset, _, result = mined
+        truth = dataset.ground_truth
+        pure = 0
+        for child in result.hierarchy.root.children:
+            venues = child.top_entities("venue", 3)
+            if not venues:
+                continue
+            areas = [truth.topic_of_entity("venue", v) for v in venues]
+            if len(set(areas)) == 1:
+                pure += 1
+        assert pure >= 3
+
+    def test_roles_consistent_with_hierarchy(self, mined):
+        """Top-ranked authors of a topic have most of their mass there."""
+        _, _, result = mined
+        child = result.hierarchy.root.children[0]
+        top_authors = [n for n, _ in result.roles.rank_entities(
+            child.notation, "author", top_k=3)]
+        for author in top_authors:
+            dist = result.roles.entity_distribution("author", author)
+            assert dist.get(child.notation, 0.0) >= \
+                max(dist.values()) - 1e-9
+
+    def test_news_corpus_end_to_end(self, news_small):
+        miner = LatentEntityMiner(
+            MinerConfig(num_children=4, max_depth=1), seed=0)
+        result = miner.fit(news_small.corpus)
+        assert len(result.hierarchy.root.children) == 4
+        for child in result.hierarchy.root.children:
+            assert child.phi.get("person")
+            assert child.phi.get("location")

@@ -1,0 +1,64 @@
+"""Tests for repro.corpus.tokenize."""
+
+from repro.corpus import (DEFAULT_STOPWORDS, join_tokens,
+                          split_phrase_chunks, tokenize, tokenize_chunks)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Query Processing") == ["query", "processing"]
+
+    def test_removes_stopwords(self):
+        assert tokenize("the query of a system") == ["query", "system"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("query, processing!") == ["query", "processing"]
+
+    def test_keeps_hyphenated_words(self):
+        assert tokenize("part-of-speech tagging") == ["part-of-speech",
+                                                      "tagging"]
+
+    def test_keeps_digits(self):
+        assert "2014" in tokenize("the 2014 dataset")
+
+    def test_custom_stopwords(self):
+        assert tokenize("alpha beta", stopwords={"beta"}) == ["alpha"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+
+class TestSplitChunks:
+    def test_splits_on_commas_and_periods(self):
+        chunks = split_phrase_chunks("one two, three. four")
+        assert chunks == ["one two", "three", "four"]
+
+    def test_no_punctuation_single_chunk(self):
+        assert split_phrase_chunks("a b c") == ["a b c"]
+
+    def test_colons_and_parens(self):
+        chunks = split_phrase_chunks("title: subtitle (extra)")
+        assert chunks == ["title", "subtitle", "extra"]
+
+
+class TestTokenizeChunks:
+    def test_phrases_do_not_cross_punctuation(self):
+        chunks = tokenize_chunks("mining frequent patterns, tree approach")
+        assert len(chunks) == 2
+        assert chunks[0] == ["mining", "frequent", "patterns"]
+        assert chunks[1] == ["tree", "approach"]
+
+    def test_empty_chunks_dropped(self):
+        assert tokenize_chunks("the, of") == []
+
+    def test_stopwords_within_chunks(self):
+        chunks = tokenize_chunks("the state of the art")
+        assert chunks == [["state", "art"]]
+
+
+class TestJoinTokens:
+    def test_roundtrip(self):
+        assert join_tokens(["a", "b"]) == "a b"
+
+    def test_default_stopwords_is_frozen(self):
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)

@@ -1,0 +1,56 @@
+"""Tests for repro.corpus.vocabulary."""
+
+import pytest
+
+from repro.corpus import Vocabulary
+from repro.errors import DataError
+
+
+class TestVocabulary:
+    def test_add_assigns_sequential_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.add("a") == 0
+        assert len(vocab) == 1
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(DataError):
+            Vocabulary().id_of("missing")
+
+    def test_word_of_roundtrip(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab.word_of(vocab.id_of("y")) == "y"
+
+    def test_word_of_out_of_range(self):
+        with pytest.raises(DataError):
+            Vocabulary(["x"]).word_of(5)
+
+    def test_encode_strict(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(DataError):
+            vocab.encode(["a", "b"])
+
+    def test_encode_add_missing_grows(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["a", "b", "a"], add_missing=True)
+        assert ids == [0, 1, 0]
+        assert len(vocab) == 2
+
+    def test_decode(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.decode([1, 0]) == ["b", "a"]
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary(["a", "b"])
+        assert "a" in vocab
+        assert "c" not in vocab
+        assert list(vocab) == ["a", "b"]
+
+    def test_deterministic_order(self):
+        v1 = Vocabulary(["q", "p", "r"])
+        v2 = Vocabulary(["q", "p", "r"])
+        assert list(v1) == list(v2)

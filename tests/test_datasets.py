@@ -1,0 +1,163 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (DBLPConfig, NewsConfig, generate_dblp,
+                            generate_dblp_area, generate_news,
+                            generate_news_subset, generate_planted_lda,
+                            hierarchy_paths)
+from repro.hierarchy import notation_to_path
+
+
+class TestDBLPGenerator:
+    def test_reproducible(self):
+        a = generate_dblp(DBLPConfig(max_authors=60), seed=1)
+        b = generate_dblp(DBLPConfig(max_authors=60), seed=1)
+        assert len(a.corpus) == len(b.corpus)
+        assert a.corpus[0].chunks == b.corpus[0].chunks
+
+    def test_different_seeds_differ(self):
+        a = generate_dblp(DBLPConfig(max_authors=60), seed=1)
+        b = generate_dblp(DBLPConfig(max_authors=60), seed=2)
+        assert len(a.corpus) != len(b.corpus) or \
+            a.corpus[0].chunks != b.corpus[0].chunks
+
+    def test_entities_present(self, dblp_small):
+        assert dblp_small.corpus.entity_types() == ["author", "venue"]
+        assert all(doc.entity_list("venue") for doc in dblp_small.corpus)
+
+    def test_labels_match_ground_truth(self, dblp_small):
+        truth = dblp_small.ground_truth
+        for doc in dblp_small.corpus:
+            assert notation_to_path(doc.label) == \
+                truth.topic_of_document(doc.doc_id)
+
+    def test_advising_intervals_well_formed(self, dblp_small):
+        for record in dblp_small.ground_truth.advising:
+            assert record.start <= record.end
+            assert record.advisor != record.advisee
+
+    def test_advisor_forest_acyclic(self, dblp_small):
+        advisor_of = {r.advisee: r.advisor
+                      for r in dblp_small.ground_truth.advising}
+        for start in advisor_of:
+            seen = set()
+            node = start
+            while node in advisor_of:
+                assert node not in seen
+                seen.add(node)
+                node = advisor_of[node]
+
+    def test_venue_concentrated_in_area(self, dblp_small):
+        truth = dblp_small.ground_truth
+        for doc in dblp_small.corpus:
+            venue = doc.entity_list("venue")[0]
+            venue_area = truth.topic_of_entity("venue", venue)
+            doc_area = truth.topic_of_document(doc.doc_id)[:1]
+            assert venue_area == doc_area
+
+    def test_max_authors_respected(self):
+        ds = generate_dblp(DBLPConfig(max_authors=50), seed=0)
+        authors = {a for doc in ds.corpus
+                   for a in doc.entity_list("author")}
+        assert len(authors) <= 50
+
+    def test_advisor_coauthors_with_advisee(self, dblp_small):
+        """The advising signal exists: most advisees co-publish with
+        their advisor during the interval."""
+        count = hits = 0
+        pairs = {(r.advisee, r.advisor)
+                 for r in dblp_small.ground_truth.advising}
+        coauthored = set()
+        for doc in dblp_small.corpus:
+            authors = doc.entity_list("author")
+            for a in authors:
+                for b in authors:
+                    coauthored.add((a, b))
+        for advisee, advisor in pairs:
+            count += 1
+            if (advisee, advisor) in coauthored:
+                hits += 1
+        assert hits / count > 0.9
+
+    def test_normalized_phrases_tokenized(self, dblp_small):
+        truth = dblp_small.ground_truth
+        leaf = next(p for p, spec in truth.paths.items()
+                    if not spec.children)
+        for phrase in truth.normalized_phrases(leaf):
+            assert phrase == phrase.lower()
+            assert "  " not in phrase
+
+
+class TestDBLPArea:
+    def test_single_area_subset(self):
+        ds = generate_dblp_area(0, DBLPConfig(max_authors=80), seed=1)
+        # All doc topics are now paths within the area (length 1).
+        assert all(len(p) == 1 for p in ds.ground_truth.doc_topic_paths)
+        assert len(ds.corpus) > 0
+
+    def test_area_hierarchy_is_the_area(self):
+        ds = generate_dblp_area(0, DBLPConfig(max_authors=80), seed=1)
+        assert ds.ground_truth.hierarchy.name == "databases"
+
+
+class TestNewsGenerator:
+    def test_flat_topics(self, news_small):
+        assert all(len(p) == 1
+                   for p in news_small.ground_truth.doc_topic_paths)
+
+    def test_entity_types(self, news_small):
+        assert news_small.corpus.entity_types() == ["location", "person"]
+
+    def test_subset_names(self):
+        ds = generate_news_subset(seed=1)
+        names = {spec.name
+                 for spec in ds.ground_truth.hierarchy.children}
+        assert names == {"bill clinton", "boston marathon", "earthquake",
+                         "egypt"}
+
+    def test_article_counts(self):
+        ds = generate_news(NewsConfig(num_stories=3, articles_per_story=10),
+                           seed=0)
+        assert len(ds.corpus) == 30
+
+    def test_reproducible(self):
+        a = generate_news(NewsConfig(num_stories=2, articles_per_story=5),
+                          seed=9)
+        b = generate_news(NewsConfig(num_stories=2, articles_per_story=5),
+                          seed=9)
+        assert a.corpus[0].chunks == b.corpus[0].chunks
+
+
+class TestPlantedLDA:
+    def test_shapes(self, planted_small):
+        assert planted_small.phi.shape == (4, 80)
+        assert planted_small.thetas.shape == (600, 4)
+        assert len(planted_small.docs) == 600
+
+    def test_phi_rows_are_distributions(self, planted_small):
+        sums = planted_small.phi.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_word_count_matrix_totals(self, planted_small):
+        counts = planted_small.word_count_matrix()
+        assert counts.sum() == sum(len(d) for d in planted_small.docs)
+
+    def test_alpha_validation(self):
+        with pytest.raises(Exception):
+            generate_planted_lda(num_topics=3, alpha=[1.0, 1.0])
+
+    def test_custom_phi(self):
+        phi = np.full((2, 10), 0.1)
+        planted = generate_planted_lda(num_docs=20, num_topics=2,
+                                       vocab_size=10, phi=phi, seed=0)
+        assert np.allclose(planted.phi, phi)
+
+
+class TestHierarchyPaths:
+    def test_includes_root_and_leaves(self, dblp_small):
+        paths = hierarchy_paths(dblp_small.ground_truth.hierarchy)
+        assert () in paths
+        leaf_count = sum(1 for spec in paths.values() if not spec.children)
+        assert leaf_count == 18  # 6 areas x 3 subareas

@@ -1,0 +1,62 @@
+"""Tests for dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.datasets import (dataset_from_dict, dataset_to_dict,
+                            load_dataset, save_dataset)
+from repro.errors import DataError
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_corpus(self, dblp_small):
+        restored = dataset_from_dict(dataset_to_dict(dblp_small))
+        assert len(restored.corpus) == len(dblp_small.corpus)
+        assert list(restored.corpus.vocabulary) == \
+            list(dblp_small.corpus.vocabulary)
+        for original, copy in zip(dblp_small.corpus, restored.corpus):
+            assert original.chunks == copy.chunks
+            assert original.entities == copy.entities
+            assert original.year == copy.year
+            assert original.label == copy.label
+
+    def test_dict_roundtrip_preserves_ground_truth(self, dblp_small):
+        restored = dataset_from_dict(dataset_to_dict(dblp_small))
+        truth_a = dblp_small.ground_truth
+        truth_b = restored.ground_truth
+        assert truth_a.doc_topic_paths == truth_b.doc_topic_paths
+        assert truth_a.entity_topics == truth_b.entity_topics
+        assert len(truth_a.advising) == len(truth_b.advising)
+        assert truth_a.hierarchy.name == truth_b.hierarchy.name
+        leaf_a = sorted(p for p, s in truth_a.paths.items()
+                        if not s.children)
+        leaf_b = sorted(p for p, s in truth_b.paths.items()
+                        if not s.children)
+        assert leaf_a == leaf_b
+
+    def test_file_roundtrip(self, dblp_small, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(dblp_small, str(path))
+        restored = load_dataset(str(path))
+        assert restored.name == dblp_small.name
+        assert len(restored.corpus) == len(dblp_small.corpus)
+
+    def test_serialized_form_is_json(self, dblp_small, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(dblp_small, str(path))
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["version"] == 1
+
+    def test_unknown_version_rejected(self, dblp_small):
+        data = dataset_to_dict(dblp_small)
+        data["version"] = 99
+        with pytest.raises(DataError):
+            dataset_from_dict(data)
+
+    def test_restored_dataset_is_usable(self, dblp_small):
+        from repro.network import build_collapsed_network
+        restored = dataset_from_dict(dataset_to_dict(dblp_small))
+        network = build_collapsed_network(restored.corpus)
+        assert network.num_links() > 0

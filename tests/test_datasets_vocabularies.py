@@ -1,0 +1,83 @@
+"""Tests for the topic specification helpers."""
+
+from repro.corpus import tokenize
+from repro.datasets import (TopicSpec, computer_science_hierarchy,
+                            hierarchy_paths, news_stories)
+from repro.datasets.vocabularies import NEWS_FOUR_TOPIC_SUBSET
+
+
+class TestTopicSpec:
+    def test_all_words_deduplicated(self):
+        spec = TopicSpec(name="t", phrases=["a b", "b c"],
+                         unigrams=["c", "d"])
+        assert spec.all_words() == ["a", "b", "c", "d"]
+
+    def test_leaves_of_leaf_is_self(self):
+        spec = TopicSpec(name="leaf")
+        assert spec.leaves() == [((), spec)]
+
+    def test_leaves_paths(self):
+        child_a = TopicSpec(name="a")
+        child_b = TopicSpec(name="b")
+        root = TopicSpec(name="root", children=[child_a, child_b])
+        assert root.leaves() == [((0,), child_a), ((1,), child_b)]
+
+    def test_find_descendant(self):
+        grand = TopicSpec(name="g")
+        child = TopicSpec(name="c", children=[grand])
+        root = TopicSpec(name="r", children=[child])
+        assert root.find((0, 0)) is grand
+        assert root.find(()) is root
+
+
+class TestBuiltInHierarchies:
+    def test_cs_hierarchy_shape(self):
+        root = computer_science_hierarchy()
+        assert len(root.children) == 6
+        for area in root.children:
+            assert len(area.children) == 3
+            for leaf in area.children:
+                assert len(leaf.phrases) >= 3
+                assert len(leaf.unigrams) >= 3
+
+    def test_cs_leaf_phrases_multiword(self):
+        root = computer_science_hierarchy()
+        for _, leaf in root.leaves():
+            multi = [p for p in leaf.phrases if len(p.split()) >= 2]
+            assert len(multi) >= 3
+
+    def test_leaf_vocabularies_mostly_disjoint(self):
+        """Each leaf's phrase set is unique — the planted signal."""
+        root = computer_science_hierarchy()
+        seen = {}
+        for path, leaf in root.leaves():
+            for phrase in leaf.phrases:
+                assert phrase not in seen, \
+                    f"{phrase!r} appears in {seen.get(phrase)} and {path}"
+                seen[phrase] = path
+
+    def test_news_stories_carry_entities(self):
+        root = news_stories(16)
+        assert len(root.children) == 16
+        for story in root.children:
+            assert len(story.persons) >= 3
+            assert len(story.locations) >= 3
+
+    def test_news_subset_names_exist(self):
+        root = news_stories(16)
+        names = {story.name for story in root.children}
+        assert set(NEWS_FOUR_TOPIC_SUBSET) <= names
+
+    def test_hierarchy_paths_complete(self):
+        root = computer_science_hierarchy()
+        paths = hierarchy_paths(root)
+        assert len(paths) == 1 + 6 + 18
+
+    def test_phrases_survive_tokenization(self):
+        """Planted phrases must keep >= 2 tokens after stopword removal
+        (otherwise the phrase-mining signal degenerates)."""
+        root = computer_science_hierarchy()
+        for _, leaf in root.leaves():
+            for phrase in leaf.phrases:
+                if len(phrase.split()) >= 2:
+                    assert len(tokenize(phrase)) >= 2

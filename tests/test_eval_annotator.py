@@ -1,0 +1,82 @@
+"""Tests for the simulated-annotator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus
+from repro.eval import LabelAffinity, SimulatedAnnotator, jensen_shannon
+
+
+@pytest.fixture
+def labeled_corpus():
+    texts = (["alpha beta"] * 6 + ["gamma delta"] * 6
+             + ["alpha gamma"] * 2)
+    labels = ["o/1/1"] * 6 + ["o/2/1"] * 6 + ["o/1/2"] * 2
+    entities = ([{"person": ["ann"]}] * 6 + [{"person": ["zoe"]}] * 6
+                + [{"person": ["ann"]}] * 2)
+    return Corpus.from_texts(texts, labels=labels, entities=entities)
+
+
+class TestLabelSpace:
+    def test_prefix_labels_included(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        assert "o" in affinity.labels
+        assert "o/1" in affinity.labels
+        assert "o/1/1" in affinity.labels
+
+    def test_leaf_and_area_indices(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        leaf_labels = {affinity.labels[i]
+                       for i in affinity.leaf_label_indices}
+        assert leaf_labels == {"o/1/1", "o/2/1", "o/1/2"}
+        area_labels = {affinity.labels[i]
+                       for i in affinity.area_label_indices}
+        assert area_labels == {"o/1", "o/2"}
+
+    def test_same_area_closer_than_cross_area(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        # "beta" is pure o/1/1; "gamma" spans o/2/1 and o/1/2;
+        # "alpha" spans o/1/1 and o/1/2 (same area o/1).
+        alpha = affinity.phrase_distribution("alpha")
+        beta = affinity.phrase_distribution("beta")
+        gamma = affinity.phrase_distribution("gamma")
+        assert jensen_shannon(alpha, beta) < jensen_shannon(beta, gamma)
+
+
+class TestAnnotator:
+    def test_noiseless_intruder_pick_is_deterministic(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        annotator = SimulatedAnnotator(affinity, noise=0.0, seed=0)
+        options = ["alpha", "beta", "gamma"]
+        picks = {annotator.pick_phrase_intruder(options)
+                 for _ in range(5)}
+        assert picks == {2}  # gamma is the cross-area item
+
+    def test_entity_intruder(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        annotator = SimulatedAnnotator(affinity, noise=0.0, seed=0)
+        # ann's documents are area o/1, zoe's are o/2.
+        pick = annotator.pick_intruder([
+            affinity.entity_distribution("person", "ann"),
+            affinity.entity_distribution("person", "ann"),
+            affinity.entity_distribution("person", "zoe")])
+        assert pick == 2
+
+    def test_high_noise_randomizes(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        annotator = SimulatedAnnotator(affinity, noise=100.0, seed=0)
+        picks = {annotator.pick_phrase_intruder(["alpha", "beta",
+                                                 "gamma"])
+                 for _ in range(30)}
+        assert len(picks) > 1
+
+    def test_entity_distribution_cached(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        a = affinity.entity_distribution("person", "ann")
+        b = affinity.entity_distribution("person", "ann")
+        assert a is b
+
+    def test_unknown_entity_uniform(self, labeled_corpus):
+        affinity = LabelAffinity(labeled_corpus)
+        dist = affinity.entity_distribution("person", "nobody")
+        assert np.allclose(dist, dist[0])

@@ -1,0 +1,164 @@
+"""Tests for the intrusion task harness."""
+
+import pytest
+
+from repro.eval import (LabelAffinity, SimulatedAnnotator,
+                        generate_intrusion_questions,
+                        generate_topic_intrusion_questions,
+                        hierarchy_entity_groups, hierarchy_phrase_groups,
+                        jensen_shannon, run_intrusion_task,
+                        run_topic_intrusion_task)
+
+
+class TestLabelAffinity:
+    def test_phrase_distribution_peaks_on_topic(self, dblp_small):
+        affinity = LabelAffinity(dblp_small.corpus)
+        truth = dblp_small.ground_truth
+        leaf = next(p for p, spec in truth.paths.items()
+                    if not spec.children)
+        phrase = truth.normalized_phrases(leaf)[0]
+        dist = affinity.phrase_distribution(phrase)
+        # A pure leaf phrase puts ~1/3 mass on each of its three prefix
+        # dimensions (leaf, area, root).
+        assert dist.max() > 0.3
+        assert (dist > 0.05).sum() <= 4
+
+    def test_entity_distribution_peaks_on_home_topic(self, dblp_small):
+        affinity = LabelAffinity(dblp_small.corpus)
+        venue = next(iter(
+            dblp_small.ground_truth.entity_topics["venue"]))
+        dist = affinity.entity_distribution("venue", venue)
+        assert dist.max() > 0.1
+
+    def test_unknown_phrase_uniform(self, dblp_small):
+        affinity = LabelAffinity(dblp_small.corpus)
+        dist = affinity.phrase_distribution("zzz qqq www")
+        assert dist.max() == pytest.approx(dist.min())
+
+    def test_caching_stable(self, dblp_small):
+        affinity = LabelAffinity(dblp_small.corpus)
+        a = affinity.phrase_distribution("data")
+        b = affinity.phrase_distribution("data")
+        assert a is b
+
+
+class TestJensenShannon:
+    def test_identical_is_zero(self):
+        import numpy as np
+        p = np.array([0.5, 0.5])
+        assert jensen_shannon(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_is_maximal(self):
+        import numpy as np
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon(p, q) == pytest.approx(np.log(2), rel=1e-3)
+
+    def test_symmetry(self):
+        import numpy as np
+        p = np.array([0.7, 0.3])
+        q = np.array([0.2, 0.8])
+        assert jensen_shannon(p, q) == pytest.approx(jensen_shannon(q, p))
+
+
+class TestQuestionGeneration:
+    def test_question_shape(self):
+        groups = [[["a1", "a2", "a3", "a4", "a5"],
+                   ["b1", "b2", "b3", "b4", "b5"]]]
+        questions = generate_intrusion_questions(groups, 10, seed=0)
+        assert len(questions) == 10
+        for question in questions:
+            assert len(question.options) == 5
+            assert 0 <= question.intruder_index < 5
+            intruder = question.options[question.intruder_index]
+            assert intruder.startswith("a") != \
+                question.options[(question.intruder_index + 1) % 5].startswith("a")
+
+    def test_no_usable_groups_gives_empty(self):
+        assert generate_intrusion_questions([[["only"]]], 5, seed=0) == []
+
+    def test_intruder_never_in_topic(self):
+        groups = [[["a1", "a2", "a3", "a4", "shared"],
+                   ["b1", "b2", "shared", "b4", "b5"]]]
+        questions = generate_intrusion_questions(groups, 30, seed=1)
+        for question in questions:
+            assert question.options[question.intruder_index] != "shared"
+
+
+class TestTaskExecution:
+    def test_oracle_annotator_near_perfect_on_truth(self, dblp_small):
+        """Ground-truth topic groups + noiseless annotator -> ~100%."""
+        truth = dblp_small.ground_truth
+        group = []
+        for area in range(3):
+            phrases = []
+            for path, spec in truth.paths.items():
+                if path[:1] == (area,) and len(path) == 2:
+                    phrases.extend(truth.normalized_phrases(path))
+            group.append(phrases)
+        questions = generate_intrusion_questions([group], 30, seed=0)
+        score = run_intrusion_task(questions, dblp_small.corpus,
+                                   noise=0.0, seed=1)
+        assert score > 0.9
+
+    def test_random_topics_score_low(self, dblp_small):
+        """Shuffled (incoherent) topics are hard even for the oracle."""
+        import numpy as np
+        truth = dblp_small.ground_truth
+        all_phrases = []
+        for path in truth.paths:
+            all_phrases.extend(truth.normalized_phrases(path))
+        rng = np.random.default_rng(0)
+        rng.shuffle(all_phrases)
+        third = len(all_phrases) // 3
+        group = [all_phrases[:third], all_phrases[third:2 * third],
+                 all_phrases[2 * third:]]
+        questions = generate_intrusion_questions([group], 30, seed=0)
+        score = run_intrusion_task(questions, dblp_small.corpus,
+                                   noise=0.0, seed=1)
+        assert score < 0.5
+
+    def test_noise_degrades_score(self, dblp_small):
+        truth = dblp_small.ground_truth
+        group = []
+        for area in range(3):
+            phrases = []
+            for path, spec in truth.paths.items():
+                if path[:1] == (area,) and len(path) == 2:
+                    phrases.extend(truth.normalized_phrases(path))
+            group.append(phrases)
+        questions = generate_intrusion_questions([group], 40, seed=0)
+        clean = run_intrusion_task(questions, dblp_small.corpus,
+                                   noise=0.0, seed=1)
+        noisy = run_intrusion_task(questions, dblp_small.corpus,
+                                   noise=1.0, seed=1)
+        assert noisy < clean
+
+    def test_empty_questions_zero(self, dblp_small):
+        assert run_intrusion_task([], dblp_small.corpus) == 0.0
+
+
+class TestHierarchyGroups:
+    @pytest.fixture(scope="class")
+    def hierarchy(self, dblp_small):
+        from repro.core import LatentEntityMiner, MinerConfig
+        miner = LatentEntityMiner(
+            MinerConfig(num_children=[4, 2], max_depth=2), seed=0)
+        return miner.fit(dblp_small.corpus).hierarchy
+
+    def test_phrase_groups_cover_internal_nodes(self, hierarchy):
+        groups = hierarchy_phrase_groups(hierarchy)
+        assert len(groups) >= 1
+        assert all(len(group) >= 2 for group in groups)
+
+    def test_entity_groups(self, hierarchy):
+        groups = hierarchy_entity_groups(hierarchy, "venue")
+        assert groups
+
+    def test_topic_intrusion_pipeline(self, hierarchy, dblp_small):
+        questions = generate_topic_intrusion_questions(
+            hierarchy, 20, candidates_per_question=3, seed=0)
+        assert questions
+        score = run_topic_intrusion_task(questions, dblp_small.corpus,
+                                         seed=1)
+        assert 0.0 <= score <= 1.0

@@ -1,0 +1,184 @@
+"""Tests for nKQM, judges, MI_K and robustness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (SimulatedPhraseJudge, agreement_weight, align_topics,
+                        coherence_score, judge_phrases, label_top_phrases,
+                        mutual_information_at_k, nkqm_at_k,
+                        pairwise_discrepancy, phrase_quality_score,
+                        recovery_error, run_variability,
+                        weighted_cohens_kappa, z_scores)
+
+
+class TestJudge:
+    @pytest.fixture(scope="class")
+    def judge(self, dblp_small):
+        return SimulatedPhraseJudge(dblp_small.ground_truth, noise=0.0,
+                                    seed=0)
+
+    def test_planted_phrase_scores_highest(self, judge, dblp_small):
+        truth = dblp_small.ground_truth
+        leaf = next(p for p, spec in truth.paths.items()
+                    if not spec.children)
+        phrase = truth.normalized_phrases(leaf)[0]
+        assert judge.base_score(phrase) == 5.0
+
+    def test_fragment_scores_low(self, judge):
+        # "vector machines" is a fragment of "support vector machines".
+        assert judge.base_score("vector machines") <= 2.5
+
+    def test_random_concat_scores_lowest(self, judge):
+        assert judge.base_score("banana helicopter") == 1.5
+
+    def test_topical_unigram_scores_medium(self, judge):
+        assert judge.base_score("query") == 3.0
+
+    def test_noisy_scores_clipped(self, dblp_small):
+        judge = SimulatedPhraseJudge(dblp_small.ground_truth, noise=5.0,
+                                     seed=1)
+        scores = [judge.score("query processing") for _ in range(50)]
+        assert all(1 <= s <= 5 for s in scores)
+
+
+class TestAgreement:
+    def test_unanimous_weight_one(self):
+        assert agreement_weight([3, 3, 3]) == 1.0
+
+    def test_spread_weight_lower(self):
+        assert agreement_weight([1, 3, 5]) < agreement_weight([2, 3, 4])
+
+    def test_single_judge(self):
+        assert agreement_weight([4]) == 1.0
+
+    def test_kappa_perfect_agreement(self):
+        assert weighted_cohens_kappa([1, 3, 5, 2], [1, 3, 5, 2]) == \
+            pytest.approx(1.0)
+
+    def test_kappa_penalizes_disagreement(self):
+        high = weighted_cohens_kappa([1, 2, 3, 4, 5], [1, 2, 3, 4, 5])
+        low = weighted_cohens_kappa([1, 2, 3, 4, 5], [5, 4, 3, 2, 1])
+        assert high > low
+
+
+class TestNKQM:
+    def test_better_ranking_scores_higher(self, dblp_small):
+        truth = dblp_small.ground_truth
+        judges = [SimulatedPhraseJudge(truth, noise=0.3, seed=s)
+                  for s in (0, 1, 2)]
+        leaf_paths = [p for p, spec in truth.paths.items()
+                      if not spec.children][:4]
+        good = [truth.normalized_phrases(p) for p in leaf_paths]
+        bad = [["vector machines", "banana helicopter", "query",
+                "random words", "odd pair"] for _ in leaf_paths]
+        pool = {phrase for ranking in good + bad for phrase in ranking}
+        judged = judge_phrases(sorted(pool), judges)
+        assert nkqm_at_k(good, judged, k=4) > nkqm_at_k(bad, judged, k=4)
+
+    def test_bounded_by_one(self, dblp_small):
+        truth = dblp_small.ground_truth
+        judges = [SimulatedPhraseJudge(truth, noise=0.0, seed=0)]
+        rankings = [truth.normalized_phrases((0, 0))]
+        judged = judge_phrases(rankings[0], judges)
+        assert 0 <= nkqm_at_k(rankings, judged, k=3) <= 1.0 + 1e-9
+
+    def test_empty_rankings(self):
+        assert nkqm_at_k([], {"a": [3]}, k=5) == 0.0
+
+
+class TestExpertScores:
+    def test_coherent_list_scores_higher(self, dblp_small):
+        from repro.eval import LabelAffinity
+        affinity = LabelAffinity(dblp_small.corpus)
+        truth = dblp_small.ground_truth
+        coherent = truth.normalized_phrases((0, 0))
+        mixed = [truth.normalized_phrases((a, 0))[0] for a in range(4)]
+        rng = np.random.default_rng(0)
+        assert coherence_score(coherent, affinity, noise=0.0, rng=rng) > \
+            coherence_score(mixed, affinity, noise=0.0, rng=rng)
+
+    def test_quality_score_tracks_judge(self, dblp_small):
+        judge = SimulatedPhraseJudge(dblp_small.ground_truth, noise=0.0,
+                                     seed=0)
+        rng = np.random.default_rng(0)
+        good = phrase_quality_score(["query processing"], judge,
+                                    noise=0.0, rng=rng)
+        bad = phrase_quality_score(["banana helicopter"], judge,
+                                   noise=0.0, rng=rng)
+        assert good > bad
+
+    def test_z_scores_centered(self):
+        scores = z_scores({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert scores["b"] > 0 > scores["a"]
+
+
+class TestMIK:
+    def test_labeling_picks_best_topic(self):
+        rankings = [[("alpha", 1.0), ("shared", 0.9)],
+                    [("beta", 1.0), ("shared", 0.3)]]
+        labels = label_top_phrases(rankings, k=2)
+        assert labels == {"alpha": 0, "beta": 1, "shared": 0}
+
+    def test_oracle_topics_give_high_mi(self, dblp_small):
+        """Perfect per-area rankings give much higher MI than shuffled."""
+        truth = dblp_small.ground_truth
+        corpus = dblp_small.corpus
+        oracle = []
+        for area in range(6):
+            phrases = []
+            for path, spec in truth.paths.items():
+                if path[:1] == (area,) and path:
+                    phrases.extend(truth.normalized_phrases(path))
+            oracle.append([(p, 1.0) for p in phrases])
+        rng = np.random.default_rng(0)
+        pool = [p for ranking in oracle for p, _ in ranking]
+        rng.shuffle(pool)
+        shuffled = [[(p, 1.0) for p in pool[i::6]] for i in range(6)]
+        mi_oracle = mutual_information_at_k(corpus, oracle, k=10)
+        mi_shuffled = mutual_information_at_k(corpus, shuffled, k=10)
+        # A shuffled partition of discriminative phrases still carries
+        # dependence (MI measures association, not grouping quality),
+        # but the aligned grouping must carry visibly more.
+        assert mi_oracle > 1.3 * mi_shuffled
+
+    def test_mi_nonnegative(self, dblp_small):
+        rankings = [[("data", 1.0)], [("learning", 1.0)]]
+        value = mutual_information_at_k(dblp_small.corpus, rankings, k=1)
+        assert value >= 0
+
+
+class TestRobustness:
+    def test_alignment_recovers_permutation(self):
+        rng = np.random.default_rng(0)
+        reference = rng.dirichlet(np.ones(10), size=4)
+        permuted = reference[[2, 0, 3, 1]]
+        aligned = align_topics(reference, permuted)
+        assert np.allclose(aligned, reference)
+
+    def test_identical_runs_zero_discrepancy(self):
+        rng = np.random.default_rng(0)
+        phi = rng.dirichlet(np.ones(8), size=3)
+        assert pairwise_discrepancy([phi, phi.copy()]) == pytest.approx(0.0)
+
+    def test_different_runs_positive(self):
+        rng = np.random.default_rng(0)
+        a = rng.dirichlet(np.ones(8), size=3)
+        b = rng.dirichlet(np.ones(8), size=3)
+        assert pairwise_discrepancy([a, b]) > 0
+
+    def test_recovery_error_zero_for_exact(self):
+        rng = np.random.default_rng(0)
+        phi = rng.dirichlet(np.ones(8), size=3)
+        assert recovery_error(phi, phi[[1, 0, 2]]) == pytest.approx(0.0)
+
+    def test_run_variability_calls_fit(self):
+        calls = []
+
+        def fit(seed):
+            calls.append(seed)
+            rng = np.random.default_rng(seed)
+            return rng.dirichlet(np.ones(6), size=2)
+
+        value = run_variability(fit, num_runs=3, seeds=(0, 1, 2))
+        assert calls == [0, 1, 2]
+        assert value > 0

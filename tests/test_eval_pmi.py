@@ -1,0 +1,95 @@
+"""Tests for PMI / HPMI metrics (Eq. 3.44-3.45)."""
+
+import pytest
+
+from repro.corpus import Corpus
+from repro.eval import CooccurrenceStatistics, hpmi, hpmi_table, \
+    top_frequency_topic
+from repro.network import TERM_TYPE
+
+
+@pytest.fixture
+def stats_corpus():
+    texts = ["alpha beta"] * 10 + ["gamma delta"] * 10 + ["alpha gamma"]
+    entities = ([{"venue": ["V1"]}] * 10 + [{"venue": ["V2"]}] * 10
+                + [{"venue": ["V1"]}])
+    return Corpus.from_texts(texts, entities=entities)
+
+
+class TestPMI:
+    def test_cooccurring_pair_positive(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        assert stats.pmi(TERM_TYPE, "alpha", TERM_TYPE, "beta") > 0
+
+    def test_never_cooccurring_pair_negative(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        assert stats.pmi(TERM_TYPE, "beta", TERM_TYPE, "delta") < 0
+
+    def test_unknown_item_finite(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        value = stats.pmi(TERM_TYPE, "zzz", TERM_TYPE, "alpha")
+        assert value == value  # not NaN
+        assert value < 0
+
+    def test_cross_type_pmi(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        assert stats.pmi(TERM_TYPE, "alpha", "venue", "V1") > \
+            stats.pmi(TERM_TYPE, "alpha", "venue", "V2")
+
+    def test_probability(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        assert stats.probability(TERM_TYPE, "alpha") == pytest.approx(11 / 21)
+
+
+class TestHPMI:
+    def test_coherent_topic_beats_mixed(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        coherent = {TERM_TYPE: ["alpha", "beta"]}
+        mixed = {TERM_TYPE: ["alpha", "delta"]}
+        assert hpmi(stats, coherent, TERM_TYPE, TERM_TYPE) > \
+            hpmi(stats, mixed, TERM_TYPE, TERM_TYPE)
+
+    def test_empty_topic_scores_zero(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        assert hpmi(stats, {}, TERM_TYPE, TERM_TYPE) == 0.0
+
+    def test_table_has_overall(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        topics = [{TERM_TYPE: ["alpha", "beta"], "venue": ["V1"]},
+                  {TERM_TYPE: ["gamma", "delta"], "venue": ["V2"]}]
+        table = hpmi_table(stats, topics,
+                           [(TERM_TYPE, TERM_TYPE), (TERM_TYPE, "venue")])
+        assert set(table) == {"term-term", "term-venue", "overall"}
+
+    def test_venue_override_limits_k(self, stats_corpus):
+        stats = CooccurrenceStatistics(stats_corpus)
+        topics = [{TERM_TYPE: ["alpha", "beta"], "venue": ["V1", "V2"]}]
+        limited = hpmi_table(stats, topics, [(TERM_TYPE, "venue")],
+                             top_k_overrides={"venue": 1})
+        full = hpmi_table(stats, topics, [(TERM_TYPE, "venue")])
+        assert limited["term-venue"] != full["term-venue"]
+
+
+class TestTopKBaseline:
+    def test_returns_most_frequent(self, stats_corpus):
+        topic = top_frequency_topic(stats_corpus, ["venue"], top_k=2)
+        assert topic[TERM_TYPE][0] in ("alpha", "gamma")
+        assert topic["venue"][0] == "V1"
+
+    def test_method_ordering_on_dblp(self, dblp_small):
+        """Sanity: a ground-truth-pure topic outscores the TopK topic."""
+        corpus = dblp_small.corpus
+        stats = CooccurrenceStatistics(corpus)
+        truth = dblp_small.ground_truth
+        # Build an oracle topic from one true area's vocabulary.
+        area = truth.hierarchy.children[0]
+        words = [w for child in area.children
+                 for w in child.all_words()][:20]
+        venues = [v for v, path in truth.entity_topics["venue"].items()
+                  if path == (0,)]
+        oracle = {TERM_TYPE: words, "venue": venues[:3]}
+        baseline = top_frequency_topic(corpus, ["venue"])
+        link_types = [(TERM_TYPE, TERM_TYPE), (TERM_TYPE, "venue")]
+        oracle_score = hpmi_table(stats, [oracle], link_types)["overall"]
+        topk_score = hpmi_table(stats, [baseline], link_types)["overall"]
+        assert oracle_score > topk_score

@@ -1,0 +1,129 @@
+"""Tests for repro.hierarchy."""
+
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.hierarchy import (Topic, TopicalHierarchy, notation_to_path,
+                             path_to_notation)
+
+
+class TestNotation:
+    def test_root(self):
+        assert path_to_notation(()) == "o"
+
+    def test_nested_one_based(self):
+        assert path_to_notation((0, 1)) == "o/1/2"
+
+    def test_roundtrip(self):
+        for path in [(), (0,), (2, 1, 0)]:
+            assert notation_to_path(path_to_notation(path)) == path
+
+    def test_bad_notation_raises(self):
+        with pytest.raises(DataError):
+            notation_to_path("x/1")
+        with pytest.raises(DataError):
+            notation_to_path("o/abc")
+
+
+@pytest.fixture
+def small_tree():
+    hierarchy = TopicalHierarchy()
+    a = hierarchy.root.add_child(Topic(rho=0.6))
+    b = hierarchy.root.add_child(Topic(rho=0.4))
+    a.add_child(Topic(rho=0.3))
+    a.add_child(Topic(rho=0.3))
+    a.phi["term"] = {"query": 0.5, "database": 0.3, "index": 0.2}
+    a.phrases = [("query processing", 1.0), ("database systems", 0.5)]
+    a.entity_ranks["venue"] = [("SIGMOD", 0.4), ("VLDB", 0.3)]
+    return hierarchy, a, b
+
+
+class TestTopic:
+    def test_paths_assigned_on_add(self, small_tree):
+        hierarchy, a, b = small_tree
+        assert a.path == (0,)
+        assert b.path == (1,)
+        assert a.children[1].path == (0, 1)
+
+    def test_notation_and_level(self, small_tree):
+        _, a, _ = small_tree
+        assert a.notation == "o/1"
+        assert a.children[0].notation == "o/1/1"
+        assert a.children[0].level == 2
+
+    def test_top_words_sorted(self, small_tree):
+        _, a, _ = small_tree
+        assert a.top_words("term", 2) == ["query", "database"]
+
+    def test_top_phrases_and_entities(self, small_tree):
+        _, a, _ = small_tree
+        assert a.top_phrases(1) == ["query processing"]
+        assert a.top_entities("venue", 1) == ["SIGMOD"]
+
+    def test_phi_vector_order(self, small_tree):
+        _, a, _ = small_tree
+        vec = a.phi_vector("term", ["database", "missing"])
+        assert vec[0] == pytest.approx(0.3)
+        assert vec[1] == 0.0
+
+    def test_is_leaf(self, small_tree):
+        _, a, b = small_tree
+        assert b.is_leaf
+        assert not a.is_leaf
+
+
+class TestHierarchy:
+    def test_preorder_traversal(self, small_tree):
+        hierarchy, _, _ = small_tree
+        notations = [t.notation for t in hierarchy.topics()]
+        assert notations == ["o", "o/1", "o/1/1", "o/1/2", "o/2"]
+
+    def test_lookup_by_notation_and_path(self, small_tree):
+        hierarchy, a, _ = small_tree
+        assert hierarchy.topic("o/1") is a
+        assert hierarchy.topic((0, 1)) is a.children[1]
+
+    def test_lookup_missing_raises(self, small_tree):
+        hierarchy, _, _ = small_tree
+        with pytest.raises(DataError):
+            hierarchy.topic("o/9")
+
+    def test_parent_of(self, small_tree):
+        hierarchy, a, _ = small_tree
+        assert hierarchy.parent_of(a) is hierarchy.root
+        assert hierarchy.parent_of(hierarchy.root) is None
+        assert hierarchy.parent_of(a.children[0]) is a
+
+    def test_shape_stats(self, small_tree):
+        hierarchy, _, _ = small_tree
+        assert hierarchy.height == 2
+        assert hierarchy.width == 2
+        assert hierarchy.num_topics == 5
+
+    def test_leaves(self, small_tree):
+        hierarchy, _, _ = small_tree
+        assert [t.notation for t in hierarchy.leaves()] == \
+            ["o/1/1", "o/1/2", "o/2"]
+
+    def test_to_json_parses(self, small_tree):
+        hierarchy, _, _ = small_tree
+        data = json.loads(hierarchy.to_json())
+        assert data["notation"] == "o"
+        assert len(data["children"]) == 2
+
+    def test_render_contains_phrases(self, small_tree):
+        hierarchy, _, _ = small_tree
+        text = hierarchy.render(entity_types=["venue"])
+        assert "query processing" in text
+        assert "SIGMOD" in text
+
+    def test_root_must_have_empty_path(self):
+        with pytest.raises(DataError):
+            TopicalHierarchy(root=Topic(path=(0,)))
+
+    def test_map_topics(self, small_tree):
+        hierarchy, _, _ = small_tree
+        hierarchy.map_topics(lambda t: t.entity_ranks.setdefault("x", []))
+        assert all("x" in t.entity_ranks for t in hierarchy.topics())

@@ -1,0 +1,107 @@
+"""Tests for repro.network.weighted."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.network import HeterogeneousNetwork, canonical_link_type
+
+
+@pytest.fixture
+def net():
+    network = HeterogeneousNetwork(node_types=["term", "author"])
+    t0 = network.add_node("term", "query")
+    t1 = network.add_node("term", "database")
+    a0 = network.add_node("author", "alice")
+    network.add_link("term", t0, "term", t1, 2.0)
+    network.add_link("term", t0, "author", a0, 1.0)
+    return network
+
+
+class TestCanonicalLinkType:
+    def test_orders_lexicographically(self):
+        assert canonical_link_type("venue", "author") == ("author", "venue")
+        assert canonical_link_type("author", "venue") == ("author", "venue")
+
+
+class TestNodes:
+    def test_add_node_idempotent(self, net):
+        assert net.add_node("term", "query") == 0
+        assert net.node_count("term") == 2
+
+    def test_node_id_lookup(self, net):
+        assert net.node_id("author", "alice") == 0
+
+    def test_unknown_node_raises(self, net):
+        with pytest.raises(DataError):
+            net.node_id("author", "nobody")
+
+    def test_unknown_type_raises(self, net):
+        with pytest.raises(DataError):
+            net.node_names("person")
+
+    def test_has_node(self, net):
+        assert net.has_node("term", "query")
+        assert not net.has_node("term", "missing")
+
+
+class TestLinks:
+    def test_weight_accumulates(self, net):
+        net.add_link("term", 0, "term", 1, 3.0)
+        assert net.link_weight("term", 0, "term", 1) == 5.0
+
+    def test_undirected_symmetry(self, net):
+        assert net.link_weight("term", 1, "term", 0) == 2.0
+
+    def test_cross_type_order_irrelevant(self, net):
+        assert net.link_weight("author", 0, "term", 0) == 1.0
+        assert net.link_weight("term", 0, "author", 0) == 1.0
+
+    def test_absent_link_is_zero(self, net):
+        assert net.link_weight("term", 1, "author", 0) == 0.0
+
+    def test_negative_weight_rejected(self, net):
+        with pytest.raises(DataError):
+            net.add_link("term", 0, "term", 1, -1.0)
+
+    def test_set_link_overwrites(self, net):
+        net.set_link("term", 0, "term", 1, 7.0)
+        assert net.link_weight("term", 0, "term", 1) == 7.0
+
+    def test_set_link_zero_removes(self, net):
+        net.set_link("term", 0, "term", 1, 0.0)
+        assert net.num_links(("term", "term")) == 0
+
+    def test_link_types_sorted_nonempty(self, net):
+        assert net.link_types() == [("author", "term"), ("term", "term")]
+
+    def test_total_weight(self, net):
+        assert net.total_weight() == 3.0
+        assert net.total_weight(("term", "term")) == 2.0
+
+    def test_out_of_range_index_rejected(self, net):
+        with pytest.raises(DataError):
+            net.add_link("term", 0, "term", 99, 1.0)
+
+
+class TestDegree:
+    def test_degree_counts_incident_weight(self, net):
+        assert net.degree("term", 0) == 3.0
+        assert net.degree("author", 0) == 1.0
+
+
+class TestSubnetwork:
+    def test_threshold_filters_links(self, net):
+        sub = net.subnetwork({("term", "term"): {(0, 1): 0.5}},
+                             min_weight=1.0)
+        assert sub.num_links() == 0
+
+    def test_nodes_keep_identity(self, net):
+        sub = net.subnetwork({("term", "term"): {(0, 1): 2.0}})
+        assert sub.node_names("term") == ["query", "database"]
+        assert sub.link_weight("term", 0, "term", 1) == 2.0
+
+    def test_isolated_nodes_not_added(self, net):
+        sub = net.subnetwork({("author", "term"): {(0, 0): 1.5}})
+        assert "author" in sub.node_types()
+        assert sub.node_count("author") == 1
+        assert sub.node_count("term") == 1

@@ -1,0 +1,98 @@
+"""Tests for hierarchy phrase decoration (Definition 3 / Eq. 4.3)."""
+
+import pytest
+
+from repro.cathy import BuilderConfig, HierarchyBuilder
+from repro.phrases import (attach_entity_rankings, attach_phrases,
+                           compute_topic_phrase_frequencies,
+                           mine_frequent_phrases)
+
+
+@pytest.fixture(scope="module")
+def decorated():
+    from repro.datasets import DBLPConfig, generate_dblp
+    from repro.network import build_collapsed_network
+    dataset = generate_dblp(DBLPConfig(max_authors=100), seed=3)
+    network = build_collapsed_network(dataset.corpus)
+    builder = HierarchyBuilder(
+        BuilderConfig(num_children=[6, 3], max_depth=2,
+                      weight_mode="learn", max_iter=60), seed=0)
+    hierarchy = builder.build(network)
+    counts = attach_phrases(hierarchy, dataset.corpus)
+    attach_entity_rankings(hierarchy)
+    return dataset, hierarchy, counts
+
+
+class TestFrequencyFlow:
+    def test_child_frequencies_bounded_by_parent(self, decorated):
+        dataset, hierarchy, counts = decorated
+        table, _ = compute_topic_phrase_frequencies(
+            hierarchy, dataset.corpus, counts=counts)
+        for topic in hierarchy.topics():
+            if not topic.children:
+                continue
+            parent = table[topic.notation]
+            child_sums = {}
+            for child in topic.children:
+                for phrase, value in table[child.notation].items():
+                    child_sums[phrase] = child_sums.get(phrase, 0.0) + value
+            for phrase, total in child_sums.items():
+                assert total <= parent.get(phrase, 0.0) + 1e-6
+
+    def test_root_frequencies_match_counts(self, decorated):
+        dataset, hierarchy, counts = decorated
+        table, _ = compute_topic_phrase_frequencies(
+            hierarchy, dataset.corpus, counts=counts)
+        root = table["o"]
+        for phrase, value in root.items():
+            assert value == pytest.approx(counts.frequency(phrase))
+
+
+class TestDecoration:
+    def test_all_topics_have_phrases(self, decorated):
+        _, hierarchy, _ = decorated
+        missing = [t.notation for t in hierarchy.topics() if not t.phrases]
+        assert not missing
+
+    def test_child_phrase_lists_differ_from_siblings(self, decorated):
+        _, hierarchy, _ = decorated
+        for topic in hierarchy.topics():
+            lists = [set(c.top_phrases(5)) for c in topic.children]
+            for i, a in enumerate(lists):
+                for b in lists[i + 1:]:
+                    assert len(a & b) <= 2
+
+    def test_entity_rankings_attached(self, decorated):
+        _, hierarchy, _ = decorated
+        for child in hierarchy.root.children:
+            assert child.entity_ranks.get("author")
+            assert child.entity_ranks.get("venue")
+
+    def test_unigram_restriction(self, decorated):
+        dataset, hierarchy, counts = decorated
+        attach_phrases(hierarchy, dataset.corpus, counts=counts,
+                       max_phrase_tokens=1)
+        for topic in hierarchy.topics():
+            assert all(" " not in p for p, _ in topic.phrases)
+
+    def test_top_level_topics_match_areas(self, decorated):
+        """Each level-1 topic's phrases concentrate in one true area."""
+        dataset, hierarchy, counts = decorated
+        attach_phrases(hierarchy, dataset.corpus, counts=counts)
+        truth = dataset.ground_truth
+        phrase_area = {}
+        for path, spec in truth.paths.items():
+            if not path:
+                continue
+            for phrase in truth.normalized_phrases(path):
+                phrase_area.setdefault(phrase, path[0])
+        pure = 0
+        for child in hierarchy.root.children:
+            areas = [phrase_area[p] for p in child.top_phrases(8)
+                     if p in phrase_area]
+            if not areas:
+                continue
+            modal = max(set(areas), key=areas.count)
+            if areas.count(modal) / len(areas) >= 0.6:
+                pure += 1
+        assert pure >= 4

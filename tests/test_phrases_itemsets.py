@@ -1,0 +1,89 @@
+"""Tests for frequent itemset mining (the original KERT candidate source)."""
+
+import pytest
+
+from repro.corpus import Corpus
+from repro.errors import ConfigurationError
+from repro.phrases import (KERT, KERTConfig, canonical_orders,
+                           itemsets_as_phrase_counts,
+                           mine_frequent_itemsets)
+
+
+@pytest.fixture
+def title_corpus():
+    # "support vector machines" words co-occur regardless of order.
+    texts = (["machines for support vector tasks"] * 4
+             + ["support vector machines"] * 4
+             + ["support beams", "vector graphics", "machines parts"])
+    return Corpus.from_texts(texts)
+
+
+def ids(corpus, words):
+    return frozenset(corpus.vocabulary.id_of(w) for w in words.split())
+
+
+class TestMining:
+    def test_counts_document_frequency(self, title_corpus):
+        itemsets = mine_frequent_itemsets(title_corpus, min_support=3)
+        assert itemsets[ids(title_corpus, "support vector machines")] == 8
+        assert itemsets[ids(title_corpus, "support")] == 9
+
+    def test_min_support_filters(self, title_corpus):
+        itemsets = mine_frequent_itemsets(title_corpus, min_support=5)
+        assert ids(title_corpus, "support beams") not in itemsets
+
+    def test_downward_closure(self, dblp_small):
+        itemsets = mine_frequent_itemsets(dblp_small.corpus,
+                                          min_support=8, max_size=3)
+        from itertools import combinations
+        for itemset, count in itemsets.items():
+            if len(itemset) < 2:
+                continue
+            for sub in combinations(itemset, len(itemset) - 1):
+                assert frozenset(sub) in itemsets
+                assert itemsets[frozenset(sub)] >= count
+
+    def test_max_size_respected(self, title_corpus):
+        itemsets = mine_frequent_itemsets(title_corpus, min_support=3,
+                                          max_size=2)
+        assert max(len(s) for s in itemsets) == 2
+
+    def test_invalid_support(self, title_corpus):
+        with pytest.raises(ConfigurationError):
+            mine_frequent_itemsets(title_corpus, min_support=0)
+
+
+class TestCanonicalOrders:
+    def test_majority_order_wins(self, title_corpus):
+        itemsets = mine_frequent_itemsets(title_corpus, min_support=3)
+        orders = canonical_orders(title_corpus, itemsets)
+        svm = ids(title_corpus, "support vector machines")
+        words = [title_corpus.vocabulary.word_of(w) for w in orders[svm]]
+        # 4 docs say machines..support..vector, 4 say support vector
+        # machines; the tie breaks deterministically.
+        assert set(words) == {"support", "vector", "machines"}
+
+    def test_singleton_order(self, title_corpus):
+        itemsets = mine_frequent_itemsets(title_corpus, min_support=3)
+        orders = canonical_orders(title_corpus, itemsets)
+        single = ids(title_corpus, "support")
+        assert orders[single] == (title_corpus.vocabulary.id_of("support"),)
+
+
+class TestPhraseCountsAdapter:
+    def test_kert_ranks_itemset_patterns(self, dblp_small):
+        from repro.baselines import LDAGibbs
+        corpus = dblp_small.corpus
+        counts = itemsets_as_phrase_counts(corpus, min_support=10,
+                                           max_size=3)
+        lda = LDAGibbs(num_topics=6, iterations=10, seed=0).fit(
+            [d.tokens for d in corpus], len(corpus.vocabulary))
+        ranked = KERT(KERTConfig(min_support=10)).rank_strings(
+            corpus, lda.to_flat(), counts=counts, top_k=5)
+        assert len(ranked) == 6
+        assert any(topic for topic in ranked)
+
+    def test_adapter_constants(self, title_corpus):
+        counts = itemsets_as_phrase_counts(title_corpus, min_support=3)
+        assert counts.num_documents == len(title_corpus)
+        assert counts.num_tokens == title_corpus.num_tokens

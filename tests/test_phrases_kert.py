@@ -1,0 +1,119 @@
+"""Tests for KERT ranking (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus
+from repro.errors import ConfigurationError
+from repro.phrases import (KERT, KERTConfig, FlatTopicModel,
+                           completeness_scores, mine_frequent_phrases,
+                           phrase_topic_posterior, topical_frequencies)
+
+
+@pytest.fixture
+def two_topic_setup():
+    """Two clean topics with one signature collocation each."""
+    texts = (["support vector machines learning"] * 10
+             + ["query processing database queries"] * 10)
+    corpus = Corpus.from_texts(texts)
+    vocab = corpus.vocabulary
+    k, v = 2, len(vocab)
+    phi = np.full((k, v), 1e-6)
+    for word in ["support", "vector", "machines", "learning"]:
+        phi[0, vocab.id_of(word)] = 0.25
+    for word in ["query", "processing", "database", "queries"]:
+        phi[1, vocab.id_of(word)] = 0.25
+    phi /= phi.sum(axis=1, keepdims=True)
+    model = FlatTopicModel(rho=np.array([0.5, 0.5]), phi=phi)
+    counts = mine_frequent_phrases(corpus, min_support=3)
+    return corpus, model, counts
+
+
+class TestTopicalFrequency:
+    def test_posterior_peaks_on_generating_topic(self, two_topic_setup):
+        corpus, model, _ = two_topic_setup
+        phrase = tuple(corpus.vocabulary.id_of(w)
+                       for w in ["support", "vector"])
+        posterior = phrase_topic_posterior(phrase, model)
+        assert posterior[0] > 0.99
+
+    def test_frequencies_sum_to_total(self, two_topic_setup):
+        corpus, model, counts = two_topic_setup
+        freqs = topical_frequencies(counts, model)
+        for phrase, vector in freqs.items():
+            assert vector.sum() == pytest.approx(
+                counts.frequency(phrase), rel=1e-6)
+
+
+class TestCompleteness:
+    def test_incomplete_subphrase_detected(self, two_topic_setup):
+        corpus, _, counts = two_topic_setup
+        scores = completeness_scores(counts)
+        vector_machines = tuple(corpus.vocabulary.id_of(w)
+                                for w in ["vector", "machines"])
+        svm = tuple(corpus.vocabulary.id_of(w)
+                    for w in ["support", "vector", "machines"])
+        # "vector machines" always extends to the trigram: incomplete.
+        assert scores[vector_machines] == pytest.approx(0.0)
+        # The 4-gram has no extension at all: fully complete.
+        full = svm + (corpus.vocabulary.id_of("learning"),)
+        assert scores[full] == pytest.approx(1.0)
+
+
+class TestKERTRanking:
+    def test_signature_phrases_ranked_first(self, two_topic_setup):
+        corpus, model, counts = two_topic_setup
+        kert = KERT(KERTConfig(min_support=3))
+        ranked = kert.rank_strings(corpus, model, counts=counts, top_k=3)
+        tops = {ranked[0][0][0], ranked[1][0][0]}
+        assert "support vector machines learning" in tops
+        assert "query processing database queries" in tops
+
+    def test_incomplete_phrases_filtered(self, two_topic_setup):
+        corpus, model, counts = two_topic_setup
+        kert = KERT(KERTConfig(min_support=3, gamma=0.5))
+        ranked = kert.rank_strings(corpus, model, counts=counts, top_k=20)
+        for topic in ranked:
+            phrases = [p for p, _ in topic]
+            assert "vector machines" not in phrases
+
+    def test_no_completeness_keeps_fragments(self, two_topic_setup):
+        corpus, model, counts = two_topic_setup
+        kert = KERT(KERTConfig(min_support=3, use_completeness=False))
+        ranked = kert.rank_strings(corpus, model, counts=counts, top_k=50)
+        all_phrases = {p for topic in ranked for p, _ in topic}
+        assert "vector machines" in all_phrases
+
+    def test_purity_separates_topics(self, dblp_small):
+        """With purity on, the two topics' top phrases don't overlap."""
+        from repro.baselines import LDAGibbs
+        corpus = dblp_small.corpus
+        lda = LDAGibbs(num_topics=6, iterations=15, seed=0).fit(
+            [d.tokens for d in corpus], len(corpus.vocabulary))
+        kert = KERT(KERTConfig(min_support=5))
+        ranked = kert.rank_strings(corpus, lda.to_flat(), top_k=5)
+        top_sets = [set(p for p, _ in topic) for topic in ranked]
+        overlaps = sum(len(a & b) for i, a in enumerate(top_sets)
+                       for b in top_sets[i + 1:])
+        assert overlaps <= 3
+
+    def test_scores_positive_and_sorted(self, two_topic_setup):
+        corpus, model, counts = two_topic_setup
+        results = KERT(KERTConfig(min_support=3)).rank(corpus, model,
+                                                       counts=counts)
+        for topic in results:
+            scores = [s for _, s in topic.ranked]
+            assert all(s > 0 for s in scores)
+            assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            KERTConfig(gamma=2.0)
+        with pytest.raises(ConfigurationError):
+            KERTConfig(omega=-0.1)
+
+    def test_max_phrase_length_one_gives_unigrams(self, two_topic_setup):
+        corpus, model, counts = two_topic_setup
+        kert = KERT(KERTConfig(min_support=3, max_phrase_length=1))
+        ranked = kert.rank_strings(corpus, model, top_k=10)
+        assert all(" " not in p for topic in ranked for p, _ in topic)

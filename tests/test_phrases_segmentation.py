@@ -1,0 +1,104 @@
+"""Tests for significance scoring and segmentation (Algorithm 2)."""
+
+import pytest
+
+from repro.corpus import Corpus
+from repro.phrases import (merge_significance, mine_frequent_phrases,
+                           partition_is_valid, phrase_significance,
+                           segment_chunk, segment_corpus, segment_document)
+
+
+@pytest.fixture
+def collocation_corpus():
+    """'support vector machines' is a true collocation; 'noise' words are
+    independent fillers."""
+    tails = ["classification", "regression", "ranking", "clustering"]
+    texts = [f"support vector machines {tail}" for tail in tails * 3] + [
+        "support research", "vector field", "machines industry",
+        "classification taxonomy", "support question", "vector art",
+        "machines factory", "classification biology",
+    ]
+    return Corpus.from_texts(texts)
+
+
+class TestSignificance:
+    def test_true_collocation_significant(self, collocation_corpus):
+        corpus = collocation_corpus
+        counts = mine_frequent_phrases(corpus, min_support=3)
+        sv = merge_significance(
+            counts,
+            (corpus.vocabulary.id_of("support"),),
+            (corpus.vocabulary.id_of("vector"),))
+        assert sv > 2.0
+
+    def test_unfrequent_merge_is_never(self, collocation_corpus):
+        corpus = collocation_corpus
+        counts = mine_frequent_phrases(corpus, min_support=3)
+        score = merge_significance(
+            counts,
+            (corpus.vocabulary.id_of("support"),),
+            (corpus.vocabulary.id_of("research"),))
+        assert score == float("-inf")
+
+    def test_unigram_significance_is_one(self, collocation_corpus):
+        counts = mine_frequent_phrases(collocation_corpus, min_support=3)
+        assert phrase_significance(counts, (0,)) == 1.0
+
+    def test_phrase_significance_uses_best_split(self, collocation_corpus):
+        corpus = collocation_corpus
+        counts = mine_frequent_phrases(corpus, min_support=3)
+        trigram = tuple(corpus.vocabulary.id_of(w)
+                        for w in ["support", "vector", "machines"])
+        assert phrase_significance(counts, trigram) > 2.0
+
+
+class TestSegmentation:
+    def test_collocation_merged(self, collocation_corpus):
+        corpus = collocation_corpus
+        counts = mine_frequent_phrases(corpus, min_support=3)
+        partition = segment_document(corpus[0], counts, alpha=2.0)
+        phrases = [tuple(corpus.vocabulary.decode(list(p)))
+                   for p in partition]
+        assert ("support", "vector", "machines") in phrases
+
+    def test_partition_property(self, collocation_corpus):
+        corpus = collocation_corpus
+        counts = mine_frequent_phrases(corpus, min_support=3)
+        for doc in corpus:
+            partition = segment_document(doc, counts, alpha=2.0)
+            assert partition_is_valid(doc, partition)
+
+    def test_partition_property_on_dblp(self, dblp_small):
+        counts = mine_frequent_phrases(dblp_small.corpus, min_support=5)
+        partitions = segment_corpus(dblp_small.corpus, counts, alpha=2.0)
+        for doc, partition in zip(dblp_small.corpus, partitions):
+            assert partition_is_valid(doc, partition)
+
+    def test_high_threshold_keeps_unigrams(self, collocation_corpus):
+        corpus = collocation_corpus
+        counts = mine_frequent_phrases(corpus, min_support=3)
+        partition = segment_chunk(corpus[0].chunks[0], counts, alpha=10**9)
+        assert all(len(p) == 1 for p in partition)
+
+    def test_empty_and_single_chunks(self, collocation_corpus):
+        counts = mine_frequent_phrases(collocation_corpus, min_support=3)
+        assert segment_chunk([], counts) == []
+        assert segment_chunk([0], counts) == [(0,)]
+
+    def test_planted_phrases_segmented(self, dblp_small):
+        """Most planted multiword phrases survive segmentation intact."""
+        corpus = dblp_small.corpus
+        counts = mine_frequent_phrases(corpus, min_support=5)
+        partitions = segment_corpus(corpus, counts, alpha=2.0)
+        vocab = corpus.vocabulary
+        truth = dblp_small.ground_truth
+        planted = set()
+        for path, spec in truth.paths.items():
+            for phrase in truth.normalized_phrases(path):
+                words = phrase.split()
+                if len(words) >= 2:
+                    planted.add(tuple(vocab.id_of(w) for w in words))
+        segmented = {p for partition in partitions for p in partition
+                     if len(p) >= 2}
+        recovered = sum(1 for p in planted if p in segmented)
+        assert recovered / max(len(planted), 1) > 0.8

@@ -1,0 +1,90 @@
+"""Tests for the ToPMine pipeline (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.phrases import ToPMine, ToPMineConfig, partition_is_valid
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    from repro.datasets import DBLPConfig, generate_dblp
+    dataset = generate_dblp(DBLPConfig(max_authors=60), seed=3)
+    topmine = ToPMine(ToPMineConfig(num_topics=6, lda_iterations=20),
+                      seed=0)
+    return dataset, topmine.fit(dataset.corpus)
+
+
+class TestPipeline:
+    def test_partitions_valid(self, fitted):
+        dataset, result = fitted
+        for doc, partition in zip(dataset.corpus, result.partitions):
+            assert partition_is_valid(doc, partition)
+
+    def test_model_shapes(self, fitted):
+        dataset, result = fitted
+        assert result.model.num_topics == 6
+        assert result.model.vocab_size == len(dataset.corpus.vocabulary)
+        assert np.allclose(result.model.phi.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_doc_topics_are_distributions(self, fitted):
+        _, result = fitted
+        assert np.allclose(result.doc_topics.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_rankings_sorted_descending(self, fitted):
+        _, result = fitted
+        for ranking in result.rankings:
+            scores = [s for _, s in ranking]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_topics_have_multiword_phrases(self, fitted):
+        _, result = fitted
+        topics_with_phrases = sum(
+            1 for ranking in result.rankings
+            if any(len(p) >= 2 for p, _ in ranking[:10]))
+        assert topics_with_phrases >= 4
+
+    def test_top_phrases_topically_pure(self, fitted):
+        """Top phrases of each topic mostly come from one true area."""
+        dataset, result = fitted
+        truth = dataset.ground_truth
+        vocab = dataset.corpus.vocabulary
+        phrase_area = {}
+        for path, spec in truth.paths.items():
+            if not path:
+                continue
+            for phrase in truth.normalized_phrases(path):
+                key = tuple(vocab.id_of(w) for w in phrase.split()
+                            if w in vocab)
+                phrase_area[key] = path[0]
+        pure = 0
+        scored = 0
+        for ranking in result.rankings:
+            areas = [phrase_area[p] for p, _ in ranking[:8]
+                     if p in phrase_area]
+            if len(areas) >= 3:
+                scored += 1
+                modal = max(set(areas), key=areas.count)
+                if areas.count(modal) / len(areas) >= 0.6:
+                    pure += 1
+        assert scored >= 4
+        assert pure / scored >= 0.6
+
+    def test_phrase_topic_counts_match_frequency(self, fitted):
+        _, result = fitted
+        for phrase, vector in result.phrase_topic_counts.items():
+            occurrences = sum(partition.count(phrase)
+                              for partition in result.partitions)
+            assert vector.sum() == pytest.approx(occurrences)
+
+    def test_top_phrases_renders_strings(self, fitted):
+        dataset, result = fitted
+        rendered = result.top_phrases(0, 3, dataset.corpus)
+        assert all(isinstance(p, str) for p in rendered)
+
+    def test_mine_only_entry_point(self, fitted):
+        dataset, _ = fitted
+        topmine = ToPMine(ToPMineConfig(num_topics=2), seed=0)
+        counts, partitions = topmine.mine(dataset.corpus)
+        assert len(partitions) == len(dataset.corpus)
+        assert len(counts) > 0

@@ -1,0 +1,71 @@
+"""Tests for the temporal collaboration network (Section 6.1.1)."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.relations import CollaborationNetwork, YearSeries
+
+
+class TestYearSeries:
+    def test_add_and_cumulative(self):
+        series = YearSeries()
+        series.add(2000, 2)
+        series.add(2002)
+        assert series.cumulative(2000) == 2
+        assert series.cumulative(2001) == 2
+        assert series.cumulative(2002) == 3
+
+    def test_first_last_year(self):
+        series = YearSeries({2001: 1, 1999: 3})
+        assert series.first_year == 1999
+        assert series.last_year == 2001
+
+    def test_empty_series(self):
+        series = YearSeries()
+        assert series.first_year is None
+        assert series.total() == 0
+
+
+class TestCollaborationNetwork:
+    @pytest.fixture
+    def network(self):
+        return CollaborationNetwork.from_papers([
+            (["ada", "bob"], 2000),
+            (["ada", "bob"], 2001),
+            (["ada"], 1995),
+            (["bob", "carl"], 2002),
+        ])
+
+    def test_author_series(self, network):
+        assert network.series_of("ada").total() == 3
+        assert network.series_of("ada").first_year == 1995
+        assert network.series_of("bob").first_year == 2000
+
+    def test_pair_series_unordered(self, network):
+        assert network.pair("ada", "bob").total() == 2
+        assert network.pair("bob", "ada").total() == 2
+        assert network.pair("ada", "carl") is None
+
+    def test_coauthors(self, network):
+        assert network.coauthors("bob") == ["ada", "carl"]
+
+    def test_duplicate_authors_on_paper_deduplicated(self):
+        network = CollaborationNetwork.from_papers([
+            (["x", "x", "y"], 2000)])
+        assert network.series_of("x").total() == 1
+        assert network.pair("x", "y").total() == 1
+
+    def test_unknown_author_raises(self, network):
+        with pytest.raises(DataError):
+            network.series_of("nobody")
+
+    def test_from_corpus_requires_years(self, tiny_corpus):
+        network = CollaborationNetwork.from_corpus(tiny_corpus)
+        assert "alice" in network.authors
+
+    def test_from_corpus_missing_year_raises(self):
+        from repro.corpus import Corpus
+        corpus = Corpus.from_texts(["alpha"],
+                                   entities=[{"author": ["a"]}])
+        with pytest.raises(DataError):
+            CollaborationNetwork.from_corpus(corpus)

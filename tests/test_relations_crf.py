@@ -1,0 +1,105 @@
+"""Tests for supervised relation learning (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.relations import (FEATURE_NAMES, CollaborationNetwork,
+                             FeatureScaler, HierarchicalRelationCRF,
+                             SupervisedPairClassifier, build_candidate_graph,
+                             evaluate_predictions, pair_features)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.datasets import DBLPConfig, generate_dblp
+    dataset = generate_dblp(DBLPConfig(max_authors=250), seed=7)
+    network = CollaborationNetwork.from_corpus(dataset.corpus)
+    graph = build_candidate_graph(network)
+    truth = {r.advisee: r.advisor for r in dataset.ground_truth.advising}
+    advisees = sorted(truth)
+    rng = np.random.default_rng(0)
+    rng.shuffle(advisees)
+    half = len(advisees) // 2
+    train = {a: truth[a] for a in advisees[:half]}
+    test = {a: truth[a] for a in advisees[half:]}
+    return network, graph, train, test
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self, setup):
+        network, graph, _, _ = setup
+        author = graph.authors[0]
+        candidate = graph.advisors_of(author)[0]
+        features = pair_features(network, candidate)
+        assert features.shape == (len(FEATURE_NAMES),)
+
+    def test_root_candidate_uses_indicator(self, setup):
+        network, graph, _, _ = setup
+        author = graph.authors[0]
+        root = next(c for c in graph.advisors_of(author)
+                    if c.advisor == "")
+        features = pair_features(network, root)
+        assert features[-1] == 1.0
+        assert np.all(features[:-1] == 0.0)
+
+    def test_scaler_standardizes(self):
+        scaler = FeatureScaler()
+        data = np.array([[1.0, 10.0], [3.0, 10.0], [5.0, 10.0]])
+        scaled = scaler.fit(data[:, :2]).transform(data[:, :2])
+        assert scaled[:, 0].mean() == pytest.approx(0.0, abs=1e-9)
+        # Constant columns survive without division by zero.
+        assert np.all(np.isfinite(scaled))
+
+
+class TestSupervisedClassifier:
+    def test_beats_chance_on_held_out(self, setup):
+        network, graph, train, test = setup
+        classifier = SupervisedPairClassifier(epochs=150, seed=0)
+        classifier.fit(network, graph, train)
+        result = classifier.predict(network, graph)
+        accuracy = evaluate_predictions(result.predictions(), test)
+        assert accuracy.advisee_accuracy > 0.5
+
+    def test_weights_learned(self, setup):
+        network, graph, train, _ = setup
+        classifier = SupervisedPairClassifier(epochs=50, seed=0)
+        classifier.fit(network, graph, train)
+        assert classifier.weights_ is not None
+        assert np.any(classifier.weights_ != 0)
+
+
+class TestCRF:
+    def test_beats_unsupervised_with_training_data(self, setup):
+        from repro.relations import TPFG
+        network, graph, train, test = setup
+        crf = HierarchicalRelationCRF(epochs=150, seed=0)
+        crf.fit(network, graph, train)
+        crf_acc = evaluate_predictions(
+            crf.predict(network, graph).predictions(), test)
+        tpfg_acc = evaluate_predictions(
+            TPFG(max_iter=15).fit(graph).predictions(), test)
+        assert crf_acc.advisee_accuracy >= tpfg_acc.advisee_accuracy
+
+    def test_more_training_data_does_not_hurt(self, setup):
+        network, graph, train, test = setup
+        small_train = dict(list(train.items())[:len(train) // 4])
+        small = HierarchicalRelationCRF(epochs=150, seed=0)
+        small.fit(network, graph, small_train)
+        large = HierarchicalRelationCRF(epochs=150, seed=0)
+        large.fit(network, graph, train)
+        small_acc = evaluate_predictions(
+            small.predict(network, graph).predictions(), test)
+        large_acc = evaluate_predictions(
+            large.predict(network, graph).predictions(), test)
+        assert large_acc.advisee_accuracy >= small_acc.advisee_accuracy - 0.05
+
+    def test_predict_requires_fit(self, setup):
+        network, graph, _, _ = setup
+        with pytest.raises(NotFittedError):
+            HierarchicalRelationCRF().predict(network, graph)
+
+    def test_fit_with_no_labels_raises(self, setup):
+        network, graph, _, _ = setup
+        with pytest.raises(NotFittedError):
+            HierarchicalRelationCRF().fit(network, graph, {})

@@ -1,0 +1,109 @@
+"""Tests for the advising genealogy (Figure 6.2 visualization)."""
+
+import pytest
+
+from repro.relations import (Candidate, CandidateGraph, TPFG,
+                             build_advising_forest, render_genealogy)
+from repro.relations.genealogy import AdvisingEdge, AdvisingForest
+
+
+@pytest.fixture
+def chain_graph():
+    """prof advises senior (1995-1999); senior advises junior (2003-)."""
+    graph = CandidateGraph()
+    graph.candidates["prof"] = [Candidate("prof", "", 1990, 2010, 1.0)]
+    graph.candidates["senior"] = [
+        Candidate("senior", "prof", 1995, 1999, 0.8),
+        Candidate("senior", "", 1995, 2010, 0.2)]
+    graph.candidates["junior"] = [
+        Candidate("junior", "senior", 2003, 2007, 0.7),
+        Candidate("junior", "", 2003, 2010, 0.3)]
+    return graph
+
+
+@pytest.fixture
+def chain_forest(chain_graph):
+    result = TPFG(max_iter=10).fit(chain_graph)
+    return build_advising_forest(result, chain_graph)
+
+
+class TestForestConstruction:
+    def test_chain_structure(self, chain_forest):
+        assert chain_forest.roots == ["prof"]
+        assert [e.advisee for e in chain_forest.children["prof"]] == \
+            ["senior"]
+        assert [e.advisee for e in chain_forest.children["senior"]] == \
+            ["junior"]
+
+    def test_edges_carry_intervals_and_scores(self, chain_forest):
+        edge = chain_forest.children["prof"][0]
+        assert (edge.start, edge.end) == (1995, 1999)
+        assert 0 < edge.score <= 1
+
+    def test_generations(self, chain_forest):
+        assert chain_forest.generation_of("prof") == 0
+        assert chain_forest.generation_of("senior") == 1
+        assert chain_forest.generation_of("junior") == 2
+
+    def test_descendants(self, chain_forest):
+        assert set(chain_forest.descendants("prof")) == \
+            {"senior", "junior"}
+        assert chain_forest.descendants("junior") == []
+
+    def test_children_sorted_by_start_year(self):
+        forest = AdvisingForest(children={"a": [
+            AdvisingEdge("late", "a", 2005, 2008, 0.5),
+            AdvisingEdge("early", "a", 2000, 2003, 0.5)]})
+        # build_advising_forest sorts; hand-built forests may not be, so
+        # sanity-check the sorting contract through the builder instead.
+        graph = CandidateGraph()
+        graph.candidates["a"] = [Candidate("a", "", 1990, 2010, 1.0)]
+        graph.candidates["early"] = [
+            Candidate("early", "a", 2000, 2003, 0.9),
+            Candidate("early", "", 2000, 2010, 0.1)]
+        graph.candidates["late"] = [
+            Candidate("late", "a", 2005, 2008, 0.9),
+            Candidate("late", "", 2005, 2010, 0.1)]
+        result = TPFG(max_iter=10).fit(graph)
+        built = build_advising_forest(result, graph)
+        starts = [e.start for e in built.children["a"]]
+        assert starts == sorted(starts)
+
+
+class TestRendering:
+    def test_full_forest_rendering(self, chain_forest):
+        text = render_genealogy(chain_forest)
+        lines = text.splitlines()
+        assert lines[0] == "prof"
+        assert "+- senior [1995-1999]" in lines[1]
+        assert lines[2].startswith("    +- junior")
+
+    def test_subtree_rendering(self, chain_forest):
+        text = render_genealogy(chain_forest, root="senior")
+        assert text.splitlines()[0] == "senior"
+        assert "junior" in text
+        assert "prof" not in text
+
+    def test_max_depth_cuts(self, chain_forest):
+        text = render_genealogy(chain_forest, max_depth=1)
+        assert "senior" in text
+        assert "junior" not in text
+
+
+class TestOnSyntheticData:
+    def test_forest_consistent_with_predictions(self, dblp_small):
+        from repro.relations import (CollaborationNetwork,
+                                     build_candidate_graph)
+        network = CollaborationNetwork.from_corpus(dblp_small.corpus)
+        graph = build_candidate_graph(network)
+        result = TPFG(max_iter=10).fit(graph)
+        forest = build_advising_forest(result, graph)
+        predictions = result.predictions()
+        for advisor, edges in forest.children.items():
+            for edge in edges:
+                assert predictions[edge.advisee] == advisor
+        # Every author appears exactly once: as a root or as an advisee.
+        advisees = {e.advisee for edges in forest.children.values()
+                    for e in edges}
+        assert advisees | set(forest.roots) == set(graph.authors)
+        assert not (advisees & set(forest.roots))

@@ -1,0 +1,80 @@
+"""Additional tests for relation metrics and the P@(k, theta) rule."""
+
+import pytest
+
+from repro.relations import (Candidate, CandidateGraph, ROOT, TPFGResult,
+                             evaluate_predictions, precision_at)
+
+
+def make_result(ranking):
+    return TPFGResult(ranking=ranking)
+
+
+class TestPredictionRule:
+    def test_root_dominance_blocks_prediction(self):
+        result = make_result({"x": [(ROOT, 0.6), ("a", 0.4)]})
+        assert result.predicted_advisor("x") is None
+
+    def test_theta_admits_confident_candidate(self):
+        # Root outranks, but the candidate clears the theta bar.
+        result = make_result({"x": [(ROOT, 0.45), ("a", 0.42)]})
+        assert result.predicted_advisor("x", theta=0.4) == "a"
+        assert result.predicted_advisor("x", theta=0.5) is None
+
+    def test_top_k_window(self):
+        result = make_result({
+            "x": [("a", 0.5), ("b", 0.3), (ROOT, 0.2)]})
+        assert result.predicted_advisor("x", top_k=1) == "a"
+        # b is within the top-2 and above root: eligible under k=2 but a
+        # still wins (first in ranking order).
+        assert result.predicted_advisor("x", top_k=2) == "a"
+
+    def test_unknown_author(self):
+        result = make_result({})
+        assert result.predicted_advisor("ghost") is None
+        assert result.score("ghost", "anyone") == 0.0
+
+
+class TestPrecisionAt:
+    @pytest.fixture
+    def result(self):
+        return make_result({
+            "x": [("wrong", 0.5), ("right", 0.3), (ROOT, 0.2)],
+            "y": [("right2", 0.9), (ROOT, 0.1)],
+            "z": [(ROOT, 0.9), ("noise", 0.1)],
+        })
+
+    def test_k1_misses_second_ranked_truth(self, result):
+        truth = {"x": "right", "y": "right2", "z": None}
+        accuracy = precision_at(result, truth, top_k=1)
+        assert accuracy.advisee_accuracy == pytest.approx(0.5)
+        assert accuracy.root_accuracy == 1.0
+
+    def test_k2_recovers_it(self, result):
+        truth = {"x": "right", "y": "right2", "z": None}
+        accuracy = precision_at(result, truth, top_k=2)
+        assert accuracy.advisee_accuracy == pytest.approx(1.0)
+
+    def test_theta_gates_low_scores(self, result):
+        truth = {"x": "right"}
+        strict = precision_at(result, truth, top_k=2, theta=0.95)
+        # right has score 0.3 < root? root is 0.2 so 0.3 > root passes
+        # regardless of theta (the or-condition).
+        assert strict.advisee_accuracy == pytest.approx(1.0)
+
+    def test_empty_truth(self, result):
+        accuracy = precision_at(result, {}, top_k=1)
+        assert accuracy.accuracy == 0.0
+
+
+class TestEvaluateEdgeCases:
+    def test_all_roots(self):
+        accuracy = evaluate_predictions({"a": None}, {"a": None})
+        assert accuracy.accuracy == 1.0
+        assert accuracy.advisee_accuracy == 0.0
+        assert accuracy.num_advisees == 0
+
+    def test_wrong_advisor_counts_once(self):
+        accuracy = evaluate_predictions({"a": "x"}, {"a": "y"})
+        assert accuracy.accuracy == 0.0
+        assert accuracy.num_advisees == 1

@@ -1,0 +1,128 @@
+"""Tests for Stage-1 preprocessing (Section 6.1.3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.relations import (CandidateGraph, CollaborationNetwork,
+                             PreprocessConfig, build_candidate_graph,
+                             imbalance_ratio, kulczynski)
+
+
+def advising_network():
+    """Advisor 'prof' publishes from 1990; student 'stu' 1998-2002 with
+    joint papers; 'peer' is a same-age coauthor of stu."""
+    papers = []
+    for year in range(1990, 2005):
+        papers.append((["prof"], year))
+    for year in range(1998, 2003):
+        papers.append((["stu", "prof"], year))
+        papers.append((["stu", "prof"], year))
+    papers.append((["stu"], 2003))
+    for year in range(1998, 2001):
+        papers.append((["peer", "stu"], year))
+        papers.append((["peer"], year))
+    return CollaborationNetwork.from_papers(papers)
+
+
+class TestMeasures:
+    def test_kulczynski_range(self):
+        network = advising_network()
+        pair = network.pair("stu", "prof")
+        value = kulczynski(pair, network.series_of("stu"),
+                           network.series_of("prof"), 2002)
+        assert 0 < value <= 1
+
+    def test_imbalance_positive_for_advisor(self):
+        network = advising_network()
+        pair = network.pair("stu", "prof")
+        value = imbalance_ratio(pair, network.series_of("stu"),
+                                network.series_of("prof"), 2002)
+        assert value > 0
+
+    def test_zero_when_no_collaboration_yet(self):
+        network = advising_network()
+        pair = network.pair("stu", "prof")
+        assert kulczynski(pair, network.series_of("stu"),
+                          network.series_of("prof"), 1991) == 0.0
+
+
+class TestCandidateGraph:
+    def test_advisor_is_candidate(self):
+        graph = build_candidate_graph(advising_network())
+        advisors = {c.advisor for c in graph.advisors_of("stu")}
+        assert "prof" in advisors
+
+    def test_same_age_peer_excluded(self):
+        graph = build_candidate_graph(advising_network())
+        advisors = {c.advisor for c in graph.advisors_of("stu")}
+        assert "peer" not in advisors  # Assumption 6.2 (started same year)
+
+    def test_root_option_always_present(self):
+        graph = build_candidate_graph(advising_network())
+        for author in graph.authors:
+            advisors = [c.advisor for c in graph.advisors_of(author)]
+            assert CandidateGraph.ROOT in advisors
+
+    def test_likelihoods_normalized(self):
+        graph = build_candidate_graph(advising_network())
+        for author in graph.authors:
+            total = sum(c.likelihood for c in graph.advisors_of(author))
+            assert total == pytest.approx(1.0)
+
+    def test_advising_interval_estimated(self):
+        graph = build_candidate_graph(advising_network())
+        candidate = next(c for c in graph.advisors_of("stu")
+                         if c.advisor == "prof")
+        assert candidate.start == 1998
+        assert 1998 <= candidate.end <= 2003
+
+    def test_graph_is_acyclic(self, dblp_small):
+        network = CollaborationNetwork.from_corpus(dblp_small.corpus)
+        graph = build_candidate_graph(network)
+        assert graph.is_acyclic()
+
+    def test_rules_prune_monotonically(self, dblp_small):
+        network = CollaborationNetwork.from_corpus(dblp_small.corpus)
+        all_rules = build_candidate_graph(
+            network, PreprocessConfig(rules=frozenset(
+                {"R1", "R2", "R3", "R4"})))
+        no_rules = build_candidate_graph(
+            network, PreprocessConfig(rules=frozenset()))
+        assert all_rules.num_edges() <= no_rules.num_edges()
+
+    def test_true_advisor_survives_rules(self, dblp_small):
+        """Rules keep the true advisor as a candidate for most advisees."""
+        network = CollaborationNetwork.from_corpus(dblp_small.corpus)
+        graph = build_candidate_graph(network)
+        truth = {r.advisee: r.advisor
+                 for r in dblp_small.ground_truth.advising}
+        kept = sum(
+            1 for advisee, advisor in truth.items()
+            if advisor in {c.advisor for c in graph.advisors_of(advisee)})
+        # Rules trade recall for precision; the no-rules graph must keep
+        # strictly more true advisors than the filtered graph loses.
+        no_rules = build_candidate_graph(
+            network, PreprocessConfig(rules=frozenset()))
+        kept_no_rules = sum(
+            1 for advisee, advisor in truth.items()
+            if advisor in {c.advisor
+                           for c in no_rules.advisors_of(advisee)})
+        assert kept / len(truth) > 0.6
+        assert kept_no_rules >= kept
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            PreprocessConfig(rules=frozenset({"R9"}))
+        with pytest.raises(ConfigurationError):
+            PreprocessConfig(end_year_method="YEAR3")
+        with pytest.raises(ConfigurationError):
+            PreprocessConfig(likelihood="geometric")
+
+    def test_end_year_methods_differ_sensibly(self):
+        network = advising_network()
+        for method in ("YEAR", "YEAR1", "YEAR2"):
+            graph = build_candidate_graph(
+                network, PreprocessConfig(end_year_method=method))
+            candidate = next(c for c in graph.advisors_of("stu")
+                             if c.advisor == "prof")
+            assert candidate.start <= candidate.end

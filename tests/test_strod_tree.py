@@ -1,0 +1,69 @@
+"""Deeper tests for the recursive STROD topic tree (Section 7.2)."""
+
+import pytest
+
+from repro.strod import STRODHierarchyBuilder, STRODTreeConfig
+
+
+class TestTreeShape:
+    def test_two_level_tree(self, dblp_small):
+        builder = STRODHierarchyBuilder(
+            STRODTreeConfig(num_children=3, max_depth=2,
+                            min_documents=120), seed=0)
+        hierarchy = builder.build(dblp_small.corpus)
+        assert len(hierarchy.root.children) == 3
+        assert hierarchy.height >= 1
+        # Any expanded child has exactly 3 children.
+        for child in hierarchy.root.children:
+            assert len(child.children) in (0, 3)
+
+    def test_min_documents_stops_recursion(self, dblp_small):
+        builder = STRODHierarchyBuilder(
+            STRODTreeConfig(num_children=3, max_depth=3,
+                            min_documents=10 ** 9), seed=0)
+        hierarchy = builder.build(dblp_small.corpus)
+        assert hierarchy.height == 0
+
+    def test_rho_values_are_proportions(self, dblp_small):
+        builder = STRODHierarchyBuilder(
+            STRODTreeConfig(num_children=4, max_depth=1,
+                            min_documents=50), seed=0)
+        hierarchy = builder.build(dblp_small.corpus)
+        total = sum(c.rho for c in hierarchy.root.children)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_phi_dicts_are_normalized_enough(self, dblp_small):
+        builder = STRODHierarchyBuilder(
+            STRODTreeConfig(num_children=4, max_depth=1,
+                            min_documents=50), seed=0)
+        hierarchy = builder.build(dblp_small.corpus)
+        for child in hierarchy.root.children:
+            mass = sum(child.phi["term"].values())
+            assert 0.9 <= mass <= 1.0 + 1e-6
+
+
+class TestTreeQuality:
+    def test_level1_topics_separate_areas(self, dblp_small):
+        """Most level-1 STROD topics concentrate on one true area."""
+        builder = STRODHierarchyBuilder(
+            STRODTreeConfig(num_children=6, max_depth=1,
+                            min_documents=50, num_restarts=10,
+                            num_iterations=30), seed=0)
+        hierarchy = builder.build(dblp_small.corpus)
+        truth = dblp_small.ground_truth
+        word_area = {}
+        for path, spec in truth.paths.items():
+            if not path:
+                continue
+            for word in spec.all_words():
+                word_area.setdefault(word, path[0])
+        pure = 0
+        for child in hierarchy.root.children:
+            areas = [word_area[w] for w in child.top_words("term", 8)
+                     if w in word_area]
+            if not areas:
+                continue
+            modal = max(set(areas), key=areas.count)
+            if areas.count(modal) / len(areas) >= 0.6:
+                pure += 1
+        assert pure >= 4
