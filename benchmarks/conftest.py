@@ -7,8 +7,10 @@ capture.  Datasets are generated once per session.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable
+import time
+from typing import Dict, Iterable
 
 import pytest
 
@@ -17,6 +19,36 @@ from repro.datasets import (DBLPConfig, NewsConfig, generate_dblp,
                             generate_news_subset)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Wall-time of every bench that ran this session, keyed by pytest nodeid.
+_DURATIONS: Dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report) -> None:
+    """Collect per-bench wall-times for the machine-readable summary."""
+    if report.when == "call":
+        _DURATIONS[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Persist collected wall-times to ``results/timings.json``."""
+    if not _DURATIONS:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "timings.json")
+    merged: Dict[str, float] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                merged = json.load(handle).get("timings", {})
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(_DURATIONS)
+    with open(path, "w") as handle:
+        json.dump({"schema": "repro.obs/bench-timings/v1",
+                   "generated_unix": time.time(),
+                   "timings": merged}, handle, indent=2)
+        handle.write("\n")
 
 
 def report(name: str, lines: Iterable[str]) -> None:

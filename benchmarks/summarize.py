@@ -1,0 +1,118 @@
+"""Build ``benchmarks/results/summary.json`` from the persisted benches.
+
+Combines the human-readable tables under ``benchmarks/results/*.txt``
+with the per-bench wall-times collected by ``conftest.py`` into one
+machine-readable document (schema ``repro.obs/bench-summary/v1``) — the
+same style as the :mod:`repro.obs.report` run reports, so perf
+trajectories (``BENCH_*.json``) can be seeded from measured numbers.
+
+Each entry carries:
+
+* ``name`` — the result table's base name (e.g. ``table_4_5_runtimes``);
+* ``source`` — the bench module inferred from the timings, when any
+  module's ``bench_``-stripped stem prefixes the result name;
+* ``wall_time_s`` — summed wall-time of that module's benches (None when
+  no timing was collected, e.g. the table predates the timing hook);
+* ``key_metric`` — the first data line of the table, a human-oriented
+  anchor for eyeballing regressions.
+
+Usage: ``python benchmarks/summarize.py`` (run by collect_results.sh).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+SUMMARY_SCHEMA = "repro.obs/bench-summary/v1"
+
+
+def _load_module_times(results_dir: str) -> Dict[str, float]:
+    """Summed bench wall-time per module stem (without ``bench_`` prefix)."""
+    path = os.path.join(results_dir, "timings.json")
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path) as handle:
+            timings = json.load(handle).get("timings", {})
+    except (OSError, ValueError):
+        return {}
+    totals: Dict[str, float] = {}
+    for nodeid, seconds in timings.items():
+        module = os.path.basename(nodeid.split("::", 1)[0])
+        stem = module[:-3] if module.endswith(".py") else module
+        if stem.startswith("bench_"):
+            stem = stem[len("bench_"):]
+        totals[stem] = totals.get(stem, 0.0) + float(seconds)
+    return totals
+
+
+def _key_metric(path: str) -> Optional[str]:
+    """First data line of a result table (skips the ===/name header)."""
+    try:
+        with open(path) as handle:
+            lines = [line.rstrip() for line in handle]
+    except OSError:
+        return None
+    for line in lines[3:]:
+        stripped = line.strip()
+        if stripped and not set(stripped) <= {"=", "-"}:
+            return stripped
+    return None
+
+
+def _match_module(name: str,
+                  module_times: Dict[str, float],
+                  ) -> Tuple[Optional[str], Optional[float]]:
+    """The timed module whose stem is the longest prefix of ``name``."""
+    best: Optional[str] = None
+    for stem in module_times:
+        if name.startswith(stem) and (best is None or len(stem) > len(best)):
+            best = stem
+    if best is None:
+        return None, None
+    return "bench_" + best + ".py", module_times[best]
+
+
+def build_summary(results_dir: str = RESULTS_DIR) -> dict:
+    """Assemble the summary document from ``results_dir``."""
+    module_times = _load_module_times(results_dir)
+    benchmarks: List[dict] = []
+    if os.path.isdir(results_dir):
+        for filename in sorted(os.listdir(results_dir)):
+            if not filename.endswith(".txt"):
+                continue
+            name = filename[:-4]
+            source, wall_time = _match_module(name, module_times)
+            benchmarks.append({
+                "name": name,
+                "source": source,
+                "wall_time_s": wall_time,
+                "key_metric": _key_metric(
+                    os.path.join(results_dir, filename)),
+            })
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "generated_unix": time.time(),
+        "num_benchmarks": len(benchmarks),
+        "benchmarks": benchmarks,
+    }
+
+
+def main() -> int:
+    summary = build_summary()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "summary.json")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {summary['num_benchmarks']} benchmark summaries -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
+from ..obs import trace
 from ..utils import EPS, RandomState, ensure_rng
 from ..phrases.ranking import FlatTopicModel
 
@@ -106,6 +107,9 @@ class LDAGibbs:
                     n_kw[z, w] += 1
 
         beta_sum = self.beta * vocab_size
+        tracer = trace("lda.gibbs", num_topics=k, num_docs=num_docs,
+                       num_units=sum(len(u) for u in units),
+                       phrase_constrained=partitions is not None)
         for _ in range(self.iterations):
             for d, doc_units in enumerate(units):
                 labels = assignments[d]
@@ -136,6 +140,16 @@ class LDAGibbs:
                     n_k[z_new] += size
                     for w in unit:
                         n_kw[z_new, w] += 1
+
+            if tracer.active:
+                # Per-sweep likelihood is extra work, so it is computed
+                # only while tracing is enabled.
+                phi_now = (n_kw + self.beta) / (n_k[:, None] + beta_sum)
+                tracer.record(log_likelihood=self._log_likelihood(
+                    units, assignments, phi_now))
+            else:
+                tracer.record()
+        tracer.finish("completed")
 
         phi = (n_kw + self.beta) / (n_k[:, None] + beta_sum)
         theta = (n_dk + self.alpha) / (

@@ -18,9 +18,12 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..hierarchy import Topic, TopicalHierarchy
 from ..network import HeterogeneousNetwork
+from ..obs import get_logger
 from ..utils import RandomState, ensure_rng
 from .hin_em import CathyHIN
 from .model_selection import select_num_topics
+
+logger = get_logger("cathy.builder")
 
 
 @dataclass
@@ -116,6 +119,9 @@ class HierarchyBuilder:
         if k < 2:
             return
 
+        logger.debug("expanding %s at level %d into %d subtopics "
+                     "(%d nodes, total weight %.1f)", topic.notation,
+                     level, k, num_nodes, network.total_weight())
         estimator = CathyHIN(num_topics=k,
                              weight_mode=config.weight_mode,
                              max_iter=config.max_iter,

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
+from ..obs import timed, trace
 from ..utils import EPS, RandomState, ensure_rng
 from ..network import HeterogeneousNetwork, TERM_TYPE
 
@@ -86,11 +87,13 @@ class CathyEM:
         j_idx = np.array([l[1] for l in links], dtype=np.int64)
         weights = np.array([l[2] for l in links], dtype=float)
 
-        best: Optional[TermTopicModel] = None
-        for _ in range(self.restarts):
-            model = self._fit_once(i_idx, j_idx, weights, num_nodes, names)
-            if best is None or model.log_likelihood > best.log_likelihood:
-                best = model
+        with timed("cathy.em.fit"):
+            best: Optional[TermTopicModel] = None
+            for _ in range(self.restarts):
+                model = self._fit_once(i_idx, j_idx, weights,
+                                       num_nodes, names)
+                if best is None or model.log_likelihood > best.log_likelihood:
+                    best = model
         self.model_ = best
         return best
 
@@ -102,6 +105,9 @@ class CathyEM:
         phi = self._rng.dirichlet(np.ones(num_nodes), size=k)
         rho = np.full(k, total / k)
 
+        tracer = trace("cathy.em", num_topics=k, num_nodes=num_nodes,
+                       num_links=len(weights))
+        termination = "max_iter"
         prev_ll = -np.inf
         ll = prev_ll
         for _ in range(self.max_iter):
@@ -124,10 +130,13 @@ class CathyEM:
             phi = phi / row_sums
             rho = np.maximum(rho, EPS)
 
+            tracer.record(log_likelihood=ll)
             if ll - prev_ll < self.tol * max(abs(prev_ll), 1.0) \
                     and np.isfinite(prev_ll):
+                termination = "converged"
                 break
             prev_ll = ll
+        tracer.finish(termination)
 
         return TermTopicModel(rho=rho, phi=phi, node_names=list(names),
                               log_likelihood=ll)

@@ -24,6 +24,7 @@ import numpy as np
 from ..errors import ConfigurationError, NotFittedError
 from ..network import HeterogeneousNetwork
 from ..network.weighted import LinkType, canonical_link_type
+from ..obs import timed, trace
 from ..utils import EPS, RandomState, ensure_rng
 
 LinkKey = Tuple[int, int]
@@ -157,11 +158,12 @@ class CathyHIN:
 
         alpha = self._initial_alpha()
 
-        best: Optional[HINTopicModel] = None
-        for _ in range(self.restarts):
-            model = self._fit_once(node_names, dict(alpha))
-            if best is None or model.log_likelihood > best.log_likelihood:
-                best = model
+        with timed("cathy.hin_em.fit"):
+            best: Optional[HINTopicModel] = None
+            for _ in range(self.restarts):
+                model = self._fit_once(node_names, dict(alpha))
+                if best is None or model.log_likelihood > best.log_likelihood:
+                    best = model
         self.model_ = best
         return best
 
@@ -225,6 +227,12 @@ class CathyHIN:
             rho0 = 0.0
 
         learn = self.weight_mode == "learn"
+        tracer = trace(
+            "cathy.hin_em", num_topics=k,
+            num_links=sum(ld.num_links for ld in self._link_data),
+            num_link_types=len(self._link_data),
+            weight_mode=str(self.weight_mode))
+        termination = "max_iter"
         prev_ll = -np.inf
         ll = prev_ll
         for iteration in range(self.max_iter):
@@ -232,12 +240,15 @@ class CathyHIN:
                 alpha, rho, rho0, phi, phi0, phi_parent, node_names)
             if learn and (iteration + 1) % self.weight_update_every == 0:
                 alpha = self._update_alpha(rho, rho0, phi, phi0, phi_parent)
+            tracer.record(log_likelihood=ll)
             if (np.isfinite(prev_ll)
                     and ll - prev_ll < self.tol * max(abs(prev_ll), 1.0)
                     and not (learn and (iteration + 1)
                              <= self.weight_update_every)):
+                termination = "converged"
                 break
             prev_ll = ll
+        tracer.finish(termination)
 
         num_params = k * sum(len(n) for n in node_names.values())
         return HINTopicModel(

@@ -11,7 +11,13 @@ Commands:
   the predictions (with accuracy when ground truth is available).
 * ``strod`` — run moment-based topic discovery and print topic words.
 
-Every command accepts ``--seed`` for reproducibility.
+Every command accepts ``--seed`` for reproducibility, plus the
+observability flags ``--log-level``, ``--trace PATH`` (JSON-lines
+convergence traces), and ``--report PATH`` (aggregated run report; see
+:mod:`repro.obs.report` for the schema).
+
+Data and configuration errors print a one-line message to stderr and
+exit with status 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -20,13 +26,33 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .datasets import (DBLPConfig, NewsConfig, generate_dblp,
                        generate_news, load_dataset, save_dataset)
+from .errors import ReproError
 
 
 def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("dataset", help="path to a dataset JSON file "
                                         "written by 'repro generate'")
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Observability flags shared by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument("--log-level", default=None, metavar="LEVEL",
+                       choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                       help="enable structured logging at this level")
+    group.add_argument("--log-json", action="store_true",
+                       help="emit log records as JSON lines")
+    group.add_argument("--trace", default=None, metavar="PATH",
+                       help="stream per-iteration convergence traces to "
+                            "this JSON-lines file")
+    group.add_argument("--report", default=None, metavar="PATH",
+                       help="write an aggregated run report (metrics, "
+                            "phase timings, traces) to this JSON file")
+    return parent
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -134,8 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Mining latent entity structures (Wang, 2014)")
     sub = parser.add_subparsers(dest="command", required=True)
+    obs_parent = [_obs_parent()]
 
-    gen = sub.add_parser("generate", help="write a synthetic dataset")
+    gen = sub.add_parser("generate", help="write a synthetic dataset",
+                         parents=obs_parent)
     gen.add_argument("kind", choices=["dblp", "news"])
     gen.add_argument("output")
     gen.add_argument("--max-authors", type=int, default=150)
@@ -144,7 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.set_defaults(func=_cmd_generate)
 
-    hier = sub.add_parser("hierarchy", help="build a topical hierarchy")
+    hier = sub.add_parser("hierarchy", help="build a topical hierarchy",
+                          parents=obs_parent)
     _add_dataset_argument(hier)
     hier.add_argument("--children", default="6,3",
                       help="children per level, comma separated")
@@ -155,7 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
     hier.add_argument("--seed", type=int, default=0)
     hier.set_defaults(func=_cmd_hierarchy)
 
-    phr = sub.add_parser("phrases", help="run ToPMine")
+    phr = sub.add_parser("phrases", help="run ToPMine",
+                         parents=obs_parent)
     _add_dataset_argument(phr)
     phr.add_argument("--topics", type=int, default=6)
     phr.add_argument("--min-support", type=int, default=5)
@@ -165,7 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
     phr.add_argument("--seed", type=int, default=0)
     phr.set_defaults(func=_cmd_phrases)
 
-    rel = sub.add_parser("relations", help="mine advisor relations")
+    rel = sub.add_parser("relations", help="mine advisor relations",
+                         parents=obs_parent)
     _add_dataset_argument(rel)
     rel.add_argument("--iterations", type=int, default=20)
     rel.add_argument("--top-k", type=int, default=1)
@@ -174,7 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--seed", type=int, default=0)
     rel.set_defaults(func=_cmd_relations)
 
-    strod = sub.add_parser("strod", help="moment-based topic discovery")
+    strod = sub.add_parser("strod", help="moment-based topic discovery",
+                           parents=obs_parent)
     _add_dataset_argument(strod)
     strod.add_argument("--topics", type=int, default=6)
     strod.add_argument("--alpha0", type=float, default=1.0,
@@ -186,11 +218,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_observability(args: argparse.Namespace) -> None:
+    """Enable telemetry when any observability flag was given."""
+    if args.trace or args.report:
+        obs.configure(level=args.log_level, trace_path=args.trace,
+                      report_path=args.report, json_logs=args.log_json)
+    elif args.log_level:
+        obs.configure(level=args.log_level, json_logs=args.log_json,
+                      metrics=False)
+
+
+def _write_run_report(args: argparse.Namespace) -> None:
+    """Aggregate this invocation's telemetry into the requested report."""
+    config = {key: value for key, value in vars(args).items()
+              if key != "func"}
+    obs.write_report(obs.build_run_report(config=config), args.report)
+    print(f"wrote run report -> {args.report}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library (:class:`~repro.errors.ReproError`) and file-system errors are
+    reported as a one-line message on stderr with exit status 2.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_observability(args)
+    try:
+        code = args.func(args)
+        if code == 0 and args.report:
+            _write_run_report(args)
+    except (ReproError, OSError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    return code
 
 
 if __name__ == "__main__":

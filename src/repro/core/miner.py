@@ -20,11 +20,15 @@ from ..corpus import Corpus
 from ..errors import DataError
 from ..hierarchy import TopicalHierarchy
 from ..network import HeterogeneousNetwork, build_collapsed_network
+from ..obs import (build_run_report, get_logger, get_report_path,
+                   is_enabled, timed, write_report)
 from ..phrases import (PhraseCounts, attach_entity_rankings, attach_phrases)
 from ..relations import (CandidateGraph, CollaborationNetwork, TPFG,
                          TPFGResult, build_candidate_graph)
 from ..roles import RoleAnalyzer
 from ..utils import RandomState, ensure_rng
+
+logger = get_logger("core.miner")
 
 
 @dataclass
@@ -64,6 +68,9 @@ class MiningResult:
     hierarchy: TopicalHierarchy
     counts: PhraseCounts
     roles: RoleAnalyzer
+    #: Run report (see :mod:`repro.obs.report`); None while observability
+    #: is disabled.
+    report: Optional[Dict[str, object]] = None
 
     def render(self, max_phrases: int = 5,
                entity_types: Optional[List[str]] = None,
@@ -83,28 +90,61 @@ class LatentEntityMiner:
         self._rng = ensure_rng(seed)
 
     def fit(self, corpus: Corpus) -> MiningResult:
-        """Run network collapse, hierarchy construction, and decoration."""
+        """Run network collapse, hierarchy construction, and decoration.
+
+        With observability configured (:func:`repro.obs.configure`), every
+        phase is timed, the EM runs leave convergence traces, and the
+        aggregated run report is attached to the result — and written to
+        the configured report path, if any.
+        """
         config = self.config
-        network = build_collapsed_network(
-            corpus, entity_types=config.entity_types,
-            min_count=config.min_count)
-        builder_config = BuilderConfig(
-            num_children=config.num_children,
-            max_depth=config.max_depth,
-            weight_mode=config.weight_mode,
-            **config.builder_overrides)
-        builder = HierarchyBuilder(builder_config, seed=self._rng)
-        hierarchy = builder.build(network)
-        counts = attach_phrases(
-            hierarchy, corpus, min_support=config.min_support,
-            max_phrase_length=config.max_phrase_length,
-            top_k=config.top_k)
-        attach_entity_rankings(hierarchy, top_k=config.top_k)
-        roles = RoleAnalyzer(hierarchy, corpus, counts=counts,
-                             min_support=config.min_support,
-                             max_phrase_length=config.max_phrase_length)
+        logger.info("fit: %d documents, %d terms", len(corpus),
+                    len(corpus.vocabulary))
+        with timed("miner.fit"):
+            with timed("miner.network_collapse"):
+                network = build_collapsed_network(
+                    corpus, entity_types=config.entity_types,
+                    min_count=config.min_count)
+            builder_config = BuilderConfig(
+                num_children=config.num_children,
+                max_depth=config.max_depth,
+                weight_mode=config.weight_mode,
+                **config.builder_overrides)
+            builder = HierarchyBuilder(builder_config, seed=self._rng)
+            with timed("miner.hierarchy"):
+                hierarchy = builder.build(network)
+            logger.info("fit: hierarchy has %d topics",
+                        sum(1 for _ in hierarchy.topics()))
+            with timed("miner.phrase_decoration"):
+                counts = attach_phrases(
+                    hierarchy, corpus, min_support=config.min_support,
+                    max_phrase_length=config.max_phrase_length,
+                    top_k=config.top_k)
+            with timed("miner.entity_ranking"):
+                attach_entity_rankings(hierarchy, top_k=config.top_k)
+            with timed("miner.roles"):
+                roles = RoleAnalyzer(
+                    hierarchy, corpus, counts=counts,
+                    min_support=config.min_support,
+                    max_phrase_length=config.max_phrase_length)
+        report = self._finish_report(corpus)
         return MiningResult(corpus=corpus, network=network,
-                            hierarchy=hierarchy, counts=counts, roles=roles)
+                            hierarchy=hierarchy, counts=counts, roles=roles,
+                            report=report)
+
+    def _finish_report(self, corpus: Corpus) -> Optional[Dict[str, object]]:
+        """Build (and optionally persist) the run report when enabled."""
+        if not is_enabled():
+            return None
+        config = dict(vars(self.config))
+        config["num_documents"] = len(corpus)
+        config["vocabulary_size"] = len(corpus.vocabulary)
+        report = build_run_report(config=config)
+        path = get_report_path()
+        if path:
+            write_report(report, path)
+            logger.info("fit: wrote run report to %s", path)
+        return report
 
     def mine_relations(self, corpus: Corpus,
                        author_type: str = "author",

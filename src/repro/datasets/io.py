@@ -107,6 +107,21 @@ def save_dataset(dataset: SyntheticDataset, path: str,
 
 
 def load_dataset(path: str) -> SyntheticDataset:
-    """Read a dataset from a JSON file written by :func:`save_dataset`."""
+    """Read a dataset from a JSON file written by :func:`save_dataset`.
+
+    Raises:
+        DataError: when the file is not valid JSON or not a dataset.
+        OSError: when the file cannot be read.
+    """
     with open(path) as handle:
-        return dataset_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise DataError(f"{path} does not contain a dataset object")
+    try:
+        return dataset_from_dict(data)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise DataError(
+            f"{path} is not a valid dataset file: {exc!r}") from exc

@@ -1,0 +1,108 @@
+"""repro.obs — structured run telemetry for every iterative solver.
+
+Three pillars, all inert until configured:
+
+* a process-wide **metrics registry** (:mod:`repro.obs.registry`) with
+  counters, gauges, and histogram timers plus a near-zero-overhead
+  :func:`timed` context manager;
+* a **convergence tracer** (:mod:`repro.obs.tracer`) recording
+  per-iteration log-likelihood / residual, iteration wall-time, and the
+  termination reason of every iterative loop;
+* a **structured logger** (:mod:`repro.obs.log`) and a versioned **run
+  report** (:mod:`repro.obs.report`) aggregating metrics, traces, and
+  config for a whole pipeline run.
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.configure(level="INFO", trace_path="trace.jsonl",
+                  report_path="report.json")
+    result = LatentEntityMiner(config).fit(corpus)   # writes report.json
+    obs.get_traces("cathy.hin_em")[0].series("log_likelihood")
+
+With :func:`configure` never called, every instrumented hot loop pays a
+single flag check per call site and allocates nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .log import (JsonLinesFormatter, configure_logging, get_logger,
+                  unconfigure_logging)
+from .registry import (MetricsRegistry, TimerStats, get_registry, inc,
+                       is_enabled, observe, reset_metrics, set_enabled,
+                       set_gauge, timed, timed_function)
+from .report import (REPORT_SCHEMA, build_run_report, get_report_path,
+                     set_report_path, validate_report, write_report)
+from .tracer import (ConvergenceTrace, clear_traces, get_trace_path,
+                     get_traces, set_trace_path, trace)
+
+__all__ = [
+    "ConvergenceTrace",
+    "JsonLinesFormatter",
+    "MetricsRegistry",
+    "REPORT_SCHEMA",
+    "TimerStats",
+    "build_run_report",
+    "clear_traces",
+    "configure",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "get_report_path",
+    "get_trace_path",
+    "get_traces",
+    "inc",
+    "is_enabled",
+    "observe",
+    "reset",
+    "reset_metrics",
+    "set_enabled",
+    "set_gauge",
+    "set_report_path",
+    "set_trace_path",
+    "timed",
+    "timed_function",
+    "trace",
+    "validate_report",
+    "write_report",
+]
+
+
+def configure(level: Optional[str] = None,
+              trace_path: Optional[str] = None,
+              report_path: Optional[str] = None,
+              json_logs: bool = False,
+              metrics: bool = True) -> None:
+    """Single entry point switching observability on.
+
+    Args:
+        level: when given, attach a log handler at this level
+            (``"DEBUG"`` / ``"INFO"`` / ...).
+        trace_path: stream finished convergence traces to this JSON-lines
+            file.
+        report_path: where :meth:`LatentEntityMiner.fit` and the CLI
+            write the aggregated run report.
+        json_logs: emit log records as JSON lines instead of text.
+        metrics: enable the metrics registry and tracer (default True).
+    """
+    if metrics:
+        set_enabled(True)
+    if level is not None:
+        configure_logging(level, json_lines=json_logs)
+    if trace_path is not None:
+        set_trace_path(trace_path)
+    if report_path is not None:
+        set_report_path(report_path)
+
+
+def reset() -> None:
+    """Disable observability and drop all collected state (test helper)."""
+    set_enabled(False)
+    reset_metrics()
+    clear_traces()
+    set_trace_path(None)
+    set_report_path(None)
+    unconfigure_logging()

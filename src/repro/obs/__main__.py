@@ -1,0 +1,8 @@
+"""``python -m repro.obs REPORT.json [...]`` — validate run reports."""
+
+from __future__ import annotations
+
+from .report import _main
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -1,0 +1,84 @@
+"""Structured logging on top of stdlib :mod:`logging`.
+
+All library loggers live under the ``"repro"`` namespace and are silent
+until :func:`configure_logging` (usually via :func:`repro.obs.configure`)
+attaches a handler — so importing the library never touches a process's
+logging configuration.  The optional JSON-lines formatter emits one JSON
+object per record, with any mapping passed as ``extra={"fields": {...}}``
+merged into the object.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = [
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    "unconfigure_logging",
+]
+
+ROOT_LOGGER = "repro"
+
+_HANDLER: Optional[logging.Handler] = None
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Format records as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, datefmt="%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the library's ``repro`` namespace."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    return logging.getLogger(ROOT_LOGGER + "." + name)
+
+
+def configure_logging(level: str = "INFO", json_lines: bool = False,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Attach one handler to the ``repro`` logger and set its level.
+
+    Re-configuring replaces the previously attached handler, so repeated
+    calls (tests, notebooks) never stack duplicate output.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    unconfigure_logging()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s",
+            datefmt="%H:%M:%S"))
+    root.addHandler(handler)
+    root.setLevel(level.upper() if isinstance(level, str) else level)
+    root.propagate = False
+    global _HANDLER
+    _HANDLER = handler
+    return root
+
+
+def unconfigure_logging() -> None:
+    """Detach the handler installed by :func:`configure_logging`."""
+    global _HANDLER
+    if _HANDLER is not None:
+        logging.getLogger(ROOT_LOGGER).removeHandler(_HANDLER)
+        _HANDLER = None

@@ -1,0 +1,239 @@
+"""Process-wide metrics registry: counters, gauges, and histogram timers.
+
+The registry is the accumulation point for everything the instrumented
+solvers emit.  Instrumentation is free when observability is disabled
+(the default): :func:`timed` returns a shared no-op context manager and
+:func:`inc` / :func:`set_gauge` return immediately, so hot loops carry no
+more than a module-global check per call and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "TimerStats",
+    "get_registry",
+    "inc",
+    "is_enabled",
+    "observe",
+    "reset_metrics",
+    "set_enabled",
+    "set_gauge",
+    "timed",
+    "timed_function",
+]
+
+#: Module-global enable flag; flipped by :func:`repro.obs.configure`.
+_ENABLED = False
+
+
+def is_enabled() -> bool:
+    """True when metric and trace collection is active."""
+    return _ENABLED
+
+
+def set_enabled(enabled: bool) -> None:
+    """Turn metric and trace collection on or off process-wide."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+class TimerStats:
+    """Aggregate statistics of one named timer (a tiny histogram).
+
+    Attributes:
+        count: number of observations.
+        total: summed duration in seconds.
+        min / max: extreme observations in seconds.
+        last: the most recent observation in seconds.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "last")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.last = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one duration into the aggregate."""
+        self.count += 1
+        self.total += seconds
+        self.last = seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Average observed duration in seconds (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-data form used by run reports."""
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "last_s": self.last,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe container of named counters, gauges, and timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStats] = {}
+
+    # ------------------------------------------------------------ mutation
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration under timer ``name``."""
+        with self._lock:
+            stats = self._timers.get(name)
+            if stats is None:
+                stats = self._timers[name] = TimerStats()
+            stats.observe(seconds)
+
+    def reset(self) -> None:
+        """Drop every collected metric."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    # ------------------------------------------------------------- queries
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Latest value of gauge ``name`` (None when never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    def timer(self, name: str) -> Optional[TimerStats]:
+        """Aggregate stats of timer ``name`` (None when never observed)."""
+        with self._lock:
+            return self._timers.get(name)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-data snapshot of every metric (run-report currency)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {name: stats.to_dict()
+                           for name, stats in self._timers.items()},
+            }
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (always available, even when disabled)."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Clear the process-wide registry."""
+    _REGISTRY.reset()
+
+
+# ------------------------------------------------------------------ timing
+class _Timer:
+    """Context manager recording its block's duration into the registry."""
+
+    __slots__ = ("_name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _REGISTRY.observe(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class _NullTimer:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def timed(name: str) -> object:
+    """Context manager timing a block under ``name``.
+
+    When observability is disabled this returns a shared no-op object, so
+    instrumented call sites allocate nothing and pay only the flag check.
+    """
+    if not _ENABLED:
+        return _NULL_TIMER
+    return _Timer(name)
+
+
+def timed_function(name: str) -> Callable:
+    """Decorator form of :func:`timed`; the flag is checked per call."""
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with timed(name):
+                return func(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+# ------------------------------------------------- module-level convenience
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment a counter; no-op while disabled."""
+    if _ENABLED:
+        _REGISTRY.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge; no-op while disabled."""
+    if _ENABLED:
+        _REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a duration; no-op while disabled."""
+    if _ENABLED:
+        _REGISTRY.observe(name, seconds)

@@ -1,0 +1,154 @@
+"""Run reports: one JSON document aggregating a pipeline run.
+
+A run report bundles the metrics snapshot (counters, gauges, per-phase
+timers), every finished convergence trace, and the run's configuration
+under a versioned schema, so ``BENCH_*.json`` perf entries and CI smoke
+checks consume measured numbers instead of nothing.
+
+Schema (``repro.obs/run-report/v1``)::
+
+    {
+      "schema": "repro.obs/run-report/v1",
+      "generated_unix": 1722945600.0,
+      "config": {...},                      # sanitized, run-specific
+      "metrics": {"counters": {}, "gauges": {}, "timers": {}},
+      "phases": {"miner.hierarchy": {"count": 1, "total_s": ...}, ...},
+      "traces": [{"name": "cathy.hin_em", "termination": "converged",
+                  "num_iterations": 12, "total_time_s": ...,
+                  "iterations": [{"iteration": 0, "time_s": ...,
+                                  "log_likelihood": ...}, ...]}, ...]
+    }
+
+``phases`` mirrors ``metrics.timers`` (one entry per :func:`~repro.obs.timed`
+name) and exists so report consumers need no knowledge of the registry.
+
+Run ``python -m repro.obs.report <path>`` to validate a report file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import DataError
+from .registry import get_registry
+from .tracer import get_traces
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_run_report",
+    "get_report_path",
+    "set_report_path",
+    "validate_report",
+    "write_report",
+]
+
+REPORT_SCHEMA = "repro.obs/run-report/v1"
+
+_REPORT_PATH: Optional[str] = None
+
+
+def set_report_path(path: Optional[str]) -> None:
+    """Where :meth:`LatentEntityMiner.fit` and the CLI write run reports."""
+    global _REPORT_PATH
+    _REPORT_PATH = path
+
+
+def get_report_path() -> Optional[str]:
+    """The configured run-report path, if any."""
+    return _REPORT_PATH
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of config values to JSON-encodable data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def build_run_report(config: Optional[Dict[str, Any]] = None,
+                     ) -> Dict[str, Any]:
+    """Aggregate the current metrics and traces into a report document."""
+    metrics = get_registry().snapshot()
+    return {
+        "schema": REPORT_SCHEMA,
+        "generated_unix": time.time(),
+        "config": _jsonable(config or {}),
+        "metrics": metrics,
+        "phases": metrics["timers"],
+        "traces": [t.to_dict() for t in get_traces()],
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a report document as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, default=repr)
+        handle.write("\n")
+
+
+def validate_report(data: Dict[str, Any]) -> None:
+    """Check ``data`` against the documented run-report schema.
+
+    Raises:
+        DataError: on any structural mismatch, with a one-line reason.
+    """
+    if not isinstance(data, dict):
+        raise DataError("run report must be a JSON object")
+    if data.get("schema") != REPORT_SCHEMA:
+        raise DataError(f"unsupported report schema: {data.get('schema')!r}")
+    for key in ("config", "metrics", "phases"):
+        if not isinstance(data.get(key), dict):
+            raise DataError(f"report field {key!r} must be an object")
+    metrics = data["metrics"]
+    for key in ("counters", "gauges", "timers"):
+        if not isinstance(metrics.get(key), dict):
+            raise DataError(f"metrics field {key!r} must be an object")
+    for name, stats in data["phases"].items():
+        if not isinstance(stats, dict) or "count" not in stats \
+                or "total_s" not in stats:
+            raise DataError(f"phase {name!r} must carry count and total_s")
+    traces = data.get("traces")
+    if not isinstance(traces, list):
+        raise DataError("report field 'traces' must be an array")
+    for entry in traces:
+        if not isinstance(entry, dict):
+            raise DataError("every trace must be an object")
+        for key in ("name", "termination", "iterations"):
+            if key not in entry:
+                raise DataError(f"trace missing field {key!r}")
+        if not isinstance(entry["iterations"], list):
+            raise DataError("trace field 'iterations' must be an array")
+        for rec in entry["iterations"]:
+            if not isinstance(rec, dict) or "iteration" not in rec \
+                    or "time_s" not in rec:
+                raise DataError("every trace iteration must carry "
+                                "'iteration' and 'time_s'")
+
+
+def _main(argv: Optional[list] = None) -> int:
+    """Validate report files given on the command line."""
+    import sys
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.obs.report REPORT.json [...]",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path) as handle:
+                validate_report(json.load(handle))
+        except (OSError, ValueError, DataError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok ({REPORT_SCHEMA})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke job
+    raise SystemExit(_main())

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..corpus import Corpus
 from ..errors import ConfigurationError
+from ..obs import inc, timed
 
 Phrase = Tuple[int, ...]
 
@@ -85,6 +86,15 @@ def mine_frequent_phrases_from_chunks(chunks: Sequence[Sequence[int]],
                                       num_documents: int = 0,
                                       num_tokens: int = 0) -> PhraseCounts:
     """Algorithm 1 on raw token-id chunks (corpus-free entry point)."""
+    with timed("topmine.frequent_mining"):
+        counts = _mine_chunks(chunks, min_support, max_length)
+    inc("topmine.frequent_phrases", len(counts))
+    return PhraseCounts(counts=counts, min_support=min_support,
+                        num_documents=num_documents, num_tokens=num_tokens)
+
+
+def _mine_chunks(chunks: Sequence[Sequence[int]], min_support: int,
+                 max_length: int) -> Dict[Phrase, int]:
     counts: Dict[Phrase, int] = {}
 
     # Length-1 counts.
@@ -141,5 +151,4 @@ def mine_frequent_phrases_from_chunks(chunks: Sequence[Sequence[int]],
                 active.append((chunk, kept))
         length += 1
 
-    return PhraseCounts(counts=counts, min_support=min_support,
-                        num_documents=num_documents, num_tokens=num_tokens)
+    return counts

@@ -20,6 +20,7 @@ import numpy as np
 from ..corpus import Corpus
 from ..hierarchy import Topic, TopicalHierarchy
 from ..network import TERM_TYPE
+from ..obs import timed
 from ..utils import EPS
 from .frequent import Phrase, PhraseCounts, mine_frequent_phrases
 from .kert import completeness_scores
@@ -125,12 +126,20 @@ def attach_phrases(hierarchy: TopicalHierarchy,
     Returns:
         The phrase counts used (for reuse by role analysis).
     """
-    table, counts = compute_topic_phrase_frequencies(
-        hierarchy, corpus, counts=counts, min_support=min_support,
-        max_phrase_length=max_phrase_length,
-        min_topical_frequency=min_topical_frequency, gamma=gamma,
-        max_phrase_tokens=max_phrase_tokens)
+    with timed("phrases.topical_frequency"):
+        table, counts = compute_topic_phrase_frequencies(
+            hierarchy, corpus, counts=counts, min_support=min_support,
+            max_phrase_length=max_phrase_length,
+            min_topical_frequency=min_topical_frequency, gamma=gamma,
+            max_phrase_tokens=max_phrase_tokens)
 
+    with timed("phrases.ranking"):
+        _rank_topics(hierarchy, corpus, table, top_k)
+    return counts
+
+
+def _rank_topics(hierarchy: TopicalHierarchy, corpus: Corpus,
+                 table: TopicPhraseFrequencies, top_k: int) -> None:
     for topic in hierarchy.topics():
         freq = table.get(topic.notation, {})
         total = max(sum(freq.values()), EPS)
@@ -151,7 +160,6 @@ def attach_phrases(hierarchy: TopicalHierarchy,
         scored.sort(key=lambda pair: (-pair[1], pair[0]))
         topic.phrases = [(render_phrase(p, corpus.vocabulary), s)
                          for p, s in scored[:top_k]]
-    return counts
 
 
 def attach_entity_rankings(hierarchy: TopicalHierarchy,

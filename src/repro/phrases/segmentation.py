@@ -14,6 +14,7 @@ import heapq
 from typing import List, Sequence, Tuple
 
 from ..corpus import Corpus, Document
+from ..obs import inc, timed
 from .frequent import PhraseCounts
 from .significance import NEVER, merge_significance
 
@@ -91,7 +92,13 @@ def segment_corpus(corpus: Corpus,
                    counts: PhraseCounts,
                    alpha: float = 2.0) -> List[List[Phrase]]:
     """Bag-of-phrases partition for every document of ``corpus``."""
-    return [segment_document(doc, counts, alpha=alpha) for doc in corpus]
+    with timed("topmine.segmentation"):
+        partitions = [segment_document(doc, counts, alpha=alpha)
+                      for doc in corpus]
+    inc("topmine.segmented_documents", len(partitions))
+    inc("topmine.phrase_instances",
+        sum(len(partition) for partition in partitions))
+    return partitions
 
 
 def partition_is_valid(doc: Document, partition: List[Phrase]) -> bool:

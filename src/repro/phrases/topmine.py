@@ -19,6 +19,7 @@ import numpy as np
 
 from ..corpus import Corpus
 from ..errors import ConfigurationError
+from ..obs import timed
 from ..utils import EPS, RandomState, ensure_rng
 from .frequent import Phrase, PhraseCounts, mine_frequent_phrases
 from .ranking import FlatTopicModel, render_phrase
@@ -110,13 +111,15 @@ class ToPMine:
                            alpha=config.lda_alpha, beta=config.lda_beta,
                            iterations=config.lda_iterations, seed=self._rng)
         docs = [doc.tokens for doc in corpus]
-        lda = sampler.fit(docs, vocab_size=len(corpus.vocabulary),
-                          partitions=partitions)
+        with timed("topmine.lda"):
+            lda = sampler.fit(docs, vocab_size=len(corpus.vocabulary),
+                              partitions=partitions)
         model = lda.to_flat()
 
-        phrase_topic_counts = self._phrase_topic_counts(
-            partitions, model, lda.theta)
-        rankings = self._rank(phrase_topic_counts, counts, model)
+        with timed("topmine.ranking"):
+            phrase_topic_counts = self._phrase_topic_counts(
+                partitions, model, lda.theta)
+            rankings = self._rank(phrase_topic_counts, counts, model)
         return ToPMineResult(counts=counts, partitions=partitions,
                              model=model, doc_topics=lda.theta,
                              rankings=rankings,

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import timed_function, trace
 from ..utils import EPS
 from .preprocess import Candidate, CandidateGraph
 
@@ -89,6 +90,7 @@ class TPFG:
         self.penalty = penalty
         self.damping = damping
 
+    @timed_function("tpfg.fit")
     def fit(self, graph: CandidateGraph) -> TPFGResult:
         """Run inference and return the advisor rankings."""
         authors = graph.authors
@@ -144,6 +146,9 @@ class TPFG:
                     belief = belief + messages[("down", x, a)]
             return belief
 
+        tracer = trace("tpfg.message_passing", num_authors=len(authors),
+                       num_edges=len(edges), max_iter=self.max_iter,
+                       damping=self.damping)
         for _ in range(self.max_iter):
             new_messages: Dict[Tuple[str, str, str], np.ndarray] = {}
             for x, i in edges:
@@ -173,12 +178,26 @@ class TPFG:
                 msg_up = msg_up - msg_up.max()
                 new_messages[("up", i, x)] = msg_up
 
+            if tracer.active:
+                # Max message change — the flooding-schedule residual.
+                delta = 0.0
+                for key, value in new_messages.items():
+                    old = messages[key]
+                    if old.size:
+                        step = float(np.max(np.abs(value - old)))
+                        if step > delta:
+                            delta = step
+                tracer.record(residual=delta)
+            else:
+                tracer.record()
+
             if self.damping > 0:
                 for key, value in new_messages.items():
                     messages[key] = (self.damping * messages[key]
                                      + (1 - self.damping) * value)
             else:
                 messages.update(new_messages)
+        tracer.finish("max_iter")
 
         ranking: Dict[str, List[Tuple[str, float]]] = {}
         for a in authors:

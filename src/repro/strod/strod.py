@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
+from ..obs import set_gauge, timed
 from ..phrases.ranking import FlatTopicModel
 from ..utils import EPS, RandomState, ensure_rng
 from .moments import (compute_whitener, first_moment, second_moment,
@@ -100,33 +101,40 @@ class STROD:
             raise ConfigurationError(
                 "need at least k documents of length >= 3")
 
-        if self.alpha0 is not None:
-            model = self._fit_alpha0(rows, vocab_size, self.alpha0)
-        else:
-            best = None
-            for alpha0 in self.alpha0_grid:
-                candidate = self._fit_alpha0(rows, vocab_size, alpha0)
-                if best is None or candidate.residual < best.residual:
-                    best = candidate
-            model = best
+        with timed("strod.fit"):
+            if self.alpha0 is not None:
+                model = self._fit_alpha0(rows, vocab_size, self.alpha0)
+            else:
+                best = None
+                for alpha0 in self.alpha0_grid:
+                    candidate = self._fit_alpha0(rows, vocab_size, alpha0)
+                    if best is None or candidate.residual < best.residual:
+                        best = candidate
+                model = best
+        set_gauge("strod.residual", model.residual)
+        set_gauge("strod.alpha0", model.alpha0)
         self.model_ = model
         return model
 
     def _fit_alpha0(self, rows, vocab_size: int, alpha0: float) -> STRODModel:
-        if self.sparse:
-            from .sparse import compute_whitener_sparse
-            whitener, unwhitener, m1 = compute_whitener_sparse(
-                rows, vocab_size, alpha0, self.num_topics)
-        else:
-            m1 = first_moment(rows, vocab_size)
-            m2 = second_moment(rows, vocab_size, alpha0)
-            whitener, unwhitener = compute_whitener(m2, self.num_topics)
-        tensor = whitened_third_moment(rows, whitener, m1, alpha0)
-        pairs = robust_tensor_decomposition(
-            tensor, self.num_topics, num_restarts=self.num_restarts,
-            num_iterations=self.num_iterations, seed=self._rng)
-        residual = reconstruction_error(tensor, pairs)
-        alpha, phi = self._recover(pairs, unwhitener, alpha0)
+        with timed("strod.whitening"):
+            if self.sparse:
+                from .sparse import compute_whitener_sparse
+                whitener, unwhitener, m1 = compute_whitener_sparse(
+                    rows, vocab_size, alpha0, self.num_topics)
+            else:
+                m1 = first_moment(rows, vocab_size)
+                m2 = second_moment(rows, vocab_size, alpha0)
+                whitener, unwhitener = compute_whitener(m2, self.num_topics)
+        with timed("strod.third_moment"):
+            tensor = whitened_third_moment(rows, whitener, m1, alpha0)
+        with timed("strod.tensor_decomposition"):
+            pairs = robust_tensor_decomposition(
+                tensor, self.num_topics, num_restarts=self.num_restarts,
+                num_iterations=self.num_iterations, seed=self._rng)
+        with timed("strod.recovery"):
+            residual = reconstruction_error(tensor, pairs)
+            alpha, phi = self._recover(pairs, unwhitener, alpha0)
         return STRODModel(alpha=alpha, phi=phi, alpha0=alpha0,
                           eigenvalues=np.array([p.eigenvalue for p in pairs]),
                           residual=residual)

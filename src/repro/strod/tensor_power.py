@@ -15,6 +15,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import inc, trace
 from ..utils import RandomState, ensure_rng
 
 
@@ -37,15 +38,24 @@ def tensor_value(tensor: np.ndarray, vector: np.ndarray) -> float:
 
 
 def power_iteration(tensor: np.ndarray, start: np.ndarray,
-                    num_iterations: int) -> Tuple[np.ndarray, float]:
-    """Run ``num_iterations`` tensor power updates from ``start``."""
+                    num_iterations: int,
+                    tracer: object = None) -> Tuple[np.ndarray, float]:
+    """Run ``num_iterations`` tensor power updates from ``start``.
+
+    With an active ``tracer`` (see :func:`repro.obs.trace`), records the
+    per-iteration residual ``||v_new - v_old||`` — the convergence
+    quantity behind STROD's bounded-iteration guarantee.
+    """
     vector = start / max(np.linalg.norm(start), 1e-12)
     for _ in range(num_iterations):
         candidate = tensor_apply(tensor, vector)
         norm = np.linalg.norm(candidate)
         if norm < 1e-12:
             break
-        vector = candidate / norm
+        updated = candidate / norm
+        if tracer is not None and tracer.active:
+            tracer.record(residual=float(np.linalg.norm(updated - vector)))
+        vector = updated
     return vector, tensor_value(tensor, vector)
 
 
@@ -74,16 +84,23 @@ def robust_tensor_decomposition(tensor: np.ndarray,
 
     work = np.array(tensor)
     pairs: List[TensorEigenpair] = []
-    for _ in range(num_components):
+    for component in range(num_components):
         best_vector, best_value = None, -np.inf
         for _ in range(num_restarts):
             start = rng.standard_normal(k)
             vector, value = power_iteration(work, start, num_iterations)
             if value > best_value:
                 best_vector, best_value = vector, value
-        # A few extra polishing iterations on the winner.
+        inc("strod.power_restarts", num_restarts)
+        # A few extra polishing iterations on the winner, traced so the
+        # robustness experiments can see the residual decay.
+        tracer = trace("strod.tensor_power", component=component,
+                       num_restarts=num_restarts,
+                       num_iterations=num_iterations)
         best_vector, best_value = power_iteration(work, best_vector,
-                                                  num_iterations)
+                                                  num_iterations,
+                                                  tracer=tracer)
+        tracer.finish("completed")
         pairs.append(TensorEigenpair(eigenvalue=best_value,
                                      eigenvector=best_vector))
         work = work - best_value * np.einsum(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.obs as obs
 from repro.corpus import Corpus
 from repro.datasets import (DBLPConfig, NewsConfig, generate_dblp,
                             generate_news, generate_planted_lda)
@@ -33,6 +34,13 @@ TINY_ENTITIES = [
 ]
 
 TINY_LABELS = ["db", "db", "db", "ml", "ml", "ml", "db", "ml"]
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs():
+    """Keep observability state from leaking between tests."""
+    yield
+    obs.reset()
 
 
 @pytest.fixture

@@ -86,6 +86,57 @@ class TestRelations:
         assert captured.out.strip()
 
 
+class TestErrorHandling:
+    def test_missing_dataset_exits_2_with_one_line_error(self, tmp_path,
+                                                         capsys):
+        code = main(["hierarchy", str(tmp_path / "nope.json")])
+        assert code == 2
+        captured = capsys.readouterr()
+        err_lines = captured.err.strip().splitlines()
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("repro: error:")
+
+    def test_corrupt_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["hierarchy", str(bad)])
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_wrong_schema_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "wrong.json"
+        bad.write_text(json.dumps({"version": 1, "surprise": []}))
+        code = main(["hierarchy", str(bad)])
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_trace_and_report_written(self, dataset_path, tmp_path,
+                                      capsys):
+        import repro.obs as obs
+        trace = tmp_path / "trace.jsonl"
+        report = tmp_path / "report.json"
+        code = main(["hierarchy", dataset_path, "--children", "3",
+                     "--seed", "0", "--trace", str(trace),
+                     "--report", str(report)])
+        assert code == 0
+        data = json.loads(report.read_text())
+        obs.validate_report(data)
+        assert "cathy.hin_em.fit" in data["phases"]
+        assert data["config"]["children"] == "3"
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert any(e["event"] == "iteration" for e in events)
+        assert any(e["event"] == "end" and e["trace"] == "cathy.hin_em"
+                   for e in events)
+
+    def test_log_level_flag_accepted(self, dataset_path, capsys):
+        code = main(["generate", "dblp", "/dev/null", "--max-authors",
+                     "30", "--seed", "1", "--log-level", "INFO"])
+        assert code == 0
+
+
 class TestStrod:
     def test_prints_topic_words(self, dataset_path, capsys):
         code = main(["strod", dataset_path, "--topics", "4",

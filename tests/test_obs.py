@@ -1,0 +1,294 @@
+"""Tests for the repro.obs telemetry subsystem."""
+
+import io
+import json
+import logging
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import DataError
+from repro.obs.registry import _NULL_TIMER
+from repro.obs.tracer import _NULL_TRACER
+
+
+class TestRegistryCounters:
+    def test_inc_accumulates(self):
+        obs.set_enabled(True)
+        obs.inc("links")
+        obs.inc("links", 4)
+        assert obs.get_registry().counter("links") == 5.0
+
+    def test_unknown_counter_reads_zero(self):
+        assert obs.get_registry().counter("never-touched") == 0.0
+
+    def test_gauge_keeps_latest(self):
+        obs.set_enabled(True)
+        obs.set_gauge("residual", 0.5)
+        obs.set_gauge("residual", 0.25)
+        assert obs.get_registry().gauge("residual") == 0.25
+
+    def test_reset_clears_everything(self):
+        obs.set_enabled(True)
+        obs.inc("x")
+        obs.set_gauge("g", 1.0)
+        obs.observe("t", 0.1)
+        obs.reset_metrics()
+        snapshot = obs.get_registry().snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+class TestTimers:
+    def test_timed_context_manager_records(self):
+        obs.set_enabled(True)
+        with obs.timed("phase.sleep"):
+            time.sleep(0.005)
+        stats = obs.get_registry().timer("phase.sleep")
+        assert stats.count == 1
+        assert stats.total >= 0.004
+        assert stats.min <= stats.max
+
+    def test_timer_aggregates_multiple_observations(self):
+        obs.set_enabled(True)
+        for _ in range(3):
+            with obs.timed("phase.multi"):
+                pass
+        stats = obs.get_registry().timer("phase.multi")
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(stats.total / 3)
+
+    def test_timed_function_decorator(self):
+        obs.set_enabled(True)
+
+        @obs.timed_function("phase.decorated")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert obs.get_registry().timer("phase.decorated").count == 1
+
+    def test_decorated_function_respects_runtime_flag(self):
+        @obs.timed_function("phase.late")
+        def work():
+            return 1
+
+        work()  # disabled: nothing recorded
+        assert obs.get_registry().timer("phase.late") is None
+        obs.set_enabled(True)
+        work()
+        assert obs.get_registry().timer("phase.late").count == 1
+
+    def test_timer_stats_to_dict_schema(self):
+        obs.set_enabled(True)
+        with obs.timed("phase.dict"):
+            pass
+        stats = obs.get_registry().timer("phase.dict").to_dict()
+        assert set(stats) == {"count", "total_s", "mean_s", "min_s",
+                              "max_s", "last_s"}
+
+
+class TestDisabledFastPath:
+    """Disabled observability must cost nothing: shared no-op singletons,
+    no metric mutation, no trace accumulation."""
+
+    def test_timed_returns_shared_singleton(self):
+        assert obs.timed("a") is obs.timed("b") is _NULL_TIMER
+
+    def test_trace_returns_shared_singleton(self):
+        assert obs.trace("a") is obs.trace("b") is _NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        tracer = obs.trace("solver")
+        assert tracer.active is False
+        tracer.record(log_likelihood=1.0)
+        assert tracer.finish("converged") is None
+        assert obs.get_traces() == []
+
+    def test_counters_and_gauges_are_noops(self):
+        obs.inc("x", 10)
+        obs.set_gauge("g", 1.0)
+        obs.observe("t", 1.0)
+        snapshot = obs.get_registry().snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_null_timer_context_manager_runs_block(self):
+        ran = []
+        with obs.timed("anything"):
+            ran.append(True)
+        assert ran == [True]
+
+
+class TestTracer:
+    def test_records_carry_iteration_and_time(self):
+        obs.set_enabled(True)
+        tracer = obs.trace("solver", num_topics=3)
+        tracer.record(log_likelihood=-10.0)
+        tracer.record(log_likelihood=-5.0)
+        result = tracer.finish("converged")
+        assert result.name == "solver"
+        assert result.context == {"num_topics": 3}
+        assert result.termination == "converged"
+        assert result.num_iterations == 2
+        for index, rec in enumerate(result.iterations):
+            assert rec["iteration"] == index
+            assert rec["time_s"] >= 0.0
+        assert result.series("log_likelihood") == [-10.0, -5.0]
+
+    def test_finished_traces_are_collected_and_filterable(self):
+        obs.set_enabled(True)
+        obs.trace("a").finish()
+        obs.trace("b").finish()
+        obs.trace("a").finish()
+        assert len(obs.get_traces()) == 3
+        assert len(obs.get_traces("a")) == 2
+        obs.clear_traces()
+        assert obs.get_traces() == []
+
+    def test_finish_is_idempotent(self):
+        obs.set_enabled(True)
+        tracer = obs.trace("solver")
+        assert tracer.finish("converged") is not None
+        assert tracer.finish("max_iter") is None
+        assert len(obs.get_traces("solver")) == 1
+
+    def test_jsonl_streaming(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        obs.configure(trace_path=path)
+        tracer = obs.trace("solver", k=2)
+        tracer.record(residual=1.0)
+        tracer.record(residual=0.5)
+        tracer.finish("converged")
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert [line["event"] for line in lines] == ["iteration",
+                                                     "iteration", "end"]
+        assert lines[0]["residual"] == 1.0
+        assert lines[-1]["termination"] == "converged"
+        assert lines[-1]["context"] == {"k": 2}
+
+    def test_to_dict_schema(self):
+        obs.set_enabled(True)
+        tracer = obs.trace("solver")
+        tracer.record(log_likelihood=0.0)
+        data = tracer.finish("max_iter").to_dict()
+        assert set(data) == {"name", "context", "termination",
+                             "num_iterations", "total_time_s", "iterations"}
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert obs.get_logger("cathy").name == "repro.cathy"
+        assert obs.get_logger().name == "repro"
+
+    def test_configure_logging_emits_at_level(self):
+        stream = io.StringIO()
+        obs.configure_logging("INFO", stream=stream)
+        obs.get_logger("test").info("hello %s", "world")
+        obs.get_logger("test").debug("invisible")
+        output = stream.getvalue()
+        assert "hello world" in output
+        assert "invisible" not in output
+
+    def test_json_lines_formatter(self):
+        stream = io.StringIO()
+        obs.configure_logging("INFO", json_lines=True, stream=stream)
+        obs.get_logger("test").info("structured",
+                                    extra={"fields": {"k": 3}})
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "structured"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.test"
+        assert record["k"] == 3
+
+    def test_reconfiguring_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        obs.configure_logging("INFO", stream=stream)
+        obs.configure_logging("INFO", stream=stream)
+        obs.get_logger("test").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_library_silent_without_configuration(self):
+        assert not logging.getLogger("repro").handlers
+
+
+class TestRunReport:
+    def test_build_contains_all_sections(self):
+        obs.set_enabled(True)
+        with obs.timed("phase.one"):
+            pass
+        obs.inc("counter.one")
+        tracer = obs.trace("solver")
+        tracer.record(log_likelihood=1.0)
+        tracer.finish("converged")
+        report = obs.build_run_report(config={"k": 2})
+        assert report["schema"] == obs.REPORT_SCHEMA
+        assert report["config"] == {"k": 2}
+        assert report["phases"]["phase.one"]["count"] == 1
+        assert report["metrics"]["counters"]["counter.one"] == 1.0
+        assert [t["name"] for t in report["traces"]] == ["solver"]
+
+    def test_config_sanitized_to_jsonable(self):
+        obs.set_enabled(True)
+        report = obs.build_run_report(config={
+            "tuple": (1, 2), "object": object(), "nested": {"s": {3}}})
+        json.dumps(report)  # must not raise
+        assert report["config"]["tuple"] == [1, 2]
+        assert isinstance(report["config"]["object"], str)
+
+    def test_roundtrip_validates(self, tmp_path):
+        obs.set_enabled(True)
+        with obs.timed("phase"):
+            pass
+        path = str(tmp_path / "report.json")
+        obs.write_report(obs.build_run_report(), path)
+        data = json.load(open(path))
+        obs.validate_report(data)  # must not raise
+
+    @pytest.mark.parametrize("mutation", [
+        lambda r: r.update(schema="bogus"),
+        lambda r: r.pop("metrics"),
+        lambda r: r.update(traces={}),
+        lambda r: r.update(phases={"p": {"count": 1}}),
+        lambda r: r["traces"].append({"name": "x"}),
+        lambda r: r.update(traces=[{"name": "x", "termination": "y",
+                                    "iterations": [{"iteration": 0}]}]),
+    ])
+    def test_validate_rejects_malformed(self, mutation):
+        obs.set_enabled(True)
+        report = obs.build_run_report()
+        mutation(report)
+        with pytest.raises(DataError):
+            obs.validate_report(report)
+
+    def test_validate_rejects_non_object(self):
+        with pytest.raises(DataError):
+            obs.validate_report([])
+
+
+class TestConfigure:
+    def test_configure_enables_metrics(self):
+        assert not obs.is_enabled()
+        obs.configure()
+        assert obs.is_enabled()
+
+    def test_configure_sets_paths(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        report_path = str(tmp_path / "r.json")
+        obs.configure(trace_path=trace_path, report_path=report_path)
+        assert obs.get_trace_path() == trace_path
+        assert obs.get_report_path() == report_path
+
+    def test_metrics_false_leaves_registry_disabled(self):
+        obs.configure(level="WARNING", metrics=False)
+        assert not obs.is_enabled()
+
+    def test_reset_restores_pristine_state(self, tmp_path):
+        obs.configure(level="INFO", trace_path=str(tmp_path / "t.jsonl"))
+        obs.inc("x")
+        obs.trace("s").finish()
+        obs.reset()
+        assert not obs.is_enabled()
+        assert obs.get_traces() == []
+        assert obs.get_trace_path() is None
+        assert not logging.getLogger("repro").handlers

@@ -1,0 +1,65 @@
+"""Property-based tests on observability traces (hypothesis).
+
+The CATHY Poisson EM (Section 3.1) maximises a single fixed objective,
+so the per-iteration log-likelihood recorded by the convergence tracer
+must be non-decreasing on *any* corpus — not just the handcrafted ones
+in test_cathy_em.py.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro.cathy import CathyEM
+from repro.corpus import Corpus
+from repro.network import build_term_network
+
+VOCAB = ["query", "database", "index", "vector", "kernel", "graph"]
+
+documents = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=2, max_size=6),
+    min_size=3, max_size=8)
+
+
+class TestTracedEMMonotonicity:
+    @given(documents)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_log_likelihood_series_non_decreasing(self, docs):
+        corpus = Corpus.from_texts([" ".join(doc) for doc in docs])
+        network = build_term_network(corpus)
+        assume(network.num_links() > 0)
+        obs.reset()
+        obs.set_enabled(True)
+        try:
+            CathyEM(num_topics=2, max_iter=30, seed=0).fit(network)
+            traces = obs.get_traces("cathy.em")
+            assert traces
+            for trace in traces:
+                lls = trace.series("log_likelihood")
+                assert len(lls) == trace.num_iterations >= 1
+                scale = max(1.0, abs(lls[0]))
+                for earlier, later in zip(lls, lls[1:]):
+                    assert later >= earlier - 1e-9 * scale
+                assert trace.termination in ("converged", "max_iter")
+        finally:
+            obs.reset()
+
+    @given(documents)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_converged_runs_stop_before_max_iter(self, docs):
+        corpus = Corpus.from_texts([" ".join(doc) for doc in docs])
+        network = build_term_network(corpus)
+        assume(network.num_links() > 0)
+        obs.reset()
+        obs.set_enabled(True)
+        try:
+            CathyEM(num_topics=2, max_iter=200, seed=0).fit(network)
+            for trace in obs.get_traces("cathy.em"):
+                if trace.termination == "converged":
+                    assert trace.num_iterations < 200
+                else:
+                    assert trace.num_iterations == 200
+        finally:
+            obs.reset()
