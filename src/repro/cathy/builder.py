@@ -6,12 +6,19 @@ requested depth, a too-small subnetwork, or a model-selection stop.  The
 result is a :class:`~repro.hierarchy.TopicalHierarchy` whose topics carry
 per-type ranking distributions and their subnetworks — ready for phrase
 ranking (Chapter 4) and role analysis (Chapter 5).
+
+Sibling subtopic subproblems are independent (the STROD chapter's
+scalability observation), so each child's entire subtree expansion fans
+out over :func:`repro.parallel.pmap`.  Every expansion draws its
+randomness from a :class:`~numpy.random.SeedSequence` spawned in the
+parent before dispatch, which makes the built hierarchy identical for
+every worker count under the same seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Union
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,6 +26,7 @@ from ..errors import ConfigurationError
 from ..hierarchy import Topic, TopicalHierarchy
 from ..network import HeterogeneousNetwork
 from ..obs import get_logger
+from ..parallel import pmap, rng_from, spawn_seed_sequences
 from ..utils import RandomState, ensure_rng
 from .hin_em import CathyHIN
 from .model_selection import select_num_topics
@@ -44,6 +52,10 @@ class BuilderConfig:
         max_iter / restarts / tol: forwarded to the EM.
         subnetwork_min_weight: threshold for dropping links when extracting
             child networks (the "expected weight >= 1" rule).
+        workers: parallel workers for sibling subtree expansion and EM
+            restarts; None defers to the process default /
+            ``REPRO_WORKERS`` (see :mod:`repro.parallel`).  The built
+            hierarchy is identical for every worker count.
     """
 
     num_children: Union[int, Sequence[int], str] = 4
@@ -57,6 +69,19 @@ class BuilderConfig:
     restarts: int = 1
     tol: float = 1e-6
     subnetwork_min_weight: float = 1.0
+    workers: Optional[int] = None
+
+
+def _expand_subtree_task(config: BuilderConfig, item: Tuple) -> Topic:
+    """Expand one child topic's whole subtree (worker-process task).
+
+    Inside a pool worker all nested pmaps resolve to the serial backend,
+    so the recursion below this point never creates nested pools.
+    """
+    topic, network, level, seed_seq = item
+    builder = HierarchyBuilder(config)
+    builder._expand(topic, network, level, seed_seq)
+    return topic
 
 
 class HierarchyBuilder:
@@ -73,7 +98,8 @@ class HierarchyBuilder:
         hierarchy = TopicalHierarchy()
         hierarchy.root.network = network
         self._set_parent_phi(hierarchy.root, network)
-        self._expand(hierarchy.root, network, level=0)
+        root_seq = spawn_seed_sequences(self._rng, 1)[0]
+        self._expand(hierarchy.root, network, 0, root_seq)
         return hierarchy
 
     def expand_topic(self, hierarchy: TopicalHierarchy, topic: Topic,
@@ -90,22 +116,23 @@ class HierarchyBuilder:
             raise ConfigurationError(
                 f"topic {topic.notation} has no attached network")
         topic.children = []
+        seed_seq = spawn_seed_sequences(self._rng, 1)[0]
         if num_children is None:
-            self._expand(topic, topic.network, level=topic.level)
+            self._expand(topic, topic.network, topic.level, seed_seq)
             return
         saved_children = self.config.num_children
         saved_depth = self.config.max_depth
         self.config.num_children = [0] * topic.level + [num_children]
         self.config.max_depth = topic.level + 1
         try:
-            self._expand(topic, topic.network, level=topic.level)
+            self._expand(topic, topic.network, topic.level, seed_seq)
         finally:
             self.config.num_children = saved_children
             self.config.max_depth = saved_depth
 
     # -------------------------------------------------------------- recursion
     def _expand(self, topic: Topic, network: HeterogeneousNetwork,
-                level: int) -> None:
+                level: int, seed_seq: np.random.SeedSequence) -> None:
         config = self.config
         if level >= config.max_depth:
             return
@@ -115,25 +142,29 @@ class HierarchyBuilder:
         if num_nodes < config.min_nodes or not network.link_types():
             return
 
-        k = self._children_at(level, network)
+        k = self._children_at(level, network, seed_seq)
         if k < 2:
             return
 
         logger.debug("expanding %s at level %d into %d subtopics "
                      "(%d nodes, total weight %.1f)", topic.notation,
                      level, k, num_nodes, network.total_weight())
+        fit_seq = seed_seq.spawn(1)[0]
         estimator = CathyHIN(num_topics=k,
                              weight_mode=config.weight_mode,
                              max_iter=config.max_iter,
                              restarts=config.restarts,
                              tol=config.tol,
-                             seed=self._rng)
+                             seed=rng_from(fit_seq),
+                             workers=config.workers)
         model = estimator.fit(network)
 
         # Order children by descending rho so child index 0 is the largest
         # subtopic — stable, readable hierarchies.
         order = np.argsort(-model.rho, kind="stable")
-        for z in order:
+        child_items = []
+        child_seqs = seed_seq.spawn(len(order))
+        for z, child_seq in zip(order, child_seqs):
             z = int(z)
             subnetwork = estimator.subnetwork(
                 z, min_weight=config.subnetwork_min_weight)
@@ -143,17 +174,26 @@ class HierarchyBuilder:
                      for t in model.node_names},
                 network=subnetwork)
             topic.add_child(child)
-            self._expand(child, subnetwork, level=level + 1)
+            child_items.append((child, subnetwork, level + 1, child_seq))
+        if not child_items:
+            return
+        # Each sibling subtree is an independent subproblem: fan the whole
+        # recursions out, then reattach in rho order.  Serial and parallel
+        # paths run identical code with identical seeds.
+        topic.children = pmap(_expand_subtree_task, child_items,
+                              workers=config.workers, shared=config,
+                              label="cathy.builder.children")
 
-    def _children_at(self, level: int,
-                     network: HeterogeneousNetwork) -> int:
+    def _children_at(self, level: int, network: HeterogeneousNetwork,
+                     seed_seq: np.random.SeedSequence) -> int:
         num_children = self.config.num_children
         if num_children == "auto":
+            selection_seq = seed_seq.spawn(1)[0]
             best, _ = select_num_topics(
                 network,
                 candidates=self.config.auto_candidates,
                 method=self.config.selection_method,
-                seed=self._rng,
+                seed=rng_from(selection_seq),
                 weight_mode=self.config.weight_mode,
                 max_iter=min(self.config.max_iter, 60),
                 restarts=1)

@@ -4,6 +4,14 @@ The generative model: every co-occurrence link between terms i and j in
 topic ``t/z`` follows ``e_ij ~ Poisson(rho_z * phi_z,i * phi_z,j)``
 (Eq. 3.1–3.2); the observed link weight is the sum over subtopics
 (Eq. 3.3).  Maximum-likelihood inference is the EM of Eq. 3.5–3.7.
+
+Both hot kernels are fully vectorized: the M-step scatters all subtopic
+expectations in one :func:`numpy.bincount` over a flattened ``(k * V)``
+index space, and the posterior link split (Eq. 3.5) is computed for
+every link and subtopic in a single ``(k, E)`` pass.  Random restarts
+fan out over :func:`repro.parallel.pmap` with per-restart seeds derived
+via :meth:`numpy.random.SeedSequence.spawn`, so any worker count
+reproduces the serial result exactly.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
-from ..obs import timed, trace
+from ..obs import inc, timed, trace
+from ..parallel import pmap, rng_from, spawn_seed_sequences
 from ..utils import EPS, RandomState, ensure_rng
 from ..network import HeterogeneousNetwork, TERM_TYPE
 
@@ -47,6 +56,138 @@ class TermTopicModel:
                 for name, p in zip(self.node_names, self.phi[z]) if p > 0}
 
 
+def flat_scatter_index(idx: np.ndarray, num_nodes: int,
+                       k: int) -> np.ndarray:
+    """Flattened ``(k * V)`` scatter index for one link-endpoint array.
+
+    Depends only on the link arrays, the node count, and k — all fixed
+    across EM iterations — so fits precompute it once and reuse it every
+    M-step.
+    """
+    offsets = (np.arange(k, dtype=np.int64) * num_nodes)[:, None]
+    return (offsets + idx[None, :]).reshape(-1)
+
+
+def scatter_expectations(expected: np.ndarray, i_idx: np.ndarray,
+                         j_idx: np.ndarray, num_nodes: int,
+                         flat_idx: Optional[Tuple[np.ndarray, np.ndarray]]
+                         = None) -> np.ndarray:
+    """Accumulate per-link expectations onto both endpoints, per subtopic.
+
+    One :func:`numpy.bincount` per link direction over a flattened
+    ``(k * V)`` index space replaces the per-subtopic ``np.add.at``
+    loop; ``expected`` has shape (k, E) and the result (k, V).  Pass a
+    precomputed ``(flat_i, flat_j)`` pair (from
+    :func:`flat_scatter_index`) to skip rebuilding the indices in hot
+    loops.
+    """
+    k = expected.shape[0]
+    if flat_idx is None:
+        flat_i = flat_scatter_index(i_idx, num_nodes, k)
+        flat_j = flat_scatter_index(j_idx, num_nodes, k)
+    else:
+        flat_i, flat_j = flat_idx
+    contrib = expected.reshape(-1)
+    flat = np.bincount(flat_i, weights=contrib, minlength=k * num_nodes)
+    flat += np.bincount(flat_j, weights=contrib, minlength=k * num_nodes)
+    return flat.reshape(k, num_nodes)
+
+
+def posterior_link_split(rho: np.ndarray, phi: np.ndarray,
+                         i_idx: np.ndarray, j_idx: np.ndarray,
+                         weights: np.ndarray,
+                         counter: Optional[str] = "cathy.degenerate_links",
+                         ) -> np.ndarray:
+    """Eq. 3.5 posterior split of every link weight, one (k, E) pass.
+
+    Links whose mixture score degenerates to zero (``denom <= 0``) get a
+    zero split; they are counted under ``counter`` instead of vanishing
+    silently.
+    """
+    scores = rho[:, None] * phi[:, i_idx] * phi[:, j_idx]  # (k, E)
+    denom = scores.sum(axis=0)
+    degenerate = denom <= 0.0
+    num_degenerate = int(np.count_nonzero(degenerate))
+    if num_degenerate and counter:
+        inc(counter, num_degenerate)
+    safe = np.where(degenerate, 1.0, denom)
+    expected = scores * (weights / safe)[None, :]
+    if num_degenerate:
+        expected[:, degenerate] = 0.0
+    return expected
+
+
+def sparse_topic_buckets(expected: np.ndarray, i_idx: np.ndarray,
+                         j_idx: np.ndarray,
+                         ) -> List[Dict[Tuple[int, int], float]]:
+    """Per-subtopic ``{(i, j): weight}`` buckets from a dense (k, E) split."""
+    buckets: List[Dict[Tuple[int, int], float]] = []
+    i_list = i_idx.tolist()
+    j_list = j_idx.tolist()
+    for row in expected:
+        nonzero = np.flatnonzero(row > 0)
+        values = row[nonzero].tolist()
+        buckets.append({(i_list[e], j_list[e]): value
+                        for e, value in zip(nonzero.tolist(), values)})
+    return buckets
+
+
+def _fit_kernel(i_idx: np.ndarray, j_idx: np.ndarray, weights: np.ndarray,
+                num_nodes: int, num_topics: int, max_iter: int, tol: float,
+                rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray,
+                                                   float]:
+    """One EM run (Eq. 3.5–3.7) from a random start; returns (rho, phi, ll).
+
+    Module-level (rather than a method) so restart tasks are picklable
+    for the process backend.
+    """
+    k = num_topics
+    total = weights.sum()
+    phi = rng.dirichlet(np.ones(num_nodes), size=k)
+    rho = np.full(k, total / k)
+    flat_idx = (flat_scatter_index(i_idx, num_nodes, k),
+                flat_scatter_index(j_idx, num_nodes, k))
+
+    tracer = trace("cathy.em", num_topics=k, num_nodes=num_nodes,
+                   num_links=len(weights))
+    termination = "max_iter"
+    prev_ll = -np.inf
+    ll = prev_ll
+    for _ in range(max_iter):
+        # E-step (Eq. 3.5): responsibilities per link and subtopic.
+        scores = rho[:, None] * phi[:, i_idx] * phi[:, j_idx]  # (k, E)
+        denom = scores.sum(axis=0)
+        denom = np.maximum(denom, EPS)
+        q = scores / denom  # (k, E)
+        ll = float(np.dot(weights, np.log(denom)))
+
+        # M-step (Eq. 3.6-3.7).
+        expected = q * weights  # (k, E)
+        rho = expected.sum(axis=1)
+        phi = scatter_expectations(expected, i_idx, j_idx, num_nodes,
+                                   flat_idx=flat_idx)
+        row_sums = phi.sum(axis=1, keepdims=True)
+        row_sums = np.maximum(row_sums, EPS)
+        phi = phi / row_sums
+        rho = np.maximum(rho, EPS)
+
+        tracer.record(log_likelihood=ll)
+        if ll - prev_ll < tol * max(abs(prev_ll), 1.0) \
+                and np.isfinite(prev_ll):
+            termination = "converged"
+            break
+        prev_ll = ll
+    tracer.finish(termination)
+    return rho, phi, ll
+
+
+def _restart_task(shared, seed_seq) -> Tuple[np.ndarray, np.ndarray, float]:
+    """One random restart; ``shared`` carries the static problem arrays."""
+    i_idx, j_idx, weights, num_nodes, num_topics, max_iter, tol = shared
+    return _fit_kernel(i_idx, j_idx, weights, num_nodes, num_topics,
+                       max_iter, tol, rng_from(seed_seq))
+
+
 class CathyEM:
     """EM estimator for the homogeneous Poisson link-clustering model.
 
@@ -55,12 +196,17 @@ class CathyEM:
         max_iter: EM iteration budget.
         tol: relative log-likelihood improvement below which EM stops.
         restarts: random restarts; the best-likelihood solution is kept.
-        seed: RNG seed or generator.
+        seed: RNG seed or generator.  Each restart draws its start from a
+            seed spawned deterministically off this, so results do not
+            depend on the worker count.
+        workers: parallel workers for the restarts; None defers to the
+            process default / ``REPRO_WORKERS`` (see :mod:`repro.parallel`).
     """
 
     def __init__(self, num_topics: int, max_iter: int = 200,
                  tol: float = 1e-6, restarts: int = 1,
-                 seed: RandomState = None) -> None:
+                 seed: RandomState = None,
+                 workers: Optional[int] = None) -> None:
         if num_topics < 1:
             raise ConfigurationError("num_topics must be >= 1")
         if restarts < 1:
@@ -69,6 +215,7 @@ class CathyEM:
         self.max_iter = max_iter
         self.tol = tol
         self.restarts = restarts
+        self.workers = workers
         self._rng = ensure_rng(seed)
         self.model_: Optional[TermTopicModel] = None
 
@@ -88,58 +235,20 @@ class CathyEM:
         weights = np.array([l[2] for l in links], dtype=float)
 
         with timed("cathy.em.fit"):
-            best: Optional[TermTopicModel] = None
-            for _ in range(self.restarts):
-                model = self._fit_once(i_idx, j_idx, weights,
-                                       num_nodes, names)
-                if best is None or model.log_likelihood > best.log_likelihood:
-                    best = model
-        self.model_ = best
-        return best
-
-    def _fit_once(self, i_idx: np.ndarray, j_idx: np.ndarray,
-                  weights: np.ndarray, num_nodes: int,
-                  names: List[str]) -> TermTopicModel:
-        k = self.num_topics
-        total = weights.sum()
-        phi = self._rng.dirichlet(np.ones(num_nodes), size=k)
-        rho = np.full(k, total / k)
-
-        tracer = trace("cathy.em", num_topics=k, num_nodes=num_nodes,
-                       num_links=len(weights))
-        termination = "max_iter"
-        prev_ll = -np.inf
-        ll = prev_ll
-        for _ in range(self.max_iter):
-            # E-step (Eq. 3.5): responsibilities per link and subtopic.
-            scores = rho[:, None] * phi[:, i_idx] * phi[:, j_idx]  # (k, E)
-            denom = scores.sum(axis=0)
-            denom = np.maximum(denom, EPS)
-            q = scores / denom  # (k, E)
-            ll = float(np.dot(weights, np.log(denom)))
-
-            # M-step (Eq. 3.6-3.7).
-            expected = q * weights  # (k, E)
-            rho = expected.sum(axis=1)
-            phi = np.zeros((k, num_nodes))
-            for z in range(k):
-                np.add.at(phi[z], i_idx, expected[z])
-                np.add.at(phi[z], j_idx, expected[z])
-            row_sums = phi.sum(axis=1, keepdims=True)
-            row_sums = np.maximum(row_sums, EPS)
-            phi = phi / row_sums
-            rho = np.maximum(rho, EPS)
-
-            tracer.record(log_likelihood=ll)
-            if ll - prev_ll < self.tol * max(abs(prev_ll), 1.0) \
-                    and np.isfinite(prev_ll):
-                termination = "converged"
-                break
-            prev_ll = ll
-        tracer.finish(termination)
-
-        return TermTopicModel(rho=rho, phi=phi, node_names=list(names),
-                              log_likelihood=ll)
+            shared = (i_idx, j_idx, weights, num_nodes, self.num_topics,
+                      self.max_iter, self.tol)
+            seeds = spawn_seed_sequences(self._rng, self.restarts)
+            runs = pmap(_restart_task, seeds, workers=self.workers,
+                        shared=shared, label="cathy.em.restarts")
+            best: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
+            for run in runs:
+                if best is None or run[2] > best[2]:
+                    best = run
+        rho, phi, ll = best
+        self.model_ = TermTopicModel(rho=rho, phi=phi,
+                                     node_names=list(names),
+                                     log_likelihood=ll)
+        return self.model_
 
     # ------------------------------------------------------------ subnetwork
     def expected_link_weights(self, network: HeterogeneousNetwork,
@@ -148,21 +257,20 @@ class CathyEM:
         """Expected per-subtopic link weights e-hat (posterior split).
 
         Returns one ``{(i, j): weight}`` mapping per subtopic, computed
-        with Eq. 3.5 at the fitted parameters.
+        with Eq. 3.5 at the fitted parameters in a single vectorized
+        (k, E) pass.  Links whose posterior degenerates (zero mixture
+        score) are counted under the ``cathy.degenerate_links`` metric.
         """
         model = self._require_fitted()
-        result: List[Dict[Tuple[int, int], float]] = [
-            {} for _ in range(model.num_topics)]
-        for i, j, weight in network.links((node_type, node_type)):
-            scores = model.rho * model.phi[:, i] * model.phi[:, j]
-            denom = scores.sum()
-            if denom <= 0:
-                continue
-            for z in range(model.num_topics):
-                expected = weight * scores[z] / denom
-                if expected > 0:
-                    result[z][(i, j)] = expected
-        return result
+        links = list(network.links((node_type, node_type)))
+        if not links:
+            return [{} for _ in range(model.num_topics)]
+        i_idx = np.array([l[0] for l in links], dtype=np.int64)
+        j_idx = np.array([l[1] for l in links], dtype=np.int64)
+        weights = np.array([l[2] for l in links], dtype=float)
+        expected = posterior_link_split(model.rho, model.phi,
+                                        i_idx, j_idx, weights)
+        return sparse_topic_buckets(expected, i_idx, j_idx)
 
     def subnetworks(self, network: HeterogeneousNetwork,
                     node_type: str = TERM_TYPE,

@@ -12,6 +12,13 @@ Undirected links are stored once; the paper's both-directions duplication
 only matters for the asymmetric background component, which is handled by
 averaging the two directions and crediting each endpoint its posterior
 share of "being the background node".
+
+The per-iteration scatter of expected link weights onto node
+distributions runs as one :func:`numpy.bincount` per link direction over
+a flattened ``(k * V)`` index space (precomputed once per fit), and
+random restarts fan out over :func:`repro.parallel.pmap` with
+deterministically spawned seeds, so any worker count reproduces the
+serial result exactly.
 """
 
 from __future__ import annotations
@@ -23,8 +30,10 @@ import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
 from ..network import HeterogeneousNetwork
+from .em import flat_scatter_index
 from ..network.weighted import LinkType, canonical_link_type
-from ..obs import timed, trace
+from ..obs import inc, timed, trace
+from ..parallel import pmap, rng_from, spawn_seed_sequences
 from ..utils import EPS, RandomState, ensure_rng
 
 LinkKey = Tuple[int, int]
@@ -43,6 +52,8 @@ class _LinkData:
     def num_links(self) -> int:
         """Number of stored links of this type."""
         return len(self.weights)
+
+
 
 
 @dataclass
@@ -111,7 +122,11 @@ class CathyHIN:
             even-sized subtopics).
         phi_prior: Dirichlet pseudo-count on every ranking distribution
             (smooths away zero probabilities in small subnetworks).
-        seed: RNG seed or generator.
+        seed: RNG seed or generator.  Restart starting points are drawn
+            from seeds spawned deterministically off this, so results do
+            not depend on the worker count.
+        workers: parallel workers for the restarts; None defers to the
+            process default / ``REPRO_WORKERS`` (see :mod:`repro.parallel`).
     """
 
     def __init__(self, num_topics: int,
@@ -123,7 +138,8 @@ class CathyHIN:
                  restarts: int = 1,
                  rho_prior: float = 0.0,
                  phi_prior: float = 0.0,
-                 seed: RandomState = None) -> None:
+                 seed: RandomState = None,
+                 workers: Optional[int] = None) -> None:
         if num_topics < 1:
             raise ConfigurationError("num_topics must be >= 1")
         if isinstance(weight_mode, str) and weight_mode not in (
@@ -141,16 +157,33 @@ class CathyHIN:
         self.restarts = restarts
         self.rho_prior = rho_prior
         self.phi_prior = phi_prior
+        self.workers = workers
         self._rng = ensure_rng(seed)
         self.model_: Optional[HINTopicModel] = None
         self._link_data: List[_LinkData] = []
         self._network: Optional[HeterogeneousNetwork] = None
+        self._scatter_idx: Dict[LinkType, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _constructor_params(self) -> Dict[str, object]:
+        """The constructor arguments needed to rebuild this estimator in a
+        worker process (seed and workers excluded on purpose)."""
+        return {
+            "num_topics": self.num_topics,
+            "weight_mode": self.weight_mode,
+            "background": self.background,
+            "max_iter": self.max_iter,
+            "weight_update_every": self.weight_update_every,
+            "tol": self.tol,
+            "rho_prior": self.rho_prior,
+            "phi_prior": self.phi_prior,
+        }
 
     # ------------------------------------------------------------------- fit
     def fit(self, network: HeterogeneousNetwork) -> HINTopicModel:
         """Fit the model to all links of ``network``."""
         self._network = network
         self._link_data = self._extract_links(network)
+        self._scatter_idx = {}
         if not self._link_data:
             raise ConfigurationError("network has no links to cluster")
         node_names = {t: network.node_names(t) for t in network.node_types()
@@ -159,9 +192,13 @@ class CathyHIN:
         alpha = self._initial_alpha()
 
         with timed("cathy.hin_em.fit"):
+            shared = (self._constructor_params(), self._link_data,
+                      node_names, alpha)
+            seeds = spawn_seed_sequences(self._rng, self.restarts)
+            runs = pmap(_hin_restart_task, seeds, workers=self.workers,
+                        shared=shared, label="cathy.hin_em.restarts")
             best: Optional[HINTopicModel] = None
-            for _ in range(self.restarts):
-                model = self._fit_once(node_names, dict(alpha))
+            for model in runs:
                 if best is None or model.log_likelihood > best.log_likelihood:
                     best = model
         self.model_ = best
@@ -210,10 +247,31 @@ class CathyHIN:
             np.add.at(degrees[type_y], ld.j_idx, ld.weights)
         return {t: deg / deg.sum() for t, deg in degrees.items()}
 
-    def _fit_once(self, node_names: Dict[str, List[str]],
-                  alpha: Dict[LinkType, float]) -> HINTopicModel:
+    def _ensure_scatter_index(self,
+                              node_names: Dict[str, List[str]]) -> None:
+        """Precompute per-link-type flattened scatter indices (once per fit).
+
+        The indices depend only on the link arrays, node counts, and k —
+        all fixed across EM iterations and restarts — and let the M-step
+        scatter run as one bincount per link direction.
+        """
+        if self._scatter_idx:
+            return
         k = self.num_topics
-        rng = self._rng
+        for ld in self._link_data:
+            type_x, type_y = ld.link_type
+            self._scatter_idx[ld.link_type] = (
+                flat_scatter_index(ld.i_idx, len(node_names[type_x]), k),
+                flat_scatter_index(ld.j_idx, len(node_names[type_y]), k))
+
+    def _fit_once(self, node_names: Dict[str, List[str]],
+                  alpha: Dict[LinkType, float],
+                  rng: Optional[np.random.Generator] = None,
+                  ) -> HINTopicModel:
+        k = self.num_topics
+        if rng is None:
+            rng = self._rng
+        self._ensure_scatter_index(node_names)
         phi_parent = self._parent_distributions(node_names)
 
         phi = {t: rng.dirichlet(np.ones(len(names)), size=k)
@@ -298,9 +356,16 @@ class CathyHIN:
 
             expected = scores / denom * w  # (k, E)
             new_rho += expected.sum(axis=1)
-            for z in range(k):
-                np.add.at(new_phi[type_x][z], ld.i_idx, expected[z])
-                np.add.at(new_phi[type_y][z], ld.j_idx, expected[z])
+            flat_i, flat_j = self._scatter_idx[ld.link_type]
+            contrib = expected.reshape(-1)
+            num_x = new_phi[type_x].shape[1]
+            num_y = new_phi[type_y].shape[1]
+            new_phi[type_x] += np.bincount(
+                flat_i, weights=contrib,
+                minlength=k * num_x).reshape(k, num_x)
+            new_phi[type_y] += np.bincount(
+                flat_j, weights=contrib,
+                minlength=k * num_y).reshape(k, num_y)
             if self.background:
                 exp_bg_a = bg_a / denom * w
                 exp_bg_b = bg_b / denom * w
@@ -354,7 +419,13 @@ class CathyHIN:
     # ------------------------------------------------------------ subnetwork
     def expected_link_weights(self, subtopic: int,
                               ) -> Dict[LinkType, Dict[LinkKey, float]]:
-        """e-hat^{x,y,t/z}: expected scaled link weight per link (Eq. 3.23)."""
+        """e-hat^{x,y,t/z}: expected scaled link weight per link (Eq. 3.23).
+
+        Fully vectorized per link type; links whose mixture score
+        degenerates to zero cannot be attributed to any subtopic and are
+        counted under the ``cathy.degenerate_links`` metric instead of
+        being dropped silently.
+        """
         model = self._require_fitted()
         if not 0 <= subtopic < model.num_topics:
             raise ConfigurationError(f"subtopic {subtopic} out of range")
@@ -364,14 +435,19 @@ class CathyHIN:
             scores, bg_a, bg_b = self._link_scores(
                 ld, model.rho, model.rho0, model.phi, model.phi_background,
                 model.phi_parent)
-            denom = np.maximum(scores.sum(axis=0) + bg_a + bg_b, EPS)
+            raw_denom = scores.sum(axis=0) + bg_a + bg_b
+            num_degenerate = int(np.count_nonzero(raw_denom <= 0.0))
+            if num_degenerate:
+                inc("cathy.degenerate_links", num_degenerate)
+            denom = np.maximum(raw_denom, EPS)
             expected = ld.weights * a * scores[subtopic] / denom
-            bucket = {}
-            for idx in range(ld.num_links):
-                if expected[idx] > 0:
-                    bucket[(int(ld.i_idx[idx]), int(ld.j_idx[idx]))] = \
-                        float(expected[idx])
-            result[ld.link_type] = bucket
+            nonzero = np.flatnonzero(expected > 0)
+            i_list = ld.i_idx[nonzero].tolist()
+            j_list = ld.j_idx[nonzero].tolist()
+            values = expected[nonzero].tolist()
+            result[ld.link_type] = {
+                (i, j): value
+                for i, j, value in zip(i_list, j_list, values)}
         return result
 
     def subnetwork(self, subtopic: int,
@@ -396,6 +472,19 @@ class CathyHIN:
         if self.model_ is None:
             raise NotFittedError("call fit() before using the model")
         return self.model_
+
+
+def _hin_restart_task(shared, seed_seq) -> HINTopicModel:
+    """One random restart, runnable in a worker process.
+
+    ``shared`` carries the constructor parameters, extracted link data,
+    node names, and initial alpha — shipped once per worker.
+    """
+    params, link_data, node_names, alpha = shared
+    estimator = CathyHIN(**params)
+    estimator._link_data = link_data
+    return estimator._fit_once(node_names, dict(alpha),
+                               rng=rng_from(seed_seq))
 
 
 def _normalize_alpha(alpha: Dict[LinkType, float],

@@ -11,10 +11,12 @@ Commands:
   the predictions (with accuracy when ground truth is available).
 * ``strod`` — run moment-based topic discovery and print topic words.
 
-Every command accepts ``--seed`` for reproducibility, plus the
-observability flags ``--log-level``, ``--trace PATH`` (JSON-lines
-convergence traces), and ``--report PATH`` (aggregated run report; see
-:mod:`repro.obs.report` for the schema).
+Every command accepts ``--seed`` for reproducibility, ``--workers N``
+for parallel execution (falling back to the ``REPRO_WORKERS``
+environment variable; results are identical for every worker count
+under the same seed), plus the observability flags ``--log-level``,
+``--trace PATH`` (JSON-lines convergence traces), and ``--report PATH``
+(aggregated run report; see :mod:`repro.obs.report` for the schema).
 
 Data and configuration errors print a one-line message to stderr and
 exit with status 2 instead of a traceback.
@@ -26,7 +28,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import obs
+from . import obs, parallel
 from .datasets import (DBLPConfig, NewsConfig, generate_dblp,
                        generate_news, load_dataset, save_dataset)
 from .errors import ReproError
@@ -38,8 +40,15 @@ def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _obs_parent() -> argparse.ArgumentParser:
-    """Observability flags shared by every subcommand."""
+    """Observability and execution flags shared by every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
+    execution = parent.add_argument_group("execution")
+    execution.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel worker processes for hierarchy construction, EM "
+             "restarts, and segmentation (default: the REPRO_WORKERS "
+             "environment variable, else serial); results are identical "
+             "for every worker count under the same seed")
     group = parent.add_argument_group("observability")
     group.add_argument("--log-level", default=None, metavar="LEVEL",
                        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
@@ -246,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     _configure_observability(args)
     try:
+        parallel.set_workers(args.workers)
         code = args.func(args)
         if code == 0 and args.report:
             _write_run_report(args)

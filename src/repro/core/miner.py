@@ -46,6 +46,10 @@ class MinerConfig:
         entity_types: which entity types to use (default: all present).
         min_count: minimum term frequency to enter the network.
         top_k: phrases / entities retained per topic.
+        workers: parallel workers for hierarchy construction (sibling
+            subtrees, EM restarts); None defers to the process default /
+            ``REPRO_WORKERS`` (see :mod:`repro.parallel`).  Results are
+            identical for every worker count under the same seed.
     """
 
     num_children: Union[int, Sequence[int], str] = 4
@@ -56,6 +60,7 @@ class MinerConfig:
     entity_types: Optional[Sequence[str]] = None
     min_count: int = 1
     top_k: int = 20
+    workers: Optional[int] = None
     builder_overrides: Dict[str, object] = field(default_factory=dict)
 
 
@@ -105,11 +110,14 @@ class LatentEntityMiner:
                 network = build_collapsed_network(
                     corpus, entity_types=config.entity_types,
                     min_count=config.min_count)
-            builder_config = BuilderConfig(
-                num_children=config.num_children,
-                max_depth=config.max_depth,
-                weight_mode=config.weight_mode,
-                **config.builder_overrides)
+            builder_kwargs: Dict[str, object] = {
+                "num_children": config.num_children,
+                "max_depth": config.max_depth,
+                "weight_mode": config.weight_mode,
+                "workers": config.workers,
+            }
+            builder_kwargs.update(config.builder_overrides)
+            builder_config = BuilderConfig(**builder_kwargs)
             builder = HierarchyBuilder(builder_config, seed=self._rng)
             with timed("miner.hierarchy"):
                 hierarchy = builder.build(network)

@@ -1,0 +1,45 @@
+"""repro.parallel — the execution-backend layer.
+
+The STROD chapter's scalability argument rests on the independence of
+sibling subproblems: subtopic subnetworks, EM restarts, and per-document
+segmentations share no state, so they can fan out across processes
+without changing the mathematics.  This package supplies the mechanics:
+
+* :func:`pmap` — a chunked, order-preserving map over a
+  :class:`SerialBackend` or a :class:`ProcessBackend`
+  (:class:`~concurrent.futures.ProcessPoolExecutor`), selected by the
+  ``workers`` argument, the CLI's ``--workers`` flag
+  (:func:`set_workers`), or the ``REPRO_WORKERS`` environment variable;
+* deterministic per-task seeding (:func:`spawn_seed_sequences`) via
+  :meth:`numpy.random.SeedSequence.spawn`, so parallel runs reproduce
+  serial results exactly — same seed + any worker count → identical
+  models and segmentations.
+
+Nested fan-out is safe: inside a worker process every pmap resolves to
+the serial backend, so pools never nest.
+"""
+
+from .backend import (ExecutionBackend, ProcessBackend, SerialBackend,
+                      START_METHOD_ENV, WORKERS_ENV, get_backend,
+                      get_default_workers, in_worker, pmap, resolve_workers,
+                      set_workers)
+from .seeding import (rng_from, seed_sequence_of, spawn_generators,
+                      spawn_seed_sequences)
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessBackend",
+    "START_METHOD_ENV",
+    "SerialBackend",
+    "WORKERS_ENV",
+    "get_backend",
+    "get_default_workers",
+    "in_worker",
+    "pmap",
+    "resolve_workers",
+    "rng_from",
+    "seed_sequence_of",
+    "set_workers",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]

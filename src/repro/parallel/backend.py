@@ -1,0 +1,243 @@
+"""Execution backends: serial and process-pool map with chunking.
+
+The layer exposes one primitive — :func:`pmap` — an order-preserving
+map over picklable items.  Backend selection (``workers``):
+
+1. an explicit ``workers=`` argument at the call site,
+2. the process-wide default installed by :func:`set_workers`
+   (the CLI's ``--workers`` flag lands here),
+3. the ``REPRO_WORKERS`` environment variable,
+4. serial (one worker).
+
+Inside a worker process the resolution is pinned to serial, so nested
+fan-out points (e.g. EM restarts inside a hierarchy-builder subtree
+task) never create nested pools.
+
+Work functions must be module-level (picklable by reference).  A
+``shared`` payload — typically large read-only state such as phrase
+counts — is shipped once per worker via the pool initializer rather
+than once per task, and the function is then called as
+``fn(shared, item)``.
+
+Every dispatch records into :mod:`repro.obs`: the ``parallel.tasks``
+counter, the ``parallel.workers`` gauge, and a ``parallel.<label>``
+wall-time timer, so speedups are visible in run reports.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..obs import inc, set_gauge, timed
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "get_backend",
+    "get_default_workers",
+    "in_worker",
+    "pmap",
+    "resolve_workers",
+    "set_workers",
+]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable overriding the multiprocessing start method.
+START_METHOD_ENV = "REPRO_MP_START"
+
+#: Process-wide default worker count (installed by the CLI's --workers).
+_DEFAULT_WORKERS: Optional[int] = None
+
+#: True inside a pool worker; pins nested resolution to serial.
+_IN_WORKER = False
+
+#: Sentinel distinguishing "no shared payload" from a shared ``None``.
+_UNSET = object()
+
+#: Worker-process slot holding the shared payload (set by the initializer).
+_WORKER_SHARED = _UNSET
+
+
+def set_workers(workers: Optional[int]) -> None:
+    """Install the process-wide default worker count (None clears it)."""
+    global _DEFAULT_WORKERS
+    if workers is None:
+        _DEFAULT_WORKERS = None
+        return
+    if int(workers) < 1:
+        raise ConfigurationError("workers must be >= 1")
+    _DEFAULT_WORKERS = int(workers)
+
+
+def get_default_workers() -> Optional[int]:
+    """The installed process-wide default (None when unset)."""
+    return _DEFAULT_WORKERS
+
+
+def in_worker() -> bool:
+    """True when executing inside a pool worker process."""
+    return _IN_WORKER
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an effective worker count (see module docstring for order)."""
+    if _IN_WORKER:
+        return 1
+    if workers is not None:
+        if int(workers) < 1:
+            raise ConfigurationError("workers must be >= 1")
+        return int(workers)
+    if _DEFAULT_WORKERS is not None:
+        return _DEFAULT_WORKERS
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}") from None
+        if value >= 1:
+            return value
+    return 1
+
+
+# ---------------------------------------------------------------- backends
+class ExecutionBackend:
+    """Interface: an order-preserving map over items."""
+
+    name = "abstract"
+
+    def map(self, fn: Callable, items: Sequence, shared: object = _UNSET,
+            chunk_size: Optional[int] = None) -> List:
+        """Apply ``fn`` to every item, preserving input order."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution; the reference semantics of every pmap."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Sequence, shared: object = _UNSET,
+            chunk_size: Optional[int] = None) -> List:
+        if shared is _UNSET:
+            return [fn(item) for item in items]
+        return [fn(shared, item) for item in items]
+
+
+def _worker_init(shared: object) -> None:
+    """Pool initializer: stash the shared payload, pin nested maps serial."""
+    global _IN_WORKER, _WORKER_SHARED
+    _IN_WORKER = True
+    _WORKER_SHARED = shared
+
+
+def _run_chunk(payload) -> List:
+    """Execute one chunk of items inside a worker process."""
+    fn, chunk = payload
+    if _WORKER_SHARED is _UNSET:
+        return [fn(item) for item in chunk]
+    return [fn(_WORKER_SHARED, item) for item in chunk]
+
+
+class ProcessBackend(ExecutionBackend):
+    """Chunked map over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Args:
+        workers: pool size.
+        start_method: multiprocessing start method; default is the
+            ``REPRO_MP_START`` environment variable, then ``fork`` where
+            available (cheap, inherits loaded modules), then the
+            platform default.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self.start_method = start_method or os.environ.get(START_METHOD_ENV)
+
+    def _context(self):
+        import multiprocessing
+
+        if self.start_method:
+            return multiprocessing.get_context(self.start_method)
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def map(self, fn: Callable, items: Sequence, shared: object = _UNSET,
+            chunk_size: Optional[int] = None) -> List:
+        items = list(items)
+        if not items:
+            return []
+        if chunk_size is None:
+            # A few chunks per worker balances load without drowning the
+            # pool in per-task pickling overhead.
+            chunk_size = max(1, math.ceil(len(items) / (self.workers * 4)))
+        chunks = [items[i:i + chunk_size]
+                  for i in range(0, len(items), chunk_size)]
+        max_workers = min(self.workers, len(chunks))
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 mp_context=self._context(),
+                                 initializer=_worker_init,
+                                 initargs=(shared,)) as pool:
+            results: List = []
+            for chunk_result in pool.map(_run_chunk,
+                                         [(fn, chunk) for chunk in chunks]):
+                results.extend(chunk_result)
+        return results
+
+
+def get_backend(workers: Optional[int] = None) -> ExecutionBackend:
+    """The backend for an effective worker count (see :func:`resolve_workers`)."""
+    count = resolve_workers(workers)
+    if count <= 1:
+        return SerialBackend()
+    return ProcessBackend(count)
+
+
+# ------------------------------------------------------------------- pmap
+def pmap(fn: Callable, items: Iterable, *,
+         workers: Optional[int] = None,
+         chunk_size: Optional[int] = None,
+         shared: object = _UNSET,
+         label: Optional[str] = None) -> List:
+    """Order-preserving map over ``items`` on the resolved backend.
+
+    Args:
+        fn: module-level function; called as ``fn(item)``, or
+            ``fn(shared, item)`` when ``shared`` is given.
+        items: the work list (materialized once).
+        workers: explicit worker count; None defers to the
+            :func:`resolve_workers` chain.
+        chunk_size: items per worker task (process backend only);
+            defaults to a few chunks per worker.
+        shared: read-only payload shipped once per worker.
+        label: timer suffix for the ``parallel.<label>`` phase metric;
+            defaults to the function name.
+
+    Single-item and single-worker maps short-circuit to the serial
+    backend, so fan-out points can call pmap unconditionally.
+    """
+    items = list(items)
+    count = resolve_workers(workers)
+    if count > 1 and len(items) > 1:
+        backend: ExecutionBackend = ProcessBackend(count)
+    else:
+        backend = SerialBackend()
+    inc("parallel.tasks", len(items))
+    inc(f"parallel.tasks.{backend.name}", len(items))
+    set_gauge("parallel.workers", count)
+    with timed(f"parallel.{label or getattr(fn, '__name__', 'map')}"):
+        return backend.map(fn, items, shared=shared, chunk_size=chunk_size)

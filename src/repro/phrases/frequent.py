@@ -15,13 +15,17 @@ chunk is quadratic in the (small) chunk length — linear overall.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..corpus import Corpus
 from ..errors import ConfigurationError
 from ..obs import inc, timed
 
 Phrase = Tuple[int, ...]
+
+#: Default capacity of the per-instance merge-significance LRU cache.
+MERGE_CACHE_CAPACITY = 1 << 18
 
 
 class PhraseCounts:
@@ -33,14 +37,33 @@ class PhraseCounts:
         min_support: the threshold used while mining.
         num_documents: N, the number of documents in the corpus.
         num_tokens: L, the total token count of the corpus.
+        merge_cache: LRU memo for :func:`~repro.phrases.significance.
+            merge_significance` — adjacent phrase pairs repeat heavily
+            across a corpus, so segmentation hits it constantly.  It is
+            derived state: dropped when pickling (cheap worker shipping)
+            and rebuilt lazily in each process.
     """
 
     def __init__(self, counts: Dict[Phrase, int], min_support: int,
-                 num_documents: int, num_tokens: int) -> None:
+                 num_documents: int, num_tokens: int,
+                 merge_cache_capacity: int = MERGE_CACHE_CAPACITY) -> None:
         self.counts = counts
         self.min_support = min_support
         self.num_documents = num_documents
         self.num_tokens = num_tokens
+        self.merge_cache_capacity = merge_cache_capacity
+        self.merge_cache: "OrderedDict[Tuple[Phrase, Phrase], float]" = \
+            OrderedDict()
+
+    def __getstate__(self) -> dict:
+        """Pickle without the (re-derivable) significance cache."""
+        state = self.__dict__.copy()
+        state["merge_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.merge_cache = OrderedDict()
 
     def frequency(self, phrase: Sequence[int]) -> int:
         """f(P): the mined count of ``phrase`` (0 when infrequent)."""

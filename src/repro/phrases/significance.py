@@ -13,6 +13,7 @@ from __future__ import annotations
 from math import sqrt
 from typing import Sequence
 
+from ..obs import inc
 from .frequent import PhraseCounts
 
 #: Significance assigned to merges whose result was never frequent.
@@ -27,16 +28,37 @@ def merge_significance(counts: PhraseCounts,
     Returns ``-inf`` when the concatenation is not a frequent phrase (its
     true count is below the mining support, so merging is never
     justified).
+
+    The score depends only on the (left, right) pair, and adjacent
+    unigram pairs repeat heavily across a corpus, so results are
+    memoized in ``counts.merge_cache`` (LRU, bounded by
+    ``counts.merge_cache_capacity``); hit/miss counts are exposed as
+    the ``topmine.merge_cache.hits`` / ``.misses`` metrics.
     """
-    merged = tuple(left) + tuple(right)
+    key = (tuple(left), tuple(right))
+    cache = counts.merge_cache
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            inc("topmine.merge_cache.hits")
+            return cached
+        inc("topmine.merge_cache.misses")
+    merged = key[0] + key[1]
     observed = counts.frequency(merged)
     if observed <= 0:
-        return NEVER
-    total_tokens = max(counts.num_tokens, 1)
-    p_left = counts.frequency(left) / total_tokens
-    p_right = counts.frequency(right) / total_tokens
-    expected = total_tokens * p_left * p_right
-    return (observed - expected) / sqrt(observed)
+        significance = NEVER
+    else:
+        total_tokens = max(counts.num_tokens, 1)
+        p_left = counts.frequency(left) / total_tokens
+        p_right = counts.frequency(right) / total_tokens
+        expected = total_tokens * p_left * p_right
+        significance = (observed - expected) / sqrt(observed)
+    if cache is not None:
+        cache[key] = significance
+        if len(cache) > counts.merge_cache_capacity:
+            cache.popitem(last=False)
+    return significance
 
 
 def phrase_significance(counts: PhraseCounts,

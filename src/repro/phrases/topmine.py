@@ -40,6 +40,9 @@ class ToPMineConfig:
         omega: weight of the significance term in the final ranking
             ``(1-omega) * r_t(P) + omega * p(P|t) * log sig(P)``.
         lda_alpha / lda_beta / lda_iterations: PhraseLDA hyperparameters.
+        workers: parallel workers for document segmentation; None defers
+            to the process default / ``REPRO_WORKERS``
+            (see :mod:`repro.parallel`).
     """
 
     num_topics: int = 5
@@ -50,6 +53,7 @@ class ToPMineConfig:
     lda_alpha: float = 0.1
     lda_beta: float = 0.01
     lda_iterations: int = 100
+    workers: Optional[int] = None
 
 
 @dataclass
@@ -97,7 +101,8 @@ class ToPMine:
             corpus, min_support=self.config.min_support,
             max_length=self.config.max_phrase_length)
         partitions = segment_corpus(
-            corpus, counts, alpha=self.config.merge_threshold)
+            corpus, counts, alpha=self.config.merge_threshold,
+            workers=self.config.workers)
         return counts, partitions
 
     def fit(self, corpus: Corpus) -> ToPMineResult:

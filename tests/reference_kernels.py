@@ -1,0 +1,63 @@
+"""Reference (pre-vectorization) solver kernels.
+
+These are the straightforward per-link / per-subtopic loop
+implementations that :mod:`repro.cathy.em` shipped with before the
+kernels were vectorized.  They define the ground-truth semantics: the
+equivalence tests assert the vectorized kernels match them to 1e-12,
+and ``benchmarks/bench_hotpaths.py`` times the vectorized kernels
+against them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def reference_scatter(expected: np.ndarray, i_idx: np.ndarray,
+                      j_idx: np.ndarray, num_nodes: int) -> np.ndarray:
+    """M-step scatter (Eq. 3.7) via one ``np.add.at`` pair per subtopic."""
+    k = expected.shape[0]
+    phi = np.zeros((k, num_nodes))
+    for z in range(k):
+        np.add.at(phi[z], i_idx, expected[z])
+        np.add.at(phi[z], j_idx, expected[z])
+    return phi
+
+
+def reference_posterior_link_split(rho: np.ndarray, phi: np.ndarray,
+                                   i_idx: np.ndarray, j_idx: np.ndarray,
+                                   weights: np.ndarray) -> np.ndarray:
+    """Eq. 3.5 posterior split computed link by link.
+
+    Degenerate links (mixture score zero) get a zero split, matching the
+    vectorized kernel's "count, don't drop" semantics.
+    """
+    k = len(rho)
+    expected = np.zeros((k, len(weights)))
+    for e in range(len(weights)):
+        scores = rho * phi[:, i_idx[e]] * phi[:, j_idx[e]]
+        denom = scores.sum()
+        if denom <= 0:
+            continue
+        expected[:, e] = weights[e] * scores / denom
+    return expected
+
+
+def reference_expected_link_weights(rho: np.ndarray, phi: np.ndarray,
+                                    links: List[Tuple[int, int, float]],
+                                    ) -> List[Dict[Tuple[int, int], float]]:
+    """The original ``CathyEM.expected_link_weights`` loop, verbatim."""
+    k = len(rho)
+    result: List[Dict[Tuple[int, int], float]] = [{} for _ in range(k)]
+    for i, j, weight in links:
+        scores = rho * phi[:, i] * phi[:, j]
+        denom = scores.sum()
+        if denom <= 0:
+            continue
+        for z in range(k):
+            expected = weight * scores[z] / denom
+            if expected > 0:
+                result[z][(i, j)] = expected
+    return result

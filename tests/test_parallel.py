@@ -1,0 +1,167 @@
+"""Tests for the execution-backend layer (repro.parallel)."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro import parallel
+from repro.errors import ConfigurationError
+from repro.parallel import (ProcessBackend, SerialBackend, get_backend,
+                            pmap, resolve_workers, rng_from,
+                            seed_sequence_of, set_workers,
+                            spawn_generators, spawn_seed_sequences)
+from repro.parallel.backend import WORKERS_ENV
+
+
+def _square(item):
+    return item * item
+
+
+def _add_shared(shared, item):
+    return shared + item
+
+
+def _nested_worker_count(shared, item):
+    return resolve_workers()
+
+
+def _shared_is_none(shared, item):
+    return shared is None
+
+
+@pytest.fixture(autouse=True)
+def _reset_workers(monkeypatch):
+    """Isolate the process-wide default and environment between tests."""
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    set_workers(None)
+    yield
+    set_workers(None)
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self):
+        assert resolve_workers() == 1
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+
+    def test_set_workers_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        set_workers(2)
+        assert resolve_workers() == 2
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        set_workers(2)
+        assert resolve_workers(5) == 5
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+        with pytest.raises(ConfigurationError):
+            set_workers(0)
+
+    def test_pinned_serial_inside_worker(self, monkeypatch):
+        monkeypatch.setattr(parallel.backend, "_IN_WORKER", True)
+        set_workers(8)
+        assert resolve_workers(4) == 1
+        assert parallel.in_worker()
+
+    def test_get_backend_selection(self):
+        assert isinstance(get_backend(1), SerialBackend)
+        assert isinstance(get_backend(3), ProcessBackend)
+
+
+class TestPmap:
+    def test_preserves_order_serial(self):
+        assert pmap(_square, range(7)) == [i * i for i in range(7)]
+
+    def test_preserves_order_process(self):
+        result = pmap(_square, range(23), workers=3, chunk_size=4)
+        assert result == [i * i for i in range(23)]
+
+    def test_shared_payload_serial(self):
+        assert pmap(_add_shared, [1, 2], shared=10) == [11, 12]
+
+    def test_shared_payload_process(self):
+        result = pmap(_add_shared, range(6), workers=2, shared=100)
+        assert result == [100 + i for i in range(6)]
+
+    def test_none_is_a_valid_shared_payload(self):
+        # shared=None must reach the function, not be mistaken for unset.
+        assert pmap(_shared_is_none, [1, 2], shared=None) == [True, True]
+        backend = SerialBackend()
+        assert backend.map(_square, [3]) == [9]
+
+    def test_single_item_short_circuits_to_serial(self):
+        obs.set_enabled(True)
+        pmap(_square, [4], workers=4)
+        registry = obs.get_registry()
+        assert registry.counter("parallel.tasks.serial") == 1
+        assert registry.counter("parallel.tasks.process") == 0
+
+    def test_workers_pin_serial_inside_worker_tasks(self):
+        counts = pmap(_nested_worker_count, range(4), workers=2,
+                      shared=None)
+        assert counts == [1, 1, 1, 1]
+
+    def test_empty_items(self):
+        assert pmap(_square, [], workers=4) == []
+
+    def test_records_metrics(self):
+        obs.set_enabled(True)
+        pmap(_square, range(5), workers=2, label="unit.test")
+        registry = obs.get_registry()
+        assert registry.counter("parallel.tasks") == 5
+        assert registry.counter("parallel.tasks.process") == 5
+        assert registry.gauge("parallel.workers") == 2
+        assert registry.timer("parallel.unit.test") is not None
+
+    def test_process_backend_explicit_chunking(self):
+        backend = ProcessBackend(2)
+        result = backend.map(_square, list(range(10)), chunk_size=3)
+        assert result == [i * i for i in range(10)]
+
+
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        a = spawn_seed_sequences(42, 4)
+        b = spawn_seed_sequences(42, 4)
+        for seq_a, seq_b in zip(a, b):
+            assert rng_from(seq_a).random(8).tolist() \
+                == rng_from(seq_b).random(8).tolist()
+
+    def test_spawned_streams_are_distinct(self):
+        draws = [rng.random() for rng in spawn_generators(0, 6)]
+        assert len(set(draws)) == 6
+
+    def test_generator_spawn_consumes_spawn_state(self):
+        rng = np.random.default_rng(7)
+        first = spawn_seed_sequences(rng, 2)
+        second = spawn_seed_sequences(rng, 2)
+        assert first[0].spawn_key != second[0].spawn_key
+
+    def test_interleaved_draws_do_not_perturb_spawns(self):
+        plain = np.random.default_rng(3)
+        noisy = np.random.default_rng(3)
+        noisy.random(100)  # spawn keys depend only on spawn call order
+        a = spawn_seed_sequences(plain, 3)
+        b = spawn_seed_sequences(noisy, 3)
+        assert [s.spawn_key for s in a] == [s.spawn_key for s in b]
+
+    def test_seed_sequence_passthrough(self):
+        root = np.random.SeedSequence(5)
+        children = spawn_seed_sequences(root, 2)
+        assert children[0].spawn_key == (0,)
+        assert children[1].spawn_key == (1,)
+
+    def test_seed_sequence_of_roundtrip(self):
+        seq = np.random.SeedSequence(9)
+        rng = np.random.default_rng(seq)
+        assert seed_sequence_of(rng) is seq

