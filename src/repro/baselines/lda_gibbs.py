@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
 from ..obs import trace
+from ..resilience import CheckpointWriter
 from ..utils import EPS, RandomState, ensure_rng
 from ..phrases.ranking import FlatTopicModel
 
@@ -55,17 +56,27 @@ class LDAGibbs:
         beta: symmetric topic-word Dirichlet hyperparameter.
         iterations: Gibbs sweeps.
         seed: RNG seed or generator.
+        checkpoint: optional :class:`~repro.resilience.CheckpointWriter`;
+            the sampler state — counts, assignments, and the bit
+            generator state, so the resumed chain draws exactly the
+            numbers the uninterrupted chain would have — is persisted at
+            the writer's cadence.
+        resume: continue from the checkpoint file when it exists.
     """
 
     def __init__(self, num_topics: int, alpha: float = 0.1,
                  beta: float = 0.01, iterations: int = 200,
-                 seed: RandomState = None) -> None:
+                 seed: RandomState = None,
+                 checkpoint: Optional[CheckpointWriter] = None,
+                 resume: bool = False) -> None:
         if num_topics < 1:
             raise ConfigurationError("num_topics must be >= 1")
         self.num_topics = num_topics
         self.alpha = alpha
         self.beta = beta
         self.iterations = iterations
+        self.checkpoint = checkpoint
+        self.resume = resume
         self._rng = ensure_rng(seed)
         self.model_: Optional[LDAModel] = None
 
@@ -92,25 +103,41 @@ class LDAGibbs:
             units = [[(tok,) for tok in doc] for doc in docs]
 
         num_docs = len(units)
-        n_dk = np.zeros((num_docs, k), dtype=np.int64)
-        n_kw = np.zeros((k, vocab_size), dtype=np.int64)
-        n_k = np.zeros(k, dtype=np.int64)
-        assignments: List[np.ndarray] = []
+        saved = None
+        if self.checkpoint is not None and self.resume:
+            document = self.checkpoint.load()
+            if document is not None:
+                saved = document["state"]
+        if saved is not None:
+            # The bit-generator state makes the resumed chain draw the
+            # exact numbers the uninterrupted chain would have drawn.
+            n_dk = saved["n_dk"]
+            n_kw = saved["n_kw"]
+            n_k = saved["n_k"]
+            assignments = [np.array(a) for a in saved["assignments"]]
+            rng.bit_generator.state = saved["rng_state"]
+            start = int(saved["iteration"]) + 1
+        else:
+            n_dk = np.zeros((num_docs, k), dtype=np.int64)
+            n_kw = np.zeros((k, vocab_size), dtype=np.int64)
+            n_k = np.zeros(k, dtype=np.int64)
+            assignments = []
 
-        for d, doc_units in enumerate(units):
-            labels = rng.integers(0, k, size=len(doc_units))
-            assignments.append(labels)
-            for unit, z in zip(doc_units, labels):
-                n_dk[d, z] += len(unit)
-                n_k[z] += len(unit)
-                for w in unit:
-                    n_kw[z, w] += 1
+            for d, doc_units in enumerate(units):
+                labels = rng.integers(0, k, size=len(doc_units))
+                assignments.append(labels)
+                for unit, z in zip(doc_units, labels):
+                    n_dk[d, z] += len(unit)
+                    n_k[z] += len(unit)
+                    for w in unit:
+                        n_kw[z, w] += 1
+            start = 0
 
         beta_sum = self.beta * vocab_size
         tracer = trace("lda.gibbs", num_topics=k, num_docs=num_docs,
                        num_units=sum(len(u) for u in units),
                        phrase_constrained=partitions is not None)
-        for _ in range(self.iterations):
+        for iteration in range(start, self.iterations):
             for d, doc_units in enumerate(units):
                 labels = assignments[d]
                 for u, unit in enumerate(doc_units):
@@ -149,6 +176,11 @@ class LDAGibbs:
                     units, assignments, phi_now))
             else:
                 tracer.record()
+            if self.checkpoint is not None:
+                self.checkpoint.maybe_save(iteration, lambda: {  # noqa: E731
+                    "iteration": iteration, "n_dk": n_dk, "n_kw": n_kw,
+                    "n_k": n_k, "assignments": assignments,
+                    "rng_state": rng.bit_generator.state})
         tracer.finish("completed")
 
         phi = (n_kw + self.beta) / (n_k[:, None] + beta_sum)

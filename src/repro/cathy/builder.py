@@ -26,7 +26,8 @@ from ..errors import ConfigurationError
 from ..hierarchy import Topic, TopicalHierarchy
 from ..network import HeterogeneousNetwork
 from ..obs import get_logger
-from ..parallel import pmap, rng_from, spawn_seed_sequences
+from ..parallel import pmap, pool_scope, rng_from, spawn_seed_sequences
+from ..resilience import checkpoint_in
 from ..utils import RandomState, ensure_rng
 from .hin_em import CathyHIN
 from .model_selection import select_num_topics
@@ -56,6 +57,18 @@ class BuilderConfig:
             restarts; None defers to the process default /
             ``REPRO_WORKERS`` (see :mod:`repro.parallel`).  The built
             hierarchy is identical for every worker count.
+        checkpoint_dir: directory for crash-recovery checkpoints; every
+            topic node gets a subtree checkpoint (finished expansions)
+            and an EM checkpoint (the in-flight fit), so a killed build
+            resumes without redoing completed subtrees.  None disables
+            checkpointing.
+        checkpoint_every: EM-iteration cadence for the in-flight
+            checkpoints (1 = every iteration).
+        resume: continue from existing checkpoints in ``checkpoint_dir``;
+            checkpoints written under different builder parameters or a
+            different seed are rejected with a
+            :class:`~repro.errors.DataError` because resuming them would
+            not reproduce the uninterrupted build.
     """
 
     num_children: Union[int, Sequence[int], str] = 4
@@ -70,6 +83,21 @@ class BuilderConfig:
     tol: float = 1e-6
     subnetwork_min_weight: float = 1.0
     workers: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    resume: bool = False
+
+    #: Parameters that must match for a checkpoint to be resumable
+    #: (execution-only knobs like ``workers`` excluded on purpose).
+    _GUARDED = ("num_children", "max_depth", "auto_candidates",
+                "selection_method", "min_network_weight", "min_nodes",
+                "weight_mode", "max_iter", "restarts", "tol",
+                "subnetwork_min_weight")
+
+
+def _safe_name(notation: str) -> str:
+    """A topic notation as a filesystem-safe checkpoint file stem."""
+    return notation.replace("/", "-")
 
 
 def _expand_subtree_task(config: BuilderConfig, item: Tuple) -> Topic:
@@ -99,7 +127,8 @@ class HierarchyBuilder:
         hierarchy.root.network = network
         self._set_parent_phi(hierarchy.root, network)
         root_seq = spawn_seed_sequences(self._rng, 1)[0]
-        self._expand(hierarchy.root, network, 0, root_seq)
+        with pool_scope():
+            self._expand(hierarchy.root, network, 0, root_seq)
         return hierarchy
 
     def expand_topic(self, hierarchy: TopicalHierarchy, topic: Topic,
@@ -142,6 +171,27 @@ class HierarchyBuilder:
         if num_nodes < config.min_nodes or not network.link_types():
             return
 
+        # Crash recovery: a finished subtree is restored wholesale; an
+        # interrupted EM fit resumes from its iteration checkpoint.  The
+        # guard ties every file to the builder parameters and this
+        # node's spawned seed, so a stale or foreign checkpoint is
+        # rejected instead of silently breaking reproducibility.
+        guard = self._checkpoint_guard(seed_seq)
+        stem = _safe_name(topic.notation)
+        subtree_writer = checkpoint_in(
+            config.checkpoint_dir, "subtree_" + stem,
+            "cathy.builder.subtree", config=guard)
+        if subtree_writer is not None and config.resume:
+            saved = subtree_writer.load()
+            if saved is not None:
+                topic.children = saved["state"]["children"]
+                logger.debug("restored subtree %s from checkpoint",
+                             topic.notation)
+                return
+        em_writer = checkpoint_in(
+            config.checkpoint_dir, "em_" + stem, "cathy.hin_em",
+            config=guard, every=config.checkpoint_every)
+
         k = self._children_at(level, network, seed_seq)
         if k < 2:
             return
@@ -156,7 +206,9 @@ class HierarchyBuilder:
                              restarts=config.restarts,
                              tol=config.tol,
                              seed=rng_from(fit_seq),
-                             workers=config.workers)
+                             workers=config.workers,
+                             checkpoint=em_writer,
+                             resume=config.resume)
         model = estimator.fit(network)
 
         # Order children by descending rho so child index 0 is the largest
@@ -183,6 +235,20 @@ class HierarchyBuilder:
         topic.children = pmap(_expand_subtree_task, child_items,
                               workers=config.workers, shared=config,
                               label="cathy.builder.children")
+        if subtree_writer is not None:
+            subtree_writer.save(level, {"children": topic.children})
+            if em_writer is not None:
+                em_writer.clear()
+
+    def _checkpoint_guard(self, seed_seq: np.random.SeedSequence,
+                          ) -> Dict[str, object]:
+        """The config fingerprint stored with every checkpoint of a node."""
+        guard: Dict[str, object] = {
+            name: getattr(self.config, name)
+            for name in BuilderConfig._GUARDED}
+        guard["seed_entropy"] = repr(seed_seq.entropy)
+        guard["spawn_key"] = list(seed_seq.spawn_key)
+        return guard
 
     def _children_at(self, level: int, network: HeterogeneousNetwork,
                      seed_seq: np.random.SeedSequence) -> int:

@@ -24,8 +24,68 @@ import numpy as np
 from ..errors import ConfigurationError, NotFittedError
 from ..obs import inc, timed, trace
 from ..parallel import pmap, rng_from, spawn_seed_sequences
+from ..resilience import CheckpointWriter
 from ..utils import EPS, RandomState, ensure_rng
 from ..network import HeterogeneousNetwork, TERM_TYPE
+
+
+class RestartCheckpoint:
+    """Checkpoint slot for the live restart inside a multi-restart fit.
+
+    The on-disk document always holds the full restart loop state —
+    completed runs, which restart is live, and that restart's
+    solver-defined resume state — so a crash at any point resumes
+    without redoing finished restarts.
+    """
+
+    def __init__(self, writer: CheckpointWriter, completed: List,
+                 restart: int) -> None:
+        self._writer = writer
+        self._completed = completed
+        self._restart = restart
+        self.every = writer.every
+
+    def save(self, iteration: int, state: Dict) -> None:
+        """Persist ``state`` as the live restart's resume state."""
+        self._writer.save(iteration, {"completed": list(self._completed),
+                                      "restart": self._restart,
+                                      "current": state})
+
+    def maybe_save(self, iteration: int, state_fn) -> bool:
+        """Save at the writer's cadence; ``state_fn`` is called lazily."""
+        if (iteration + 1) % self.every != 0:
+            return False
+        self.save(iteration, state_fn())
+        return True
+
+
+def run_restarts_checkpointed(writer: CheckpointWriter, resume: bool,
+                              shared, seeds, task) -> List:
+    """Serial restart loop with checkpoint/resume.
+
+    Bit-identical to the :func:`repro.parallel.pmap` fan-out: the same
+    deterministically spawned seeds drive the same per-restart kernels,
+    only sequentially so there is a single well-ordered resume point.
+    ``task(shared, seed_seq, checkpoint=..., state=...)`` must accept the
+    extra keywords (the pmap path calls it without them).
+    """
+    completed: List = []
+    start = 0
+    inner_state = None
+    document = writer.load() if resume else None
+    if document is not None:
+        outer = document["state"]
+        completed = list(outer["completed"])
+        start = int(outer["restart"])
+        inner_state = outer["current"]
+    for index in range(start, len(seeds)):
+        inner = RestartCheckpoint(writer, completed, index)
+        run = task(shared, seeds[index], checkpoint=inner, state=inner_state)
+        inner_state = None
+        completed.append(run)
+        writer.save(index, {"completed": list(completed),
+                            "restart": index + 1, "current": None})
+    return completed
 
 
 @dataclass
@@ -134,26 +194,41 @@ def sparse_topic_buckets(expected: np.ndarray, i_idx: np.ndarray,
 
 def _fit_kernel(i_idx: np.ndarray, j_idx: np.ndarray, weights: np.ndarray,
                 num_nodes: int, num_topics: int, max_iter: int, tol: float,
-                rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray,
-                                                   float]:
+                rng: np.random.Generator, checkpoint=None,
+                state: Optional[Dict] = None) -> Tuple[np.ndarray,
+                                                       np.ndarray, float]:
     """One EM run (Eq. 3.5–3.7) from a random start; returns (rho, phi, ll).
 
     Module-level (rather than a method) so restart tasks are picklable
-    for the process backend.
+    for the process backend.  With ``checkpoint``, the post-iteration
+    state — including the convergence decision, so a resumed run never
+    iterates past where the original stopped — is persisted at the
+    writer's cadence; ``state`` restores such a snapshot (the RNG only
+    seeds the initialization, so the replay is bit-identical).
     """
     k = num_topics
     total = weights.sum()
-    phi = rng.dirichlet(np.ones(num_nodes), size=k)
-    rho = np.full(k, total / k)
+    if state is not None:
+        rho = state["rho"]
+        phi = state["phi"]
+        prev_ll = state["prev_ll"]
+        ll = state["ll"]
+        start = int(state["iteration"]) + 1
+        if state["done"]:
+            return rho, phi, ll
+    else:
+        phi = rng.dirichlet(np.ones(num_nodes), size=k)
+        rho = np.full(k, total / k)
+        prev_ll = -np.inf
+        ll = prev_ll
+        start = 0
     flat_idx = (flat_scatter_index(i_idx, num_nodes, k),
                 flat_scatter_index(j_idx, num_nodes, k))
 
     tracer = trace("cathy.em", num_topics=k, num_nodes=num_nodes,
                    num_links=len(weights))
     termination = "max_iter"
-    prev_ll = -np.inf
-    ll = prev_ll
-    for _ in range(max_iter):
+    for iteration in range(start, max_iter):
         # E-step (Eq. 3.5): responsibilities per link and subtopic.
         scores = rho[:, None] * phi[:, i_idx] * phi[:, j_idx]  # (k, E)
         denom = scores.sum(axis=0)
@@ -172,20 +247,33 @@ def _fit_kernel(i_idx: np.ndarray, j_idx: np.ndarray, weights: np.ndarray,
         rho = np.maximum(rho, EPS)
 
         tracer.record(log_likelihood=ll)
-        if ll - prev_ll < tol * max(abs(prev_ll), 1.0) \
-                and np.isfinite(prev_ll):
+        done = ll - prev_ll < tol * max(abs(prev_ll), 1.0) \
+            and bool(np.isfinite(prev_ll))
+        if done:
             termination = "converged"
+        else:
+            prev_ll = ll
+        if checkpoint is not None:
+            state_fn = lambda: {"iteration": iteration, "rho": rho,  # noqa: E731
+                                "phi": phi, "ll": ll,
+                                "prev_ll": prev_ll, "done": done}
+            if done:
+                checkpoint.save(iteration, state_fn())
+            else:
+                checkpoint.maybe_save(iteration, state_fn)
+        if done:
             break
-        prev_ll = ll
     tracer.finish(termination)
     return rho, phi, ll
 
 
-def _restart_task(shared, seed_seq) -> Tuple[np.ndarray, np.ndarray, float]:
+def _restart_task(shared, seed_seq, checkpoint=None,
+                  state=None) -> Tuple[np.ndarray, np.ndarray, float]:
     """One random restart; ``shared`` carries the static problem arrays."""
     i_idx, j_idx, weights, num_nodes, num_topics, max_iter, tol = shared
     return _fit_kernel(i_idx, j_idx, weights, num_nodes, num_topics,
-                       max_iter, tol, rng_from(seed_seq))
+                       max_iter, tol, rng_from(seed_seq),
+                       checkpoint=checkpoint, state=state)
 
 
 class CathyEM:
@@ -201,12 +289,19 @@ class CathyEM:
             depend on the worker count.
         workers: parallel workers for the restarts; None defers to the
             process default / ``REPRO_WORKERS`` (see :mod:`repro.parallel`).
+        checkpoint: optional :class:`~repro.resilience.CheckpointWriter`;
+            when given, restarts run serially (with the same spawned
+            seeds as the parallel path, so results are bit-identical)
+            and the fit state is persisted at the writer's cadence.
+        resume: continue from the checkpoint file when it exists.
     """
 
     def __init__(self, num_topics: int, max_iter: int = 200,
                  tol: float = 1e-6, restarts: int = 1,
                  seed: RandomState = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 checkpoint: Optional[CheckpointWriter] = None,
+                 resume: bool = False) -> None:
         if num_topics < 1:
             raise ConfigurationError("num_topics must be >= 1")
         if restarts < 1:
@@ -216,6 +311,8 @@ class CathyEM:
         self.tol = tol
         self.restarts = restarts
         self.workers = workers
+        self.checkpoint = checkpoint
+        self.resume = resume
         self._rng = ensure_rng(seed)
         self.model_: Optional[TermTopicModel] = None
 
@@ -238,8 +335,13 @@ class CathyEM:
             shared = (i_idx, j_idx, weights, num_nodes, self.num_topics,
                       self.max_iter, self.tol)
             seeds = spawn_seed_sequences(self._rng, self.restarts)
-            runs = pmap(_restart_task, seeds, workers=self.workers,
-                        shared=shared, label="cathy.em.restarts")
+            if self.checkpoint is not None:
+                runs = run_restarts_checkpointed(
+                    self.checkpoint, self.resume, shared, seeds,
+                    _restart_task)
+            else:
+                runs = pmap(_restart_task, seeds, workers=self.workers,
+                            shared=shared, label="cathy.em.restarts")
             best: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
             for run in runs:
                 if best is None or run[2] > best[2]:

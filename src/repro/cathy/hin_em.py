@@ -30,10 +30,11 @@ import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
 from ..network import HeterogeneousNetwork
-from .em import flat_scatter_index
+from .em import flat_scatter_index, run_restarts_checkpointed
 from ..network.weighted import LinkType, canonical_link_type
 from ..obs import inc, timed, trace
 from ..parallel import pmap, rng_from, spawn_seed_sequences
+from ..resilience import CheckpointWriter
 from ..utils import EPS, RandomState, ensure_rng
 
 LinkKey = Tuple[int, int]
@@ -127,6 +128,11 @@ class CathyHIN:
             not depend on the worker count.
         workers: parallel workers for the restarts; None defers to the
             process default / ``REPRO_WORKERS`` (see :mod:`repro.parallel`).
+        checkpoint: optional :class:`~repro.resilience.CheckpointWriter`;
+            when given, restarts run serially (with the same spawned
+            seeds as the parallel path, so results are bit-identical)
+            and the fit state is persisted at the writer's cadence.
+        resume: continue from the checkpoint file when it exists.
     """
 
     def __init__(self, num_topics: int,
@@ -139,7 +145,9 @@ class CathyHIN:
                  rho_prior: float = 0.0,
                  phi_prior: float = 0.0,
                  seed: RandomState = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 checkpoint: Optional[CheckpointWriter] = None,
+                 resume: bool = False) -> None:
         if num_topics < 1:
             raise ConfigurationError("num_topics must be >= 1")
         if isinstance(weight_mode, str) and weight_mode not in (
@@ -158,6 +166,8 @@ class CathyHIN:
         self.rho_prior = rho_prior
         self.phi_prior = phi_prior
         self.workers = workers
+        self.checkpoint = checkpoint
+        self.resume = resume
         self._rng = ensure_rng(seed)
         self.model_: Optional[HINTopicModel] = None
         self._link_data: List[_LinkData] = []
@@ -166,7 +176,8 @@ class CathyHIN:
 
     def _constructor_params(self) -> Dict[str, object]:
         """The constructor arguments needed to rebuild this estimator in a
-        worker process (seed and workers excluded on purpose)."""
+        worker process (seed, workers, and checkpointing excluded on
+        purpose)."""
         return {
             "num_topics": self.num_topics,
             "weight_mode": self.weight_mode,
@@ -195,8 +206,13 @@ class CathyHIN:
             shared = (self._constructor_params(), self._link_data,
                       node_names, alpha)
             seeds = spawn_seed_sequences(self._rng, self.restarts)
-            runs = pmap(_hin_restart_task, seeds, workers=self.workers,
-                        shared=shared, label="cathy.hin_em.restarts")
+            if self.checkpoint is not None:
+                runs = run_restarts_checkpointed(
+                    self.checkpoint, self.resume, shared, seeds,
+                    _hin_restart_task)
+            else:
+                runs = pmap(_hin_restart_task, seeds, workers=self.workers,
+                            shared=shared, label="cathy.hin_em.restarts")
             best: Optional[HINTopicModel] = None
             for model in runs:
                 if best is None or model.log_likelihood > best.log_likelihood:
@@ -267,46 +283,77 @@ class CathyHIN:
     def _fit_once(self, node_names: Dict[str, List[str]],
                   alpha: Dict[LinkType, float],
                   rng: Optional[np.random.Generator] = None,
-                  ) -> HINTopicModel:
+                  checkpoint=None,
+                  state: Optional[Dict] = None) -> HINTopicModel:
         k = self.num_topics
         if rng is None:
             rng = self._rng
         self._ensure_scatter_index(node_names)
         phi_parent = self._parent_distributions(node_names)
-
-        phi = {t: rng.dirichlet(np.ones(len(names)), size=k)
-               for t, names in node_names.items()}
-        phi0 = {t: np.array(phi_parent[t]) for t in node_names}
-        if self.background:
-            rho = np.full(k, 1.0 / (k + 1))
-            rho0 = 1.0 / (k + 1)
-        else:
-            rho = np.full(k, 1.0 / k)
-            rho0 = 0.0
-
         learn = self.weight_mode == "learn"
-        tracer = trace(
-            "cathy.hin_em", num_topics=k,
-            num_links=sum(ld.num_links for ld in self._link_data),
-            num_link_types=len(self._link_data),
-            weight_mode=str(self.weight_mode))
-        termination = "max_iter"
-        prev_ll = -np.inf
-        ll = prev_ll
-        for iteration in range(self.max_iter):
-            ll, rho, rho0, phi, phi0 = self._em_step(
-                alpha, rho, rho0, phi, phi0, phi_parent, node_names)
-            if learn and (iteration + 1) % self.weight_update_every == 0:
-                alpha = self._update_alpha(rho, rho0, phi, phi0, phi_parent)
-            tracer.record(log_likelihood=ll)
-            if (np.isfinite(prev_ll)
+
+        if state is not None:
+            # Resume: the RNG only seeds the initialization, so starting
+            # from the snapshot replays the remaining EM bit-for-bit.
+            rho = state["rho"]
+            rho0 = state["rho0"]
+            phi = state["phi"]
+            phi0 = state["phi0"]
+            alpha = dict(state["alpha"])
+            prev_ll = state["prev_ll"]
+            ll = state["ll"]
+            start = int(state["iteration"]) + 1
+            done = bool(state["done"])
+        else:
+            phi = {t: rng.dirichlet(np.ones(len(names)), size=k)
+                   for t, names in node_names.items()}
+            phi0 = {t: np.array(phi_parent[t]) for t in node_names}
+            if self.background:
+                rho = np.full(k, 1.0 / (k + 1))
+                rho0 = 1.0 / (k + 1)
+            else:
+                rho = np.full(k, 1.0 / k)
+                rho0 = 0.0
+            prev_ll = -np.inf
+            ll = prev_ll
+            start = 0
+            done = False
+
+        if not done:
+            tracer = trace(
+                "cathy.hin_em", num_topics=k,
+                num_links=sum(ld.num_links for ld in self._link_data),
+                num_link_types=len(self._link_data),
+                weight_mode=str(self.weight_mode))
+            termination = "max_iter"
+            for iteration in range(start, self.max_iter):
+                ll, rho, rho0, phi, phi0 = self._em_step(
+                    alpha, rho, rho0, phi, phi0, phi_parent, node_names)
+                if learn and (iteration + 1) % self.weight_update_every == 0:
+                    alpha = self._update_alpha(rho, rho0, phi, phi0,
+                                               phi_parent)
+                tracer.record(log_likelihood=ll)
+                done = bool(
+                    np.isfinite(prev_ll)
                     and ll - prev_ll < self.tol * max(abs(prev_ll), 1.0)
                     and not (learn and (iteration + 1)
-                             <= self.weight_update_every)):
-                termination = "converged"
-                break
-            prev_ll = ll
-        tracer.finish(termination)
+                             <= self.weight_update_every))
+                if done:
+                    termination = "converged"
+                else:
+                    prev_ll = ll
+                if checkpoint is not None:
+                    state_fn = lambda: {  # noqa: E731
+                        "iteration": iteration, "rho": rho, "rho0": rho0,
+                        "phi": phi, "phi0": phi0, "alpha": dict(alpha),
+                        "prev_ll": prev_ll, "ll": ll, "done": done}
+                    if done:
+                        checkpoint.save(iteration, state_fn())
+                    else:
+                        checkpoint.maybe_save(iteration, state_fn)
+                if done:
+                    break
+            tracer.finish(termination)
 
         num_params = k * sum(len(n) for n in node_names.values())
         return HINTopicModel(
@@ -474,7 +521,8 @@ class CathyHIN:
         return self.model_
 
 
-def _hin_restart_task(shared, seed_seq) -> HINTopicModel:
+def _hin_restart_task(shared, seed_seq, checkpoint=None,
+                      state=None) -> HINTopicModel:
     """One random restart, runnable in a worker process.
 
     ``shared`` carries the constructor parameters, extracted link data,
@@ -484,7 +532,8 @@ def _hin_restart_task(shared, seed_seq) -> HINTopicModel:
     estimator = CathyHIN(**params)
     estimator._link_data = link_data
     return estimator._fit_once(node_names, dict(alpha),
-                               rng=rng_from(seed_seq))
+                               rng=rng_from(seed_seq),
+                               checkpoint=checkpoint, state=state)
 
 
 def _normalize_alpha(alpha: Dict[LinkType, float],

@@ -18,8 +18,15 @@ under the same seed), plus the observability flags ``--log-level``,
 ``--trace PATH`` (JSON-lines convergence traces), and ``--report PATH``
 (aggregated run report; see :mod:`repro.obs.report` for the schema).
 
+Crash recovery: ``--checkpoint-dir DIR`` makes the iterative solvers
+persist their state there (atomically, at every iteration), and
+``--resume`` continues a killed run from those files — producing the
+same result, bit for bit, that the uninterrupted run would have.
+
 Data and configuration errors print a one-line message to stderr and
-exit with status 2 instead of a traceback.
+exit with status 2 instead of a traceback.  Ctrl-C flushes the run
+report (when requested) and exits with status 130; checkpoints already
+on disk stay valid for ``--resume``.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from . import obs, parallel
 from .datasets import (DBLPConfig, NewsConfig, generate_dblp,
                        generate_news, load_dataset, save_dataset)
 from .errors import ReproError
+from .resilience import checkpoint_in
 
 
 def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +57,15 @@ def _obs_parent() -> argparse.ArgumentParser:
              "restarts, and segmentation (default: the REPRO_WORKERS "
              "environment variable, else serial); results are identical "
              "for every worker count under the same seed")
+    resilience = parent.add_argument_group("resilience")
+    resilience.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist solver checkpoints in this directory so a killed "
+             "run can be resumed (ignored by 'generate')")
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help="continue from checkpoints in --checkpoint-dir; the resumed "
+             "run reproduces the uninterrupted one bit for bit")
     group = parent.add_argument_group("observability")
     group.add_argument("--log-level", default=None, metavar="LEVEL",
                        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
@@ -87,7 +104,8 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
         MinerConfig(num_children=num_children,
                     max_depth=len(num_children),
                     weight_mode=args.weights), seed=args.seed)
-    result = miner.fit(dataset.corpus)
+    result = miner.fit(dataset.corpus, checkpoint_dir=args.checkpoint_dir,
+                       resume=args.resume)
     entity_types = dataset.corpus.entity_types()
     if args.json:
         print(result.hierarchy.to_json())
@@ -106,7 +124,8 @@ def _cmd_phrases(args: argparse.Namespace) -> int:
                       min_support=args.min_support,
                       merge_threshold=args.merge_threshold,
                       lda_iterations=args.iterations), seed=args.seed)
-    result = topmine.fit(dataset.corpus)
+    result = topmine.fit(dataset.corpus, checkpoint_dir=args.checkpoint_dir,
+                         resume=args.resume)
     for t in range(args.topics):
         print(f"topic {t}: "
               + " / ".join(result.top_phrases(t, args.top,
@@ -121,7 +140,10 @@ def _cmd_relations(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset)
     network = CollaborationNetwork.from_corpus(dataset.corpus)
     graph = build_candidate_graph(network)
-    result = TPFG(max_iter=args.iterations).fit(graph)
+    writer = checkpoint_in(args.checkpoint_dir, "tpfg", "relations.tpfg",
+                           config={"max_iter": args.iterations})
+    result = TPFG(max_iter=args.iterations).fit(graph, checkpoint=writer,
+                                                resume=args.resume)
     predictions = result.predictions(top_k=args.top_k, theta=args.theta)
     shown = 0
     for author in graph.authors:
@@ -153,7 +175,13 @@ def _cmd_strod(args: argparse.Namespace) -> int:
     strod = STROD(num_topics=args.topics,
                   alpha0=args.alpha0 if args.alpha0 > 0 else None,
                   sparse=args.sparse, seed=args.seed)
-    model = strod.fit(docs, len(dataset.corpus.vocabulary))
+    writer = checkpoint_in(args.checkpoint_dir, "strod",
+                           "strod.tensor_power",
+                           config={"topics": args.topics,
+                                   "alpha0": args.alpha0,
+                                   "seed": args.seed})
+    model = strod.fit(docs, len(dataset.corpus.vocabulary),
+                      checkpoint=writer, resume=args.resume)
     vocabulary = dataset.corpus.vocabulary
     for z in range(args.topics):
         order = model.phi[z].argsort()[::-1][:args.top]
@@ -248,17 +276,32 @@ def _write_run_report(args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    Library (:class:`~repro.errors.ReproError`) and file-system errors are
-    reported as a one-line message on stderr with exit status 2.
+    Library (:class:`~repro.errors.ReproError`) and file-system errors —
+    including :class:`~repro.errors.ExecutionError`, the typed wrapper a
+    broken worker pool surfaces as — are reported as a one-line message
+    on stderr with exit status 2.  A keyboard interrupt flushes the run
+    report (checkpoints are already on disk) and exits with the
+    conventional status 130.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_observability(args)
     try:
         parallel.set_workers(args.workers)
-        code = args.func(args)
+        with parallel.pool_scope():
+            code = args.func(args)
         if code == 0 and args.report:
             _write_run_report(args)
+    except KeyboardInterrupt:
+        # Atomic checkpoint writes mean everything persisted so far is a
+        # valid --resume point; flush the telemetry gathered and leave.
+        if args.report:
+            try:
+                _write_run_report(args)
+            except Exception:
+                pass
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except (ReproError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2

@@ -22,6 +22,7 @@ from ..hierarchy import TopicalHierarchy
 from ..network import HeterogeneousNetwork, build_collapsed_network
 from ..obs import (build_run_report, get_logger, get_report_path,
                    is_enabled, timed, write_report)
+from ..parallel import pool_scope
 from ..phrases import (PhraseCounts, attach_entity_rankings, attach_phrases)
 from ..relations import (CandidateGraph, CollaborationNetwork, TPFG,
                          TPFGResult, build_candidate_graph)
@@ -94,18 +95,28 @@ class LatentEntityMiner:
         self.config = config or MinerConfig()
         self._rng = ensure_rng(seed)
 
-    def fit(self, corpus: Corpus) -> MiningResult:
+    def fit(self, corpus: Corpus, checkpoint_dir: Optional[str] = None,
+            resume: bool = False) -> MiningResult:
         """Run network collapse, hierarchy construction, and decoration.
 
         With observability configured (:func:`repro.obs.configure`), every
         phase is timed, the EM runs leave convergence traces, and the
         aggregated run report is attached to the result — and written to
         the configured report path, if any.
+
+        Args:
+            corpus: the input corpus.
+            checkpoint_dir: when given, hierarchy construction persists
+                per-topic checkpoints there (see
+                :class:`~repro.cathy.BuilderConfig`), so a killed fit can
+                be resumed without redoing completed subtrees.
+            resume: continue from checkpoints in ``checkpoint_dir``; the
+                resumed fit produces the same hierarchy bit for bit.
         """
         config = self.config
         logger.info("fit: %d documents, %d terms", len(corpus),
                     len(corpus.vocabulary))
-        with timed("miner.fit"):
+        with timed("miner.fit"), pool_scope():
             with timed("miner.network_collapse"):
                 network = build_collapsed_network(
                     corpus, entity_types=config.entity_types,
@@ -116,6 +127,9 @@ class LatentEntityMiner:
                 "weight_mode": config.weight_mode,
                 "workers": config.workers,
             }
+            if checkpoint_dir is not None:
+                builder_kwargs["checkpoint_dir"] = checkpoint_dir
+                builder_kwargs["resume"] = resume
             builder_kwargs.update(config.builder_overrides)
             builder_config = BuilderConfig(**builder_kwargs)
             builder = HierarchyBuilder(builder_config, seed=self._rng)

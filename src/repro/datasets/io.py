@@ -12,6 +12,7 @@ from typing import Optional
 
 from ..corpus import Corpus
 from ..errors import DataError
+from ..resilience import atomic_write_json
 from .ground_truth import AdvisingRecord, GroundTruth, SyntheticDataset
 from .vocabularies import TopicSpec
 
@@ -101,9 +102,12 @@ def dataset_from_dict(data: dict) -> SyntheticDataset:
 
 def save_dataset(dataset: SyntheticDataset, path: str,
                  indent: Optional[int] = None) -> None:
-    """Write a dataset to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(dataset_to_dict(dataset), handle, indent=indent)
+    """Write a dataset to a JSON file.
+
+    The write is atomic (temp file + rename): a crash mid-write leaves
+    any existing file at ``path`` untouched instead of truncated.
+    """
+    atomic_write_json(path, dataset_to_dict(dataset), indent=indent)
 
 
 def load_dataset(path: str) -> SyntheticDataset:

@@ -25,3 +25,17 @@ class NotFittedError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to make progress or produce a result."""
+
+
+class ExecutionError(ReproError):
+    """A parallel execution resource failed (dead worker, broken pool,
+    or a map that exceeded its timeout) and the work could not be
+    completed serially either.
+
+    Attributes:
+        label: the pmap label of the failing map, when known.
+    """
+
+    def __init__(self, message: str, label: str = None) -> None:
+        super().__init__(message)
+        self.label = label

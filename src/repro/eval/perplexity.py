@@ -10,11 +10,13 @@ half (scored under the folded-in mixture).
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import inc
 from ..phrases.ranking import FlatTopicModel
 from ..utils import EPS, RandomState, ensure_rng
 
@@ -59,22 +61,39 @@ def held_out_perplexity(model: FlatTopicModel,
     """Document-completion perplexity of ``model`` on ``docs``.
 
     Lower is better; a uniform model over V words scores exactly V.
+
+    Documents too short to split (fewer than 2 tokens, or whose split
+    leaves no held-out half) cannot be scored and are skipped; skipped
+    documents raise a :class:`RuntimeWarning` and are counted under the
+    ``eval.perplexity.skipped_docs`` metric.  When *every* document is
+    skipped there is no held-out token to score, and the function
+    returns the sentinel ``float("inf")`` — "no evidence", which orders
+    after every finite perplexity — rather than raising.
     """
     if not 0 < observed_fraction < 1:
         raise ConfigurationError("observed_fraction must be in (0, 1)")
     rng = ensure_rng(seed)
     log_likelihood = 0.0
     token_count = 0
+    skipped = 0
     for doc in docs:
         if len(doc) < 2:
+            skipped += 1
             continue
         observed, held_out = split_document(doc, rng, observed_fraction)
         if not held_out:
+            skipped += 1
             continue
         theta = fold_in(model, observed, iterations=fold_iterations)
         probs = theta @ model.phi[:, np.asarray(held_out, dtype=np.int64)]
         log_likelihood += float(np.log(np.maximum(probs, EPS)).sum())
         token_count += len(held_out)
+    if skipped:
+        inc("eval.perplexity.skipped_docs", skipped)
+        warnings.warn(
+            f"held_out_perplexity skipped {skipped} of {len(docs)} "
+            f"documents too short to split into observed and held-out "
+            f"halves", RuntimeWarning, stacklevel=2)
     if token_count == 0:
         return float("inf")
     return float(np.exp(-log_likelihood / token_count))

@@ -86,10 +86,15 @@ def build_run_report(config: Optional[Dict[str, Any]] = None,
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
-    """Write a report document as indented JSON."""
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=2, default=repr)
-        handle.write("\n")
+    """Write a report document as indented JSON.
+
+    The write is atomic (temp file + rename), so a crash mid-write never
+    leaves a truncated report for CI consumers to choke on.
+    """
+    from ..resilience.atomic import atomic_write_json
+
+    atomic_write_json(path, report, indent=2, default=repr,
+                      trailing_newline=True)
 
 
 def validate_report(data: Dict[str, Any]) -> None:

@@ -13,22 +13,31 @@ without changing the mathematics.  This package supplies the mechanics:
 * deterministic per-task seeding (:func:`spawn_seed_sequences`) via
   :meth:`numpy.random.SeedSequence.spawn`, so parallel runs reproduce
   serial results exactly — same seed + any worker count → identical
-  models and segmentations.
+  models and segmentations;
+* fault tolerance: chunks lost to dead workers or a per-map ``timeout=``
+  are re-run serially in the parent (graceful degradation, recorded as
+  ``parallel.degraded``), or surfaced as a typed
+  :class:`~repro.errors.ExecutionError` with ``on_failure="raise"`` —
+  a raw ``BrokenProcessPool`` never reaches the caller;
+* pool reuse: inside a :func:`pool_scope` consecutive pmaps share one
+  process pool instead of re-spawning workers per map.
 
 Nested fan-out is safe: inside a worker process every pmap resolves to
 the serial backend, so pools never nest.
 """
 
-from .backend import (ExecutionBackend, ProcessBackend, SerialBackend,
-                      START_METHOD_ENV, WORKERS_ENV, get_backend,
-                      get_default_workers, in_worker, pmap, resolve_workers,
-                      set_workers)
+from .backend import (ExecutionBackend, ProcessBackend, SHARED_REUSE_LIMIT,
+                      SerialBackend, START_METHOD_ENV, WORKERS_ENV,
+                      get_backend, get_default_workers, in_worker, pmap,
+                      pool_scope, resolve_workers, set_workers,
+                      shutdown_pool)
 from .seeding import (rng_from, seed_sequence_of, spawn_generators,
                       spawn_seed_sequences)
 
 __all__ = [
     "ExecutionBackend",
     "ProcessBackend",
+    "SHARED_REUSE_LIMIT",
     "START_METHOD_ENV",
     "SerialBackend",
     "WORKERS_ENV",
@@ -36,10 +45,12 @@ __all__ = [
     "get_default_workers",
     "in_worker",
     "pmap",
+    "pool_scope",
     "resolve_workers",
     "rng_from",
     "seed_sequence_of",
     "set_workers",
+    "shutdown_pool",
     "spawn_generators",
     "spawn_seed_sequences",
 ]

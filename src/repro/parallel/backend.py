@@ -1,4 +1,4 @@
-"""Execution backends: serial and process-pool map with chunking.
+"""Execution backends: serial and fault-tolerant process-pool map.
 
 The layer exposes one primitive — :func:`pmap` — an order-preserving
 map over picklable items.  Backend selection (``workers``):
@@ -19,38 +19,79 @@ counts — is shipped once per worker via the pool initializer rather
 than once per task, and the function is then called as
 ``fn(shared, item)``.
 
+**Fault tolerance.**  Every map survives dying workers: when a chunk is
+lost to a dead worker (``BrokenProcessPool``, e.g. an OOM-killed or
+SIGKILLed child) or to the per-map ``timeout=``, the surviving chunk
+results are kept and the lost chunks are re-run serially in the parent
+— task results depend only on the items (seeds travel inside them), so
+the degraded map returns exactly what the healthy map would have.  Each
+degradation records the ``parallel.degraded`` /
+``parallel.degraded_chunks`` counters via :mod:`repro.obs` and logs a
+warning.  With ``on_failure="raise"`` the map instead raises a typed
+:class:`~repro.errors.ExecutionError` carrying the map label, so a pool
+failure never escapes as a raw ``BrokenProcessPool``.
+
+**Pool reuse.**  Inside a :func:`pool_scope` (entered by
+``LatentEntityMiner.fit``, ``HierarchyBuilder.build``, and the CLI), one
+process pool is kept alive and reused across consecutive pmaps instead
+of being re-spawned per map, amortizing process start-up for the many
+small maps of a recursive hierarchy fit.  Reuse applies when the shared
+payload pickles to at most :data:`SHARED_REUSE_LIMIT` bytes (it is then
+shipped per chunk); larger payloads keep today's dedicated
+pool-per-map, whose initializer ships them once per worker (free under
+``fork``).  Scopes exist because forked workers inherit parent globals
+at pool-creation time: enter one only after process-wide configuration
+(workers, observability) is settled.
+
 Every dispatch records into :mod:`repro.obs`: the ``parallel.tasks``
-counter, the ``parallel.workers`` gauge, and a ``parallel.<label>``
-wall-time timer, so speedups are visible in run reports.
+counter, the ``parallel.workers`` gauge, a ``parallel.<label>``
+wall-time timer, and the ``parallel.pool_created`` /
+``parallel.pool_reused`` counters, so speedups and degradations are
+visible in run reports.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence
+import pickle
+import time
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                TimeoutError as FuturesTimeout)
+from contextlib import contextmanager
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
-from ..obs import inc, set_gauge, timed
+from ..errors import ConfigurationError, ExecutionError
+from ..obs import get_logger, inc, set_gauge, timed
 
 __all__ = [
     "ExecutionBackend",
     "ProcessBackend",
+    "SHARED_REUSE_LIMIT",
     "SerialBackend",
     "get_backend",
     "get_default_workers",
     "in_worker",
     "pmap",
+    "pool_scope",
     "resolve_workers",
     "set_workers",
+    "shutdown_pool",
 ]
+
+logger = get_logger("parallel")
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
 
 #: Environment variable overriding the multiprocessing start method.
 START_METHOD_ENV = "REPRO_MP_START"
+
+#: Largest pickled ``shared`` payload (bytes) still shipped per chunk on
+#: the reusable pool; bigger payloads get a dedicated pool whose
+#: initializer ships them once per worker.
+SHARED_REUSE_LIMIT = 1 << 16
 
 #: Process-wide default worker count (installed by the CLI's --workers).
 _DEFAULT_WORKERS: Optional[int] = None
@@ -59,10 +100,19 @@ _DEFAULT_WORKERS: Optional[int] = None
 _IN_WORKER = False
 
 #: Sentinel distinguishing "no shared payload" from a shared ``None``.
+#: Never crosses a process boundary — worker messages carry an explicit
+#: has-shared flag instead, because an ``object()`` sentinel does not
+#: survive pickling under the spawn start method.
 _UNSET = object()
 
-#: Worker-process slot holding the shared payload (set by the initializer).
-_WORKER_SHARED = _UNSET
+#: Worker-process slots holding the shared payload (set by the initializer).
+_WORKER_HAS_SHARED = False
+_WORKER_SHARED = None
+
+#: The scope-cached reusable pool and its (workers, start-method) key.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_KEY: Optional[Tuple[int, str]] = None
+_SCOPE_DEPTH = 0
 
 
 def set_workers(workers: Optional[int]) -> None:
@@ -108,6 +158,66 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return 1
 
 
+# ------------------------------------------------------------ pool lifecycle
+@contextmanager
+def pool_scope():
+    """Keep one process pool alive across every pmap inside this scope.
+
+    Scopes nest; the pool is shut down when the outermost scope exits.
+    Outside any scope each map spins its own pool (the safe default:
+    forked workers snapshot parent globals at pool creation, so reuse is
+    only sound across maps that do not mutate process-wide state in
+    between — which is what a single fit guarantees).
+    """
+    global _SCOPE_DEPTH
+    _SCOPE_DEPTH += 1
+    try:
+        yield
+    finally:
+        _SCOPE_DEPTH -= 1
+        if _SCOPE_DEPTH == 0:
+            shutdown_pool()
+
+
+def shutdown_pool() -> None:
+    """Tear down the reusable pool (idempotent; killed if unresponsive)."""
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _kill_pool(_POOL)
+        _POOL = None
+        _POOL_KEY = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Stop a pool without waiting on hung or dead workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        if proc.is_alive():
+            proc.terminate()
+    for proc in list(processes.values()):
+        proc.join(timeout=1.0)
+
+
+def _reusable_pool(workers: int, context) -> ProcessPoolExecutor:
+    global _POOL, _POOL_KEY
+    key = (workers, context.get_start_method())
+    if _POOL is not None and _POOL_KEY == key \
+            and not getattr(_POOL, "_broken", True):
+        inc("parallel.pool_reused")
+        return _POOL
+    shutdown_pool()
+    _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                                initializer=_worker_init,
+                                initargs=(False, None))
+    _POOL_KEY = key
+    inc("parallel.pool_created")
+    return _POOL
+
+
 # ---------------------------------------------------------------- backends
 class ExecutionBackend:
     """Interface: an order-preserving map over items."""
@@ -115,7 +225,8 @@ class ExecutionBackend:
     name = "abstract"
 
     def map(self, fn: Callable, items: Sequence, shared: object = _UNSET,
-            chunk_size: Optional[int] = None) -> List:
+            chunk_size: Optional[int] = None,
+            label: Optional[str] = None) -> List:
         """Apply ``fn`` to every item, preserving input order."""
         raise NotImplementedError
 
@@ -126,25 +237,73 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def map(self, fn: Callable, items: Sequence, shared: object = _UNSET,
-            chunk_size: Optional[int] = None) -> List:
+            chunk_size: Optional[int] = None,
+            label: Optional[str] = None) -> List:
         if shared is _UNSET:
             return [fn(item) for item in items]
         return [fn(shared, item) for item in items]
 
 
-def _worker_init(shared: object) -> None:
+def _worker_init(has_shared: bool, shared: object) -> None:
     """Pool initializer: stash the shared payload, pin nested maps serial."""
-    global _IN_WORKER, _WORKER_SHARED
+    global _IN_WORKER, _WORKER_HAS_SHARED, _WORKER_SHARED
     _IN_WORKER = True
+    _WORKER_HAS_SHARED = has_shared
     _WORKER_SHARED = shared
 
 
 def _run_chunk(payload) -> List:
-    """Execute one chunk of items inside a worker process."""
+    """Execute one chunk against the initializer-installed shared payload."""
     fn, chunk = payload
-    if _WORKER_SHARED is _UNSET:
+    if not _WORKER_HAS_SHARED:
         return [fn(item) for item in chunk]
     return [fn(_WORKER_SHARED, item) for item in chunk]
+
+
+def _run_chunk_inline(payload) -> List:
+    """Execute one chunk whose shared payload travels with the message."""
+    fn, chunk, has_shared, shared = payload
+    if not has_shared:
+        return [fn(item) for item in chunk]
+    return [fn(shared, item) for item in chunk]
+
+
+def _submit_and_collect(pool: ProcessPoolExecutor, runner: Callable,
+                        payloads: List, results: List,
+                        timeout: Optional[float],
+                        ) -> Tuple[List[int], Optional[BaseException]]:
+    """Submit every payload; gather results in order.
+
+    Chunks lost to a broken pool or the map deadline land in the
+    returned index list (with the first causal exception) instead of
+    raising; exceptions raised by the work function itself propagate
+    unchanged — they are deterministic errors, not infrastructure
+    failures.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    futures = []
+    failed: List[int] = []
+    cause: Optional[BaseException] = None
+    for idx, payload in enumerate(payloads):
+        try:
+            futures.append(pool.submit(runner, payload))
+        except (BrokenExecutor, RuntimeError) as exc:
+            # The pool died (or was shut down) mid-submission; everything
+            # from this chunk on must be recovered.
+            cause = cause or exc
+            failed.extend(range(idx, len(payloads)))
+            break
+    for idx, future in enumerate(futures):
+        remaining = None
+        if deadline is not None:
+            remaining = max(deadline - time.monotonic(), 0.0)
+        try:
+            results[idx] = future.result(timeout=remaining)
+        except (BrokenExecutor, FuturesTimeout) as exc:
+            cause = cause or exc
+            failed.append(idx)
+            future.cancel()
+    return failed, cause
 
 
 class ProcessBackend(ExecutionBackend):
@@ -156,16 +315,28 @@ class ProcessBackend(ExecutionBackend):
             ``REPRO_MP_START`` environment variable, then ``fork`` where
             available (cheap, inherits loaded modules), then the
             platform default.
+        timeout: default per-map deadline in seconds (None = no limit);
+            chunks not finished by then count as lost.
+        on_failure: ``"serial"`` re-runs lost chunks in the parent
+            (graceful degradation, the default); ``"raise"`` raises
+            :class:`~repro.errors.ExecutionError` instead.
     """
 
     name = "process"
 
     def __init__(self, workers: int,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 timeout: Optional[float] = None,
+                 on_failure: str = "serial") -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if on_failure not in ("serial", "raise"):
+            raise ConfigurationError(
+                "on_failure must be 'serial' or 'raise'")
         self.workers = workers
         self.start_method = start_method or os.environ.get(START_METHOD_ENV)
+        self.timeout = timeout
+        self.on_failure = on_failure
 
     def _context(self):
         import multiprocessing
@@ -176,8 +347,20 @@ class ProcessBackend(ExecutionBackend):
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
+    @staticmethod
+    def _reusable_shared(shared: object) -> bool:
+        """Small-enough payloads ride the reusable pool, per chunk."""
+        if shared is _UNSET:
+            return True
+        try:
+            blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        return len(blob) <= SHARED_REUSE_LIMIT
+
     def map(self, fn: Callable, items: Sequence, shared: object = _UNSET,
-            chunk_size: Optional[int] = None) -> List:
+            chunk_size: Optional[int] = None,
+            label: Optional[str] = None) -> List:
         items = list(items)
         if not items:
             return []
@@ -187,16 +370,64 @@ class ProcessBackend(ExecutionBackend):
             chunk_size = max(1, math.ceil(len(items) / (self.workers * 4)))
         chunks = [items[i:i + chunk_size]
                   for i in range(0, len(items), chunk_size)]
-        max_workers = min(self.workers, len(chunks))
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 mp_context=self._context(),
-                                 initializer=_worker_init,
-                                 initargs=(shared,)) as pool:
-            results: List = []
-            for chunk_result in pool.map(_run_chunk,
-                                         [(fn, chunk) for chunk in chunks]):
-                results.extend(chunk_result)
-        return results
+        results: List = [None] * len(chunks)
+
+        if _SCOPE_DEPTH > 0 and self._reusable_shared(shared):
+            pool = _reusable_pool(self.workers, self._context())
+            has_shared = shared is not _UNSET
+            payloads = [(fn, chunk, has_shared,
+                         shared if has_shared else None) for chunk in chunks]
+            failed, cause = _submit_and_collect(pool, _run_chunk_inline,
+                                                payloads, results,
+                                                self.timeout)
+            if failed:
+                # Broken or hung; drop it so the next map starts clean.
+                shutdown_pool()
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                mp_context=self._context(),
+                initializer=_worker_init,
+                initargs=(shared is not _UNSET,
+                          None if shared is _UNSET else shared))
+            inc("parallel.pool_created")
+            try:
+                payloads = [(fn, chunk) for chunk in chunks]
+                failed, cause = _submit_and_collect(pool, _run_chunk,
+                                                    payloads, results,
+                                                    self.timeout)
+            finally:
+                _kill_pool(pool)
+
+        if failed:
+            self._recover(fn, chunks, sorted(set(failed)), results, shared,
+                          cause, label)
+        flat: List = []
+        for chunk_result in results:
+            flat.extend(chunk_result)
+        return flat
+
+    def _recover(self, fn: Callable, chunks: List, failed: List[int],
+                 results: List, shared: object,
+                 cause: Optional[BaseException],
+                 label: Optional[str]) -> None:
+        """Serial re-run of lost chunks, or a typed ExecutionError."""
+        name = label or getattr(fn, "__name__", "map")
+        reason = (f"{type(cause).__name__}: {cause}" if cause
+                  else "worker failure")
+        if self.on_failure == "raise":
+            raise ExecutionError(
+                f"parallel map '{name}' failed: {len(failed)} of "
+                f"{len(chunks)} chunks lost ({reason})",
+                label=name) from cause
+        inc("parallel.degraded")
+        inc("parallel.degraded_chunks", len(failed))
+        logger.warning(
+            "parallel map %r lost %d of %d chunks (%s); re-running them "
+            "serially", name, len(failed), len(chunks), reason)
+        serial = SerialBackend()
+        for idx in failed:
+            results[idx] = serial.map(fn, chunks[idx], shared=shared)
 
 
 def get_backend(workers: Optional[int] = None) -> ExecutionBackend:
@@ -212,7 +443,9 @@ def pmap(fn: Callable, items: Iterable, *,
          workers: Optional[int] = None,
          chunk_size: Optional[int] = None,
          shared: object = _UNSET,
-         label: Optional[str] = None) -> List:
+         label: Optional[str] = None,
+         timeout: Optional[float] = None,
+         on_failure: str = "serial") -> List:
     """Order-preserving map over ``items`` on the resolved backend.
 
     Args:
@@ -226,6 +459,12 @@ def pmap(fn: Callable, items: Iterable, *,
         shared: read-only payload shipped once per worker.
         label: timer suffix for the ``parallel.<label>`` phase metric;
             defaults to the function name.
+        timeout: map deadline in seconds (process backend only); chunks
+            unfinished by then are treated like lost workers.
+        on_failure: ``"serial"`` (default) re-runs chunks lost to dead
+            workers or the timeout serially — results are identical
+            because tasks depend only on their items; ``"raise"`` turns
+            such losses into :class:`~repro.errors.ExecutionError`.
 
     Single-item and single-worker maps short-circuit to the serial
     backend, so fan-out points can call pmap unconditionally.
@@ -233,11 +472,13 @@ def pmap(fn: Callable, items: Iterable, *,
     items = list(items)
     count = resolve_workers(workers)
     if count > 1 and len(items) > 1:
-        backend: ExecutionBackend = ProcessBackend(count)
+        backend: ExecutionBackend = ProcessBackend(count, timeout=timeout,
+                                                   on_failure=on_failure)
     else:
         backend = SerialBackend()
     inc("parallel.tasks", len(items))
     inc(f"parallel.tasks.{backend.name}", len(items))
     set_gauge("parallel.workers", count)
     with timed(f"parallel.{label or getattr(fn, '__name__', 'map')}"):
-        return backend.map(fn, items, shared=shared, chunk_size=chunk_size)
+        return backend.map(fn, items, shared=shared, chunk_size=chunk_size,
+                           label=label)

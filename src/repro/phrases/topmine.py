@@ -105,16 +105,34 @@ class ToPMine:
             workers=self.config.workers)
         return counts, partitions
 
-    def fit(self, corpus: Corpus) -> ToPMineResult:
-        """Run all three stages."""
+    def fit(self, corpus: Corpus, checkpoint_dir: Optional[str] = None,
+            resume: bool = False) -> ToPMineResult:
+        """Run all three stages.
+
+        Args:
+            corpus: the tokenized corpus.
+            checkpoint_dir: when given, the Gibbs sampler persists its
+                chain state there (mining and segmentation are
+                deterministic re-runs, so only the sampler needs
+                checkpoints); a resumed fit reproduces the uninterrupted
+                one bit for bit.
+            resume: continue from an existing sampler checkpoint.
+        """
         from ..baselines.lda_gibbs import LDAGibbs
+        from ..resilience import checkpoint_in
 
         config = self.config
         counts, partitions = self.mine(corpus)
 
+        writer = checkpoint_in(
+            checkpoint_dir, "lda_gibbs", "lda.gibbs",
+            config={"num_topics": config.num_topics,
+                    "alpha": config.lda_alpha, "beta": config.lda_beta,
+                    "iterations": config.lda_iterations})
         sampler = LDAGibbs(num_topics=config.num_topics,
                            alpha=config.lda_alpha, beta=config.lda_beta,
-                           iterations=config.lda_iterations, seed=self._rng)
+                           iterations=config.lda_iterations, seed=self._rng,
+                           checkpoint=writer, resume=resume)
         docs = [doc.tokens for doc in corpus]
         with timed("topmine.lda"):
             lda = sampler.fit(docs, vocab_size=len(corpus.vocabulary),

@@ -91,8 +91,19 @@ class TPFG:
         self.damping = damping
 
     @timed_function("tpfg.fit")
-    def fit(self, graph: CandidateGraph) -> TPFGResult:
-        """Run inference and return the advisor rankings."""
+    def fit(self, graph: CandidateGraph, checkpoint=None,
+            resume: bool = False) -> TPFGResult:
+        """Run inference and return the advisor rankings.
+
+        Args:
+            graph: the candidate graph from stage 1.
+            checkpoint: optional
+                :class:`~repro.resilience.CheckpointWriter`; the message
+                table is persisted at the writer's cadence, and a
+                resumed fit replays the remaining flooding iterations
+                bit for bit (message passing is deterministic).
+            resume: continue from the checkpoint file when it exists.
+        """
         authors = graph.authors
         domain: Dict[str, List[Candidate]] = {
             a: graph.advisors_of(a) for a in authors}
@@ -129,6 +140,14 @@ class TPFG:
             messages[("down", x, i)] = np.zeros(len(domain[i]))
             messages[("up", i, x)] = np.zeros(len(domain[x]))
 
+        start_iter = 0
+        if checkpoint is not None and resume:
+            document = checkpoint.load()
+            if document is not None:
+                saved = document["state"]
+                messages.update(saved["messages"])
+                start_iter = int(saved["iteration"]) + 1
+
         neighbors_down: Dict[str, List[str]] = {a: [] for a in authors}
         neighbors_up: Dict[str, List[str]] = {a: [] for a in authors}
         for x, i in edges:
@@ -149,7 +168,7 @@ class TPFG:
         tracer = trace("tpfg.message_passing", num_authors=len(authors),
                        num_edges=len(edges), max_iter=self.max_iter,
                        damping=self.damping)
-        for _ in range(self.max_iter):
+        for iteration in range(start_iter, self.max_iter):
             new_messages: Dict[Tuple[str, str, str], np.ndarray] = {}
             for x, i in edges:
                 # Message from advisee x to advisor i over y_i.
@@ -197,6 +216,9 @@ class TPFG:
                                      + (1 - self.damping) * value)
             else:
                 messages.update(new_messages)
+            if checkpoint is not None:
+                checkpoint.maybe_save(iteration, lambda: {  # noqa: E731
+                    "iteration": iteration, "messages": dict(messages)})
         tracer.finish("max_iter")
 
         ranking: Dict[str, List[Tuple[str, float]]] = {}

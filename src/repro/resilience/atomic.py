@@ -1,0 +1,69 @@
+"""Atomic file persistence: temp file in the target directory + rename.
+
+Every artifact the library writes to disk — datasets, run reports,
+checkpoints — goes through these helpers so a crash (SIGKILL, OOM,
+power loss) mid-write can never leave a truncated file behind: readers
+see either the previous complete version or the new complete version,
+never a prefix of one.
+
+The recipe is the standard one: serialize fully in memory, write to a
+uniquely named temporary file *in the same directory* as the target
+(``os.replace`` is only atomic within a filesystem), fsync, then rename
+over the destination.  On any failure the temporary file is removed and
+the destination is untouched.
+
+This module is intentionally pure-stdlib (no intra-package imports) so
+it can be used from anywhere — including :mod:`repro.obs`, which the
+rest of :mod:`repro.resilience` depends on — without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+]
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (all-or-nothing)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, obj: Any, indent: Optional[int] = None,
+                      default=None, trailing_newline: bool = False) -> None:
+    """Serialize ``obj`` as JSON and write it to ``path`` atomically.
+
+    Serialization happens fully in memory before the target directory is
+    touched, so an object that fails to encode leaves no artifact at all.
+    """
+    text = json.dumps(obj, indent=indent, default=default)
+    if trailing_newline:
+        text += "\n"
+    atomic_write_text(path, text)

@@ -1,0 +1,204 @@
+"""Versioned checkpoint protocol for every iterative solver.
+
+A checkpoint file is a single atomic artifact::
+
+    MAGIC (11 bytes) | crc32 (4 bytes, big-endian) | length (8 bytes) | payload
+
+where ``payload`` is the pickle of a *document*::
+
+    {"schema": "repro.resilience/checkpoint/v1",
+     "solver": "cathy.hin_em",          # who wrote it
+     "config": {...},                   # plain-data fingerprint of the run
+     "iteration": 12,                   # last completed iteration
+     "state": {...}}                    # solver-defined resume state
+
+Atomic temp-file-then-rename persistence (:mod:`repro.resilience.atomic`)
+means a crash mid-write leaves the previous checkpoint intact, and the
+magic + CRC framing means a truncated or bit-flipped file is rejected
+with a clear :class:`~repro.errors.DataError` instead of resuming from
+garbage.
+
+The ``config`` fingerprint guards against resuming a run under different
+hyperparameters (or a different seed): :meth:`CheckpointWriter.load`
+raises :class:`~repro.errors.DataError` when the stored fingerprint does
+not match the current one, because a silent mismatch would break the
+bit-for-bit resume guarantee.
+
+Solvers interact through :class:`CheckpointWriter`: call
+:meth:`~CheckpointWriter.maybe_save` once per iteration (the ``every``
+cadence and the lazy ``state_fn`` keep the no-op case cheap) and
+:meth:`~CheckpointWriter.load` before starting when resuming.  Every
+write and load is recorded in :mod:`repro.obs` under the
+``resilience.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import ConfigurationError, DataError
+from ..obs.registry import inc, timed
+from .atomic import atomic_write_bytes
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointWriter",
+    "checkpoint_in",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = "repro.resilience/checkpoint/v1"
+
+#: File magic; the trailing byte is the binary format version.
+_MAGIC = b"REPROCKPT\x00\x01"
+_HEADER = struct.Struct(">IQ")  # crc32, payload length
+
+
+def _plain(value: Any) -> Any:
+    """Reduce a config value to comparable plain data (repr as fallback)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in sorted(value.items(),
+                                                     key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_plain(v) for v in value]
+    return repr(value)
+
+
+def save_checkpoint(path: str, document: Dict[str, Any]) -> None:
+    """Atomically persist a checkpoint document (framed, CRC-protected)."""
+    payload = pickle.dumps(document, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _MAGIC + _HEADER.pack(zlib.crc32(payload) & 0xFFFFFFFF,
+                                   len(payload))
+    with timed("resilience.checkpoint_write"):
+        atomic_write_bytes(path, header + payload)
+    inc("resilience.checkpoints_written")
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read and validate a checkpoint file.
+
+    Raises:
+        DataError: when the file is not a checkpoint, is truncated or
+            corrupted (CRC mismatch), or carries an unsupported schema.
+        OSError: when the file cannot be read at all.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    prefix = len(_MAGIC) + _HEADER.size
+    if not blob.startswith(_MAGIC):
+        raise DataError(f"{path} is not a repro checkpoint file")
+    if len(blob) < prefix:
+        raise DataError(f"{path} is truncated (incomplete header)")
+    crc, length = _HEADER.unpack(blob[len(_MAGIC):prefix])
+    payload = blob[prefix:]
+    if len(payload) != length:
+        raise DataError(f"{path} is truncated ({len(payload)} of {length} "
+                        f"payload bytes)")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise DataError(f"{path} is corrupted (checksum mismatch)")
+    try:
+        document = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise DataError(f"{path} holds an unreadable checkpoint payload: "
+                        f"{exc!r}") from exc
+    if not isinstance(document, dict) \
+            or document.get("schema") != CHECKPOINT_SCHEMA:
+        raise DataError(f"{path} carries an unsupported checkpoint schema: "
+                        f"{document.get('schema') if isinstance(document, dict) else None!r}")
+    return document
+
+
+class CheckpointWriter:
+    """Periodic, atomic checkpoint persistence for one solver fit.
+
+    Args:
+        path: checkpoint file location (one file, atomically replaced).
+        solver: name of the solver writing it; loads reject files written
+            by a different solver.
+        config: plain-data fingerprint of everything that must match for
+            a resume to be bit-identical (hyperparameters, seed entropy,
+            problem size); loads reject mismatches.
+        every: iteration cadence for :meth:`maybe_save` (1 = every
+            iteration).
+    """
+
+    def __init__(self, path: str, solver: str,
+                 config: Optional[Dict[str, Any]] = None,
+                 every: int = 1) -> None:
+        if every < 1:
+            raise ConfigurationError("checkpoint every must be >= 1")
+        self.path = os.fspath(path)
+        self.solver = solver
+        self.config = _plain(config or {})
+        self.every = every
+
+    def save(self, iteration: int, state: Dict[str, Any]) -> None:
+        """Persist ``state`` unconditionally as the latest checkpoint."""
+        save_checkpoint(self.path, {
+            "schema": CHECKPOINT_SCHEMA,
+            "solver": self.solver,
+            "config": self.config,
+            "iteration": int(iteration),
+            "state": state,
+        })
+
+    def maybe_save(self, iteration: int,
+                   state_fn: Callable[[], Dict[str, Any]]) -> bool:
+        """Save at the configured cadence; ``state_fn`` is called lazily."""
+        if (iteration + 1) % self.every != 0:
+            return False
+        self.save(iteration, state_fn())
+        return True
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The stored document, or None when no checkpoint exists yet.
+
+        Raises:
+            DataError: corrupted file, wrong solver, or a config
+                fingerprint mismatch (resuming under different
+                hyperparameters or seed would not be bit-identical).
+        """
+        if not os.path.exists(self.path):
+            return None
+        document = load_checkpoint(self.path)
+        if document.get("solver") != self.solver:
+            raise DataError(
+                f"{self.path} was written by solver "
+                f"{document.get('solver')!r}, expected {self.solver!r}")
+        if document.get("config") != self.config:
+            raise DataError(
+                f"{self.path} was written under a different configuration; "
+                f"refusing to resume (delete the checkpoint directory to "
+                f"start fresh)")
+        inc("resilience.checkpoints_loaded")
+        return document
+
+    def clear(self) -> None:
+        """Remove the checkpoint file (after the protected fit completes)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def checkpoint_in(directory: Optional[str], name: str, solver: str,
+                  config: Optional[Dict[str, Any]] = None,
+                  every: int = 1) -> Optional[CheckpointWriter]:
+    """A :class:`CheckpointWriter` for ``<directory>/<name>.ckpt``.
+
+    Returns None when ``directory`` is None, so call sites can thread an
+    optional ``checkpoint_dir`` straight through.  The directory is
+    created on demand; ``name`` must already be filesystem-safe.
+    """
+    if directory is None:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    return CheckpointWriter(os.path.join(directory, name + ".ckpt"),
+                            solver, config=config, every=every)

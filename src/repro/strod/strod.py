@@ -28,13 +28,15 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
-from ..obs import set_gauge, timed
+from ..obs import get_logger, set_gauge, timed
 from ..phrases.ranking import FlatTopicModel
 from ..utils import EPS, RandomState, ensure_rng
 from .moments import (compute_whitener, first_moment, second_moment,
                       whitened_third_moment, word_count_rows)
 from .tensor_power import (TensorEigenpair, reconstruction_error,
                            robust_tensor_decomposition)
+
+logger = get_logger("strod")
 
 
 @dataclass
@@ -93,9 +95,21 @@ class STROD:
         self.model_: Optional[STRODModel] = None
 
     # ------------------------------------------------------------------- fit
-    def fit(self, docs: Sequence[Sequence[int]],
-            vocab_size: int) -> STRODModel:
-        """Recover topics from token-id documents."""
+    def fit(self, docs: Sequence[Sequence[int]], vocab_size: int,
+            checkpoint=None, resume: bool = False) -> STRODModel:
+        """Recover topics from token-id documents.
+
+        Args:
+            docs: token-id documents.
+            vocab_size: V.
+            checkpoint: optional
+                :class:`~repro.resilience.CheckpointWriter` for the
+                tensor power deflation (the only iterative stage; the
+                moment computations are deterministic re-runs).  With
+                ``alpha0=None`` the grid search ignores it — a single
+                checkpoint file cannot disambiguate grid candidates.
+            resume: continue from the checkpoint file when it exists.
+        """
         rows = word_count_rows(docs, vocab_size)
         if len(rows) < self.num_topics:
             raise ConfigurationError(
@@ -103,8 +117,12 @@ class STROD:
 
         with timed("strod.fit"):
             if self.alpha0 is not None:
-                model = self._fit_alpha0(rows, vocab_size, self.alpha0)
+                model = self._fit_alpha0(rows, vocab_size, self.alpha0,
+                                         checkpoint=checkpoint,
+                                         resume=resume)
             else:
+                if checkpoint is not None:
+                    logger.debug("alpha0 grid search ignores checkpointing")
                 best = None
                 for alpha0 in self.alpha0_grid:
                     candidate = self._fit_alpha0(rows, vocab_size, alpha0)
@@ -116,7 +134,8 @@ class STROD:
         self.model_ = model
         return model
 
-    def _fit_alpha0(self, rows, vocab_size: int, alpha0: float) -> STRODModel:
+    def _fit_alpha0(self, rows, vocab_size: int, alpha0: float,
+                    checkpoint=None, resume: bool = False) -> STRODModel:
         with timed("strod.whitening"):
             if self.sparse:
                 from .sparse import compute_whitener_sparse
@@ -131,7 +150,8 @@ class STROD:
         with timed("strod.tensor_decomposition"):
             pairs = robust_tensor_decomposition(
                 tensor, self.num_topics, num_restarts=self.num_restarts,
-                num_iterations=self.num_iterations, seed=self._rng)
+                num_iterations=self.num_iterations, seed=self._rng,
+                checkpoint=checkpoint, resume=resume)
         with timed("strod.recovery"):
             residual = reconstruction_error(tensor, pairs)
             alpha, phi = self._recover(pairs, unwhitener, alpha0)

@@ -64,6 +64,8 @@ def robust_tensor_decomposition(tensor: np.ndarray,
                                 num_restarts: int = 10,
                                 num_iterations: int = 30,
                                 seed: RandomState = None,
+                                checkpoint=None,
+                                resume: bool = False,
                                 ) -> List[TensorEigenpair]:
     """Deflation-based extraction of the top robust eigenpairs.
 
@@ -74,6 +76,12 @@ def robust_tensor_decomposition(tensor: np.ndarray,
             T(v, v, v) wins, making the outcome stable in practice.
         num_iterations: N — power updates per restart.
         seed: RNG seed or generator (restart initialization only).
+        checkpoint: optional
+            :class:`~repro.resilience.CheckpointWriter`; the extracted
+            eigenpairs, the deflated working tensor, and the restart RNG
+            state are persisted after every component, so a resumed call
+            continues the deflation bit for bit.
+        resume: continue from the checkpoint file when it exists.
     """
     if tensor.ndim != 3 or len({*tensor.shape}) != 1:
         raise ConfigurationError("tensor must be cubic (k, k, k)")
@@ -84,7 +92,16 @@ def robust_tensor_decomposition(tensor: np.ndarray,
 
     work = np.array(tensor)
     pairs: List[TensorEigenpair] = []
-    for component in range(num_components):
+    start_component = 0
+    if checkpoint is not None and resume:
+        document = checkpoint.load()
+        if document is not None:
+            saved = document["state"]
+            pairs = list(saved["pairs"])
+            work = saved["work"]
+            rng.bit_generator.state = saved["rng_state"]
+            start_component = int(saved["component"])
+    for component in range(start_component, num_components):
         best_vector, best_value = None, -np.inf
         for _ in range(num_restarts):
             start = rng.standard_normal(k)
@@ -105,6 +122,11 @@ def robust_tensor_decomposition(tensor: np.ndarray,
                                      eigenvector=best_vector))
         work = work - best_value * np.einsum(
             "i,j,l->ijl", best_vector, best_vector, best_vector)
+        if checkpoint is not None:
+            checkpoint.maybe_save(component, lambda: {  # noqa: E731
+                "pairs": list(pairs), "work": work,
+                "rng_state": rng.bit_generator.state,
+                "component": component + 1})
     return pairs
 
 
