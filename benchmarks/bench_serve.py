@@ -1,0 +1,87 @@
+"""Serving-layer latency: artifact cold load vs warm cached queries.
+
+Exports a model fitted on the synthetic DBLP corpus, then measures
+
+* cold start: ``load_model`` + index build + first ``top_phrases`` query,
+* warm path: the same query answered from the engine's LRU cache,
+* HTTP overhead: p50/p99 round-trip latency against a live server.
+
+Acceptance: a warm-cache ``top_phrases`` query must be >= 10x faster
+than a cold artifact load (the point of the read-optimized indexes and
+the result cache is that startup cost is paid once).
+"""
+
+import json
+import statistics
+import time
+import urllib.request
+
+from repro.core import LatentEntityMiner, MinerConfig
+from repro.serve import ModelQueryEngine, ModelServer, load_model
+
+from conftest import fmt_row, report
+
+WARM_QUERIES = 2_000
+HTTP_REQUESTS = 200
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_serve_cold_vs_warm(benchmark, dblp, tmp_path):
+    miner = LatentEntityMiner(MinerConfig(num_children=3, max_depth=1),
+                              seed=0)
+    result = miner.fit(dblp.corpus)
+    path = str(tmp_path / "model.json")
+    miner.save_model(result, path)
+
+    def cold():
+        engine = ModelQueryEngine(load_model(path))
+        engine.top_phrases("o/1", 10)
+
+    def measure():
+        cold_s = _time(cold)
+        engine = ModelQueryEngine(load_model(path))
+        engine.top_phrases("o/1", 10)  # prime the cache
+        total = _time(lambda: [engine.top_phrases("o/1", 10)
+                               for _ in range(WARM_QUERIES)])
+        return cold_s, total / WARM_QUERIES
+
+    cold_s, warm_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = cold_s / max(warm_s, 1e-12)
+
+    # HTTP round trips against a live server (same artifact).
+    engine = ModelQueryEngine(load_model(path))
+    latencies = []
+    with ModelServer(engine, port=0) as server:
+        server.start()
+        url = f"http://{server.host}:{server.port}/v1/topics/o/1"
+        for _ in range(HTTP_REQUESTS):
+            start = time.perf_counter()
+            with urllib.request.urlopen(url, timeout=10) as response:
+                json.loads(response.read())
+            latencies.append(time.perf_counter() - start)
+    latencies.sort()
+    p50 = statistics.median(latencies)
+    p99 = latencies[int(len(latencies) * 0.99) - 1]
+
+    report("serve_query_latency", [
+        fmt_row("path", ["seconds", "speedup"]),
+        fmt_row("cold load + first query", [cold_s, 1.0]),
+        fmt_row("warm cached query", [warm_s, speedup]),
+        "",
+        fmt_row("http round trip", ["p50_ms", "p99_ms"]),
+        fmt_row(f"GET /v1/topics/o/1 x{HTTP_REQUESTS}",
+                [p50 * 1e3, p99 * 1e3]),
+        f"corpus={len(dblp.corpus)} docs, "
+        f"topics={result.hierarchy.num_topics}, "
+        f"warm sample={WARM_QUERIES} queries",
+        "acceptance: warm cached top_phrases >= 10x faster than cold load",
+    ])
+    assert speedup >= 10.0

@@ -20,7 +20,7 @@ through the subpackages:
 from .errors import (ConfigurationError, ConvergenceError, DataError,
                      NotFittedError, ReproError)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -29,4 +29,24 @@ __all__ = [
     "NotFittedError",
     "ConvergenceError",
     "__version__",
+    "get_version",
 ]
+
+
+def get_version() -> str:
+    """The library version, preferring installed package metadata.
+
+    Falls back to the in-tree ``__version__`` constant when the package
+    is imported straight from a source checkout (``PYTHONPATH=src``)
+    without being installed.  This is the version stamped into run
+    reports, dataset files, and model artifacts so every on-disk
+    artifact is traceable to the code that produced it.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 never reaches here
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__

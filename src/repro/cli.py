@@ -10,6 +10,13 @@ Commands:
 * ``relations`` — mine advisor–advisee relations with TPFG and print
   the predictions (with accuracy when ground truth is available).
 * ``strod`` — run moment-based topic discovery and print topic words.
+* ``export-model`` — fit the full pipeline and persist the result as a
+  versioned ``repro.serve/model/v1`` artifact.
+* ``serve`` — answer topic / phrase / entity queries over HTTP from an
+  exported model artifact (see :mod:`repro.serve`).
+
+``repro --version`` prints the library version (the same one stamped
+into run reports, datasets, and model manifests).
 
 Every command accepts ``--seed`` for reproducibility, ``--workers N``
 for parallel execution (falling back to the ``REPRO_WORKERS``
@@ -35,7 +42,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import obs, parallel
+from . import get_version, obs, parallel
 from .datasets import (DBLPConfig, NewsConfig, generate_dblp,
                        generate_news, load_dataset, save_dataset)
 from .errors import ReproError
@@ -95,7 +102,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_hierarchy(args: argparse.Namespace) -> int:
+def _fit_pipeline(args: argparse.Namespace):
+    """Shared fit driver for ``hierarchy`` and ``export-model``."""
     from .core import LatentEntityMiner, MinerConfig
 
     dataset = load_dataset(args.dataset)
@@ -106,12 +114,50 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
                     weight_mode=args.weights), seed=args.seed)
     result = miner.fit(dataset.corpus, checkpoint_dir=args.checkpoint_dir,
                        resume=args.resume)
+    return miner, dataset, result
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    _, dataset, result = _fit_pipeline(args)
     entity_types = dataset.corpus.entity_types()
     if args.json:
         print(result.hierarchy.to_json())
     else:
         print(result.render(max_phrases=args.top,
                             entity_types=entity_types, max_entities=3))
+    return 0
+
+
+def _cmd_export_model(args: argparse.Namespace) -> int:
+    miner, _, result = _fit_pipeline(args)
+    manifest = miner.save_model(result, args.output)
+    print(f"exported {manifest['num_topics']} topics "
+          f"({manifest['vocab_size']} terms, repro "
+          f"{manifest['repro_version']}) -> {args.output}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .serve import ModelQueryEngine, ModelServer, load_model
+
+    start = _time.perf_counter()
+    model = load_model(args.model)
+    engine = ModelQueryEngine(model, cache_size=args.cache_size)
+    cold_load_s = _time.perf_counter() - start
+    server = ModelServer(engine, host=args.host, port=args.port,
+                         request_timeout=args.request_timeout)
+    server.install_signal_handlers()
+    print(f"repro serve: model {args.model} "
+          f"({model.manifest['num_topics']} topics, loaded in "
+          f"{cold_load_s * 1e3:.1f} ms) on "
+          f"http://{server.host}:{server.port}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    print("repro serve: shut down gracefully", file=sys.stderr)
     return 0
 
 
@@ -196,6 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Mining latent entity structures (Wang, 2014)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {get_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
     obs_parent = [_obs_parent()]
 
@@ -252,6 +300,35 @@ def build_parser() -> argparse.ArgumentParser:
     strod.add_argument("--top", type=int, default=8)
     strod.add_argument("--seed", type=int, default=0)
     strod.set_defaults(func=_cmd_strod)
+
+    export = sub.add_parser(
+        "export-model", help="fit and persist a serveable model artifact",
+        parents=obs_parent)
+    _add_dataset_argument(export)
+    export.add_argument("--output", "-o", required=True, metavar="PATH",
+                        help="where to write the repro.serve/model/v1 "
+                             "artifact (atomic write)")
+    export.add_argument("--children", default="6,3",
+                        help="children per level, comma separated")
+    export.add_argument("--weights", default="learn",
+                        choices=["equal", "norm", "learn"])
+    export.add_argument("--seed", type=int, default=0)
+    export.set_defaults(func=_cmd_export_model)
+
+    serve = sub.add_parser(
+        "serve", help="serve an exported model over HTTP",
+        parents=obs_parent)
+    serve.add_argument("model", help="path to a model artifact written by "
+                                     "'repro export-model'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU query-result cache capacity (0 disables)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-connection read timeout")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -81,7 +81,14 @@ class MiningResult:
     def render(self, max_phrases: int = 5,
                entity_types: Optional[List[str]] = None,
                max_entities: int = 3) -> str:
-        """ASCII rendering of the hierarchy (Figure 3.4 style)."""
+        """ASCII rendering of the hierarchy (Figure 3.4 style).
+
+        Degrades gracefully: topics with fewer than ``max_phrases``
+        ranked phrases show what they have, undecorated topics fall back
+        to their term distribution, and a hierarchy that produced no
+        topics at all still renders (with a placeholder root) instead of
+        assuming populated children.
+        """
         return self.hierarchy.render(max_phrases=max_phrases,
                                      entity_types=entity_types,
                                      max_entities=max_entities)
@@ -153,6 +160,39 @@ class LatentEntityMiner:
         return MiningResult(corpus=corpus, network=network,
                             hierarchy=hierarchy, counts=counts, roles=roles,
                             report=report)
+
+    # ------------------------------------------------------------ artifacts
+    def save_model(self, result: MiningResult, path: str) -> Dict[str, object]:
+        """Export ``result`` as a versioned ``repro.serve/model/v1`` artifact.
+
+        The artifact carries everything the read path needs — the topic
+        tree, phrase rankings, and entity role tables — plus a manifest
+        fingerprinting this miner's configuration and the corpus
+        vocabulary, so :meth:`load_model` can reject mismatched or
+        corrupted files.  The write is atomic.  Returns the manifest.
+        """
+        from ..serve import save_model as _save_model
+
+        return _save_model(result, path, config=self._artifact_config())
+
+    @staticmethod
+    def load_model(path: str):
+        """Load a model artifact written by :meth:`save_model`.
+
+        Returns a :class:`~repro.serve.ServedModel`; wrap it in a
+        :class:`~repro.serve.ModelQueryEngine` (or ``repro serve``) to
+        answer queries without re-running EM.
+
+        Raises:
+            DataError: corrupt, truncated, or schema-mismatched artifact.
+        """
+        from ..serve import load_model as _load_model
+
+        return _load_model(path)
+
+    def _artifact_config(self) -> Dict[str, object]:
+        """The config fingerprint stamped into exported model manifests."""
+        return dict(vars(self.config))
 
     def _finish_report(self, corpus: Corpus) -> Optional[Dict[str, object]]:
         """Build (and optionally persist) the run report when enabled."""

@@ -37,11 +37,19 @@ def _spec_from_dict(data: dict) -> TopicSpec:
 
 
 def dataset_to_dict(dataset: SyntheticDataset) -> dict:
-    """Serialize a dataset (corpus + ground truth) to plain data."""
+    """Serialize a dataset (corpus + ground truth) to plain data.
+
+    ``repro_version`` records the library that generated the file (for
+    traceability); :func:`dataset_from_dict` ignores it, so datasets
+    written by any 1.x version stay mutually loadable.
+    """
+    from .. import get_version
+
     corpus = dataset.corpus
     truth = dataset.ground_truth
     return {
         "version": FORMAT_VERSION,
+        "repro_version": get_version(),
         "name": dataset.name,
         "vocabulary": list(corpus.vocabulary),
         "documents": [

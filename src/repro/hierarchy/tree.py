@@ -90,9 +90,13 @@ class TopicalHierarchy:
                       entity_types: Optional[List[str]],
                       max_entities: int) -> None:
         indent = "  " * topic.level
-        phrases = " / ".join(topic.top_phrases(max_phrases))
+        phrases = " / ".join(topic.top_phrases(max(max_phrases, 0)))
         if not phrases:
-            phrases = " / ".join(topic.top_words("term", max_phrases))
+            phrases = " / ".join(topic.top_words("term", max(max_phrases, 0)))
+        if not phrases:
+            # An undecorated node (empty hierarchy, or a topic that mined
+            # no ranked phrases) still gets a well-formed line.
+            phrases = "(no ranked phrases)"
         lines.append(f"{indent}[{topic.notation}] {phrases}")
         for etype in (entity_types or []):
             names = topic.top_entities(etype, max_entities)

@@ -73,11 +73,18 @@ def _jsonable(value: Any) -> Any:
 
 def build_run_report(config: Optional[Dict[str, Any]] = None,
                      ) -> Dict[str, Any]:
-    """Aggregate the current metrics and traces into a report document."""
+    """Aggregate the current metrics and traces into a report document.
+
+    The producing library version is stamped into every report so a
+    stored report is traceable to the code that generated it.
+    """
+    from .. import get_version
+
     metrics = get_registry().snapshot()
     return {
         "schema": REPORT_SCHEMA,
         "generated_unix": time.time(),
+        "repro_version": get_version(),
         "config": _jsonable(config or {}),
         "metrics": metrics,
         "phases": metrics["timers"],

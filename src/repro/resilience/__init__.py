@@ -22,7 +22,7 @@ method, and TPFG — accepts ``checkpoint=`` / ``resume=`` (or a
 
 from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
 from .checkpoint import (CHECKPOINT_SCHEMA, CheckpointWriter, checkpoint_in,
-                         load_checkpoint, save_checkpoint)
+                         config_fingerprint, load_checkpoint, save_checkpoint)
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -31,6 +31,7 @@ __all__ = [
     "atomic_write_json",
     "atomic_write_text",
     "checkpoint_in",
+    "config_fingerprint",
     "load_checkpoint",
     "save_checkpoint",
 ]

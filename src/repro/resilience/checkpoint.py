@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
+import shutil
 import struct
 import zlib
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError, DataError
 from ..obs.registry import inc, timed
@@ -48,6 +50,7 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "CheckpointWriter",
     "checkpoint_in",
+    "config_fingerprint",
     "load_checkpoint",
     "save_checkpoint",
 ]
@@ -59,16 +62,25 @@ _MAGIC = b"REPROCKPT\x00\x01"
 _HEADER = struct.Struct(">IQ")  # crc32, payload length
 
 
-def _plain(value: Any) -> Any:
-    """Reduce a config value to comparable plain data (repr as fallback)."""
+def config_fingerprint(value: Any) -> Any:
+    """Reduce a config value to comparable plain data (repr as fallback).
+
+    The result is deterministic, JSON-encodable, and order-insensitive
+    for mappings, so two runs configured identically always fingerprint
+    identically.  Checkpoints and model artifacts both store this form
+    and compare it on load.
+    """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, dict):
-        return {str(k): _plain(v) for k, v in sorted(value.items(),
-                                                     key=lambda kv: str(kv[0]))}
+        return {str(k): config_fingerprint(v)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
     if isinstance(value, (list, tuple, set, frozenset)):
-        return [_plain(v) for v in value]
+        return [config_fingerprint(v) for v in value]
     return repr(value)
+
+
+_plain = config_fingerprint
 
 
 def save_checkpoint(path: str, document: Dict[str, Any]) -> None:
@@ -115,11 +127,27 @@ def load_checkpoint(path: str) -> Dict[str, Any]:
     return document
 
 
+#: History files are named ``<path>.v<iteration>``, zero-padded so a
+#: lexicographic sort is also a chronological one.
+_HISTORY_SUFFIX = re.compile(r"\.v(\d{9})$")
+
+
 class CheckpointWriter:
     """Periodic, atomic checkpoint persistence for one solver fit.
 
+    The file at ``path`` is always the *latest* checkpoint, atomically
+    replaced on every save.  Before each replacement the superseded
+    checkpoint is archived next to it as ``<path>.v<iteration>`` (a
+    hard link where possible, so archiving costs one directory entry,
+    not a second write).  ``keep_last`` bounds that history:
+
+    * ``None`` (default) — keep every superseded checkpoint;
+    * ``0`` — keep no history at all (the pre-1.1 single-file behavior);
+    * ``N >= 1`` — after each successful newer write, prune history down
+      to the ``N`` most recent superseded files.
+
     Args:
-        path: checkpoint file location (one file, atomically replaced).
+        path: checkpoint file location (the latest checkpoint).
         solver: name of the solver writing it; loads reject files written
             by a different solver.
         config: plain-data fingerprint of everything that must match for
@@ -127,20 +155,26 @@ class CheckpointWriter:
             problem size); loads reject mismatches.
         every: iteration cadence for :meth:`maybe_save` (1 = every
             iteration).
+        keep_last: checkpoint-history retention (see above).
     """
 
     def __init__(self, path: str, solver: str,
                  config: Optional[Dict[str, Any]] = None,
-                 every: int = 1) -> None:
+                 every: int = 1, keep_last: Optional[int] = None) -> None:
         if every < 1:
             raise ConfigurationError("checkpoint every must be >= 1")
+        if keep_last is not None and keep_last < 0:
+            raise ConfigurationError("checkpoint keep_last must be >= 0")
         self.path = os.fspath(path)
         self.solver = solver
         self.config = _plain(config or {})
         self.every = every
+        self.keep_last = keep_last
+        self._last_iteration: Optional[int] = None
 
     def save(self, iteration: int, state: Dict[str, Any]) -> None:
         """Persist ``state`` unconditionally as the latest checkpoint."""
+        self._archive_previous()
         save_checkpoint(self.path, {
             "schema": CHECKPOINT_SCHEMA,
             "solver": self.solver,
@@ -148,6 +182,67 @@ class CheckpointWriter:
             "iteration": int(iteration),
             "state": state,
         })
+        self._last_iteration = int(iteration)
+        self._prune()
+
+    # ------------------------------------------------------------- history
+    def history_paths(self) -> List[str]:
+        """Archived (superseded) checkpoint files, oldest first."""
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        base = os.path.basename(self.path)
+        found = []
+        try:
+            entries = os.listdir(directory)
+        except FileNotFoundError:
+            return []
+        for entry in entries:
+            if not entry.startswith(base):
+                continue
+            match = _HISTORY_SUFFIX.fullmatch(entry[len(base):])
+            if match:
+                found.append((int(match.group(1)),
+                              os.path.join(directory, entry)))
+        return [path for _, path in sorted(found)]
+
+    def _archive_previous(self) -> None:
+        """Keep the superseded checkpoint around as ``<path>.v<iter>``."""
+        if self.keep_last == 0 or not os.path.exists(self.path):
+            return
+        iteration = self._last_iteration
+        if iteration is None:
+            # A fresh writer over an existing file (resume without load):
+            # stamp past the newest archive so ordering stays monotone.
+            history = self.history_paths()
+            iteration = 0
+            if history:
+                match = _HISTORY_SUFFIX.search(history[-1])
+                iteration = int(match.group(1)) + 1
+        archive = f"{self.path}.v{iteration:09d}"
+        try:
+            if os.path.exists(archive):
+                os.unlink(archive)
+            os.link(self.path, archive)
+        except OSError:
+            # Filesystems without hard links fall back to a real copy.
+            try:
+                shutil.copy2(self.path, archive)
+            except OSError:
+                return
+        inc("resilience.checkpoints_archived")
+
+    def _prune(self) -> None:
+        """Drop history beyond ``keep_last`` after a successful write."""
+        if self.keep_last is None:
+            return
+        history = self.history_paths()
+        excess = history[:max(len(history) - self.keep_last, 0)]
+        for path in excess:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+        if excess:
+            inc("resilience.checkpoints_pruned", len(excess))
 
     def maybe_save(self, iteration: int,
                    state_fn: Callable[[], Dict[str, Any]]) -> bool:
@@ -178,19 +273,23 @@ class CheckpointWriter:
                 f"refusing to resume (delete the checkpoint directory to "
                 f"start fresh)")
         inc("resilience.checkpoints_loaded")
+        self._last_iteration = int(document.get("iteration", 0))
         return document
 
     def clear(self) -> None:
-        """Remove the checkpoint file (after the protected fit completes)."""
-        try:
-            os.unlink(self.path)
-        except FileNotFoundError:
-            pass
+        """Remove the checkpoint file and its archived history."""
+        for path in [self.path] + self.history_paths():
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self._last_iteration = None
 
 
 def checkpoint_in(directory: Optional[str], name: str, solver: str,
                   config: Optional[Dict[str, Any]] = None,
-                  every: int = 1) -> Optional[CheckpointWriter]:
+                  every: int = 1, keep_last: Optional[int] = None,
+                  ) -> Optional[CheckpointWriter]:
     """A :class:`CheckpointWriter` for ``<directory>/<name>.ckpt``.
 
     Returns None when ``directory`` is None, so call sites can thread an
@@ -201,4 +300,5 @@ def checkpoint_in(directory: Optional[str], name: str, solver: str,
         return None
     os.makedirs(directory, exist_ok=True)
     return CheckpointWriter(os.path.join(directory, name + ".ckpt"),
-                            solver, config=config, every=every)
+                            solver, config=config, every=every,
+                            keep_last=keep_last)

@@ -1,0 +1,37 @@
+"""repro.serve — the read path: artifacts, query engine, HTTP server.
+
+Three layers turn a fitted :class:`~repro.core.MiningResult` into
+something millions of users can query without re-running EM:
+
+* **artifacts** (:mod:`repro.serve.artifact`): the versioned
+  ``repro.serve/model/v1`` on-disk format — atomic writes, a manifest
+  with schema / config / vocabulary fingerprints, and typed rejection of
+  corrupt or mismatched files;
+* the **query engine** (:mod:`repro.serve.engine`): read-optimized
+  indexes (topic tree maps, a phrase inverted index, entity role
+  tables) built once at load, behind an LRU result cache with hit/miss
+  metrics;
+* the **server** (:mod:`repro.serve.http`): a pure-stdlib threaded HTTP
+  server exposing the queries as JSON endpoints with request metrics,
+  read timeouts, and graceful SIGTERM shutdown.
+
+Surfaced on the facade as :meth:`~repro.core.LatentEntityMiner.save_model`
+/ :meth:`~repro.core.LatentEntityMiner.load_model` and on the CLI as
+``repro export-model`` / ``repro serve``.
+"""
+
+from .artifact import (MODEL_SCHEMA, ServedModel, build_model_document,
+                       load_model, save_model, vocabulary_hash)
+from .engine import ModelQueryEngine
+from .http import ModelServer
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "ModelQueryEngine",
+    "ModelServer",
+    "ServedModel",
+    "build_model_document",
+    "load_model",
+    "save_model",
+    "vocabulary_hash",
+]

@@ -1,0 +1,273 @@
+"""Versioned model artifacts: the ``repro.serve/model/v1`` format.
+
+A fitted :class:`~repro.core.MiningResult` dies with the process unless
+it is persisted.  This module defines the read-path artifact: one JSON
+document, written atomically (:mod:`repro.resilience.atomic`), holding
+everything the query engine needs to answer the paper's end-user
+queries — the topic tree with per-node ranking distributions
+(Chapter 3), ranked topical phrases (Chapter 4), and entity topical
+roles (Chapter 5) — without the corpus, the networks, or a re-run of EM.
+
+Layout::
+
+    {"schema": "repro.serve/model/v1",
+     "manifest": {"schema": ..., "created_unix": ..., "repro_version": ...,
+                  "config": {...},            # miner config fingerprint
+                  "vocab_hash": "sha256:...", # of the stored vocabulary
+                  "payload_crc32": ...,       # of the canonical model JSON
+                  "vocab_size": V, "num_documents": N, "num_topics": T,
+                  "entity_types": [...]},
+     "model": {"vocabulary": [...],
+               "hierarchy": {<topic record>},   # recursive
+               "entity_roles": {etype: {entity: {notation: freq}}}}}
+
+Every load re-derives ``payload_crc32`` and ``vocab_hash`` and compares
+them against the manifest, so a truncated file, a bit-flipped payload,
+or a manifest grafted onto the wrong model is rejected with a typed
+:class:`~repro.errors.DataError` instead of serving garbage.
+
+The canonical JSON form (sorted keys, no whitespace) makes the CRC
+stable across save/load cycles: Python's shortest-repr float encoding
+round-trips exactly, so re-encoding a parsed payload reproduces the
+bytes that were hashed at save time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import DataError
+from ..hierarchy import Topic, TopicalHierarchy
+from ..obs import get_logger, timed
+from ..resilience import atomic_write_json, config_fingerprint
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "ServedModel",
+    "build_model_document",
+    "load_model",
+    "save_model",
+    "vocabulary_hash",
+]
+
+MODEL_SCHEMA = "repro.serve/model/v1"
+
+#: Manifest fields whose absence makes an artifact unusable.
+_REQUIRED_MANIFEST = ("schema", "created_unix", "repro_version", "config",
+                      "vocab_hash", "payload_crc32", "num_topics")
+
+logger = get_logger("serve.artifact")
+
+
+def vocabulary_hash(words: Iterable[str]) -> str:
+    """Order-sensitive SHA-256 fingerprint of a vocabulary.
+
+    Word ids are positional, so two vocabularies hash equal iff they map
+    every id to the same word — exactly the condition under which phrase
+    strings and phi names in an artifact stay meaningful.
+    """
+    digest = hashlib.sha256()
+    for word in words:
+        digest.update(word.encode("utf-8"))
+        digest.update(b"\x00")
+    return "sha256:" + digest.hexdigest()
+
+
+def _canonical_payload(model: Dict[str, Any]) -> bytes:
+    """The byte form of the model object that ``payload_crc32`` covers."""
+    return json.dumps(model, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _topic_record(topic: Topic) -> Dict[str, Any]:
+    """One topic node as plain data (the subnetwork handle is dropped)."""
+    return {
+        "path": list(topic.path),
+        "notation": topic.notation,
+        "rho": float(topic.rho),
+        "phi": {node_type: {name: float(p) for name, p in dist.items()}
+                for node_type, dist in topic.phi.items()},
+        "phrases": [[phrase, float(score)] for phrase, score in topic.phrases],
+        "entity_ranks": {etype: [[name, float(score)] for name, score in ranks]
+                         for etype, ranks in topic.entity_ranks.items()},
+        "children": [_topic_record(child) for child in topic.children],
+    }
+
+
+def _topic_from_record(record: Dict[str, Any]) -> Topic:
+    topic = Topic(
+        path=tuple(record["path"]),
+        rho=float(record["rho"]),
+        phi={node_type: dict(dist)
+             for node_type, dist in record["phi"].items()},
+        phrases=[(phrase, score) for phrase, score in record["phrases"]],
+        entity_ranks={etype: [(name, score) for name, score in ranks]
+                      for etype, ranks in record["entity_ranks"].items()})
+    for child_record in record["children"]:
+        child = _topic_from_record(child_record)
+        topic.children.append(child)
+        child.path = tuple(child_record["path"])
+    return topic
+
+
+def build_model_document(result, config: Optional[Dict[str, Any]] = None,
+                         ) -> Dict[str, Any]:
+    """Serialize a fitted :class:`~repro.core.MiningResult` to an artifact.
+
+    Args:
+        result: the fitted mining result to persist.
+        config: plain-data fingerprint of the configuration that produced
+            it (stored in the manifest for traceability).
+
+    The returned document is fully JSON-normalized (every tuple already a
+    list), so building a query engine from it gives byte-identical
+    answers to one built from the document read back off disk.
+    """
+    from .. import get_version
+
+    corpus = result.corpus
+    entity_types = corpus.entity_types()
+    entity_roles = {
+        etype: {name: dict(frequencies)
+                for name, frequencies
+                in result.roles.entity_topic_frequencies(etype).items()}
+        for etype in entity_types
+    }
+    model = {
+        "vocabulary": list(corpus.vocabulary),
+        "hierarchy": _topic_record(result.hierarchy.root),
+        "entity_roles": entity_roles,
+    }
+    # Round-trip through the canonical encoding so the in-memory document
+    # is indistinguishable from one parsed back from disk.
+    model = json.loads(_canonical_payload(model).decode("utf-8"))
+    manifest = {
+        "schema": MODEL_SCHEMA,
+        "created_unix": time.time(),
+        "repro_version": get_version(),
+        "config": config_fingerprint(config or {}),
+        "vocab_hash": vocabulary_hash(model["vocabulary"]),
+        "payload_crc32": zlib.crc32(_canonical_payload(model)) & 0xFFFFFFFF,
+        "vocab_size": len(model["vocabulary"]),
+        "num_documents": len(corpus),
+        "num_topics": result.hierarchy.num_topics,
+        "entity_types": entity_types,
+    }
+    return {"schema": MODEL_SCHEMA, "manifest": manifest, "model": model}
+
+
+@dataclass
+class ServedModel:
+    """A loaded (or freshly built) model artifact, ready to query.
+
+    Attributes:
+        manifest: the artifact manifest (schema, fingerprints, metadata).
+        model: the JSON-normalized model payload.
+        path: where the artifact was loaded from, when applicable.
+    """
+
+    manifest: Dict[str, Any]
+    model: Dict[str, Any]
+    path: Optional[str] = None
+    _hierarchy: Optional[TopicalHierarchy] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def vocabulary(self) -> List[str]:
+        return self.model["vocabulary"]
+
+    @property
+    def entity_roles(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        return self.model["entity_roles"]
+
+    def hierarchy(self) -> TopicalHierarchy:
+        """The topic tree rebuilt as first-class objects (cached)."""
+        if self._hierarchy is None:
+            self._hierarchy = TopicalHierarchy(
+                root=_topic_from_record(self.model["hierarchy"]))
+        return self._hierarchy
+
+    @classmethod
+    def from_result(cls, result,
+                    config: Optional[Dict[str, Any]] = None) -> "ServedModel":
+        """Wrap a fitted result without touching the filesystem."""
+        document = build_model_document(result, config=config)
+        return cls(manifest=document["manifest"], model=document["model"])
+
+
+def save_model(result, path: str,
+               config: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Persist a fitted result as a ``repro.serve/model/v1`` artifact.
+
+    The write is atomic (temp file + rename): a crash mid-export leaves
+    any previous artifact at ``path`` intact.  Returns the manifest.
+    """
+    with timed("serve.export"):
+        document = build_model_document(result, config=config)
+        atomic_write_json(path, document, indent=2, trailing_newline=True)
+    logger.info("exported model artifact (%d topics) -> %s",
+                document["manifest"]["num_topics"], path)
+    return document["manifest"]
+
+
+def _validate_manifest(manifest: Any, path: str) -> Dict[str, Any]:
+    if not isinstance(manifest, dict):
+        raise DataError(f"{path}: model manifest must be an object")
+    for key in _REQUIRED_MANIFEST:
+        if key not in manifest:
+            raise DataError(f"{path}: model manifest missing field {key!r}")
+    if manifest["schema"] != MODEL_SCHEMA:
+        raise DataError(f"{path}: unsupported model schema "
+                        f"{manifest['schema']!r} (expected {MODEL_SCHEMA!r})")
+    return manifest
+
+
+def load_model(path: str) -> ServedModel:
+    """Read and verify a model artifact written by :func:`save_model`.
+
+    Raises:
+        DataError: when the file is not a model artifact, is truncated or
+            otherwise not valid JSON, carries an unsupported schema
+            version, fails its payload checksum, or its manifest
+            vocabulary hash does not match the stored vocabulary.
+        OSError: when the file cannot be read at all.
+    """
+    with timed("serve.model_load"):
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        try:
+            document = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise DataError(f"{path} is not a valid model artifact "
+                            f"(truncated or not JSON): {exc}") from exc
+        if not isinstance(document, dict) \
+                or document.get("schema") != MODEL_SCHEMA:
+            schema = document.get("schema") if isinstance(document, dict) \
+                else None
+            raise DataError(f"{path}: unsupported model schema {schema!r} "
+                            f"(expected {MODEL_SCHEMA!r})")
+        manifest = _validate_manifest(document.get("manifest"), path)
+        model = document.get("model")
+        if not isinstance(model, dict):
+            raise DataError(f"{path}: model payload must be an object")
+        for key in ("vocabulary", "hierarchy", "entity_roles"):
+            if key not in model:
+                raise DataError(f"{path}: model payload missing {key!r}")
+        crc = zlib.crc32(_canonical_payload(model)) & 0xFFFFFFFF
+        if crc != manifest["payload_crc32"]:
+            raise DataError(f"{path} is corrupted (payload checksum "
+                            f"mismatch: {crc} != "
+                            f"{manifest['payload_crc32']})")
+        vocab_hash = vocabulary_hash(model["vocabulary"])
+        if vocab_hash != manifest["vocab_hash"]:
+            raise DataError(f"{path}: vocabulary hash mismatch (manifest "
+                            f"{manifest['vocab_hash']!r}, stored vocabulary "
+                            f"hashes to {vocab_hash!r})")
+    logger.info("loaded model artifact %s (%d topics, repro %s)", path,
+                manifest["num_topics"], manifest["repro_version"])
+    return ServedModel(manifest=manifest, model=model, path=path)

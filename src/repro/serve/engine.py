@@ -1,0 +1,311 @@
+"""Read-optimized query engine over a loaded model artifact.
+
+:class:`ModelQueryEngine` answers the paper's end-user queries — browse
+the topic tree (§3), ranked topical phrases (§4), entity topical roles
+(§5) — from precomputed indexes built once at load time:
+
+* ``topic id -> topic record`` (and parent / children maps),
+* ``phrase -> [(topic, score)]`` inverted index plus a sorted phrase
+  list for binary-search prefix matching,
+* ``entity type -> entity -> {topic: frequency}`` role tables.
+
+Every public query runs through an LRU result cache whose hit / miss
+counts are kept locally (always, for the ``/metrics`` endpoint) and
+mirrored into the :mod:`repro.obs` metrics registry (when enabled) as
+``serve.cache.hits`` / ``serve.cache.misses``.
+
+All answers are plain JSON data.  An engine built directly from an
+in-memory :class:`~repro.core.MiningResult` returns byte-identical
+answers to one built from the same model saved to disk and loaded back —
+the round-trip invariant the serve test suite property-checks.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, DataError
+from ..obs import inc, timed
+from .artifact import ServedModel
+
+__all__ = ["ModelQueryEngine"]
+
+#: Query operations exposed through :meth:`ModelQueryEngine.batch`.
+_BATCH_OPS = ("model_info", "topic", "children", "top_phrases",
+              "search_phrases", "entity_roles")
+
+_SEARCH_MODES = ("prefix", "substring")
+
+
+class ModelQueryEngine:
+    """Cached queries over one served model.
+
+    Args:
+        model: the artifact to serve (see :class:`ServedModel`).
+        cache_size: LRU result-cache capacity (0 disables caching).
+    """
+
+    def __init__(self, model: ServedModel, cache_size: int = 1024) -> None:
+        if cache_size < 0:
+            raise ConfigurationError("cache_size must be >= 0")
+        self.model = model
+        self._cache_capacity = cache_size
+        self._cache: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        with timed("serve.index_build"):
+            self._build_indexes()
+
+    @classmethod
+    def from_result(cls, result, config: Optional[Dict[str, Any]] = None,
+                    cache_size: int = 1024) -> "ModelQueryEngine":
+        """An engine over a fitted result, without touching the disk."""
+        return cls(ServedModel.from_result(result, config=config),
+                   cache_size=cache_size)
+
+    # -------------------------------------------------------------- indexes
+    def _build_indexes(self) -> None:
+        self._topics: Dict[str, Dict[str, Any]] = {}
+        self._children: Dict[str, List[str]] = {}
+        self._parent: Dict[str, Optional[str]] = {}
+        phrase_topics: Dict[str, List[Tuple[str, float]]] = {}
+
+        def walk(record: Dict[str, Any], parent: Optional[str]) -> None:
+            notation = record["notation"]
+            self._topics[notation] = record
+            self._parent[notation] = parent
+            self._children[notation] = [child["notation"]
+                                        for child in record["children"]]
+            for phrase, score in record["phrases"]:
+                phrase_topics.setdefault(phrase, []).append(
+                    (notation, score))
+            for child in record["children"]:
+                walk(child, notation)
+
+        walk(self.model.model["hierarchy"], None)
+        for entries in phrase_topics.values():
+            entries.sort(key=lambda pair: (-pair[1], pair[0]))
+        self._phrase_topics = phrase_topics
+        self._phrase_list = sorted(phrase_topics)
+        self._entity_roles = self.model.entity_roles
+
+    # -------------------------------------------------------------- caching
+    def _cached(self, key: Tuple, compute) -> Any:
+        if self._cache_capacity == 0:
+            return compute()
+        with self._cache_lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                inc("serve.cache.hits")
+                return self._cache[key]
+        value = compute()
+        with self._cache_lock:
+            self._misses += 1
+            inc("serve.cache.misses")
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+        return value
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit / miss / occupancy counters of the LRU result cache."""
+        with self._cache_lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "size": len(self._cache),
+                    "capacity": self._cache_capacity}
+
+    # -------------------------------------------------------------- queries
+    def _record(self, topic_id: str) -> Dict[str, Any]:
+        record = self._topics.get(topic_id)
+        if record is None:
+            raise DataError(f"no topic with id {topic_id!r}")
+        return record
+
+    def model_info(self) -> Dict[str, Any]:
+        """Manifest plus tree-shape statistics."""
+        return self._cached(("model_info",), self._compute_model_info)
+
+    def _compute_model_info(self) -> Dict[str, Any]:
+        depths = [len(r["path"]) for r in self._topics.values()]
+        return {
+            "manifest": self.model.manifest,
+            "stats": {
+                "num_topics": len(self._topics),
+                "height": max(depths) if depths else 0,
+                "width": max((len(c) for c in self._children.values()),
+                             default=0),
+                "num_phrases": len(self._phrase_list),
+                "entity_types": sorted(self._entity_roles),
+                "num_entities": {etype: len(entities) for etype, entities
+                                 in sorted(self._entity_roles.items())},
+            },
+        }
+
+    def topic(self, topic_id: str, max_phrases: int = 10,
+              max_entities: int = 5, max_terms: int = 10) -> Dict[str, Any]:
+        """Full detail of one topic node."""
+        key = ("topic", topic_id, max_phrases, max_entities, max_terms)
+        return self._cached(key, lambda: self._compute_topic(
+            topic_id, max_phrases, max_entities, max_terms))
+
+    def _compute_topic(self, topic_id: str, max_phrases: int,
+                       max_entities: int, max_terms: int) -> Dict[str, Any]:
+        record = self._record(topic_id)
+        terms = record["phi"].get("term", {})
+        top_terms = sorted(terms.items(), key=lambda kv: (-kv[1], kv[0]))
+        return {
+            "topic": record["notation"],
+            "level": len(record["path"]),
+            "rho": record["rho"],
+            "parent": self._parent[record["notation"]],
+            "children": self._children[record["notation"]],
+            "phrases": record["phrases"][:max(max_phrases, 0)],
+            "num_phrases": len(record["phrases"]),
+            "top_terms": [[name, p] for name, p
+                          in top_terms[:max(max_terms, 0)]],
+            "entity_ranks": {
+                etype: ranks[:max(max_entities, 0)]
+                for etype, ranks in record["entity_ranks"].items()},
+        }
+
+    def children(self, topic_id: str) -> Dict[str, Any]:
+        """One-line summaries of a topic's direct subtopics."""
+        return self._cached(("children", topic_id),
+                            lambda: self._compute_children(topic_id))
+
+    def _compute_children(self, topic_id: str) -> Dict[str, Any]:
+        record = self._record(topic_id)
+        summaries = []
+        for child in record["children"]:
+            label = child["phrases"][0][0] if child["phrases"] else None
+            if label is None:
+                terms = child["phi"].get("term", {})
+                label = min(terms, key=lambda name: (-terms[name], name)) \
+                    if terms else ""
+            summaries.append({"topic": child["notation"],
+                              "rho": child["rho"], "label": label})
+        return {"topic": record["notation"], "children": summaries}
+
+    def top_phrases(self, topic_id: str, k: int = 10) -> Dict[str, Any]:
+        """The ``k`` best ranked phrases of one topic."""
+        return self._cached(("top_phrases", topic_id, k),
+                            lambda: self._compute_top_phrases(topic_id, k))
+
+    def _compute_top_phrases(self, topic_id: str, k: int) -> Dict[str, Any]:
+        record = self._record(topic_id)
+        return {"topic": record["notation"],
+                "phrases": record["phrases"][:max(k, 0)]}
+
+    def search_phrases(self, query: str, mode: str = "prefix",
+                       limit: int = 10) -> Dict[str, Any]:
+        """Phrases matching ``query``, each with its ranked topics.
+
+        ``mode="prefix"`` binary-searches the sorted phrase list;
+        ``mode="substring"`` scans it.  Matches are ordered by their best
+        topic score, then alphabetically.
+        """
+        if mode not in _SEARCH_MODES:
+            raise ConfigurationError(
+                f"unsupported search mode {mode!r} (one of {_SEARCH_MODES})")
+        key = ("search_phrases", query, mode, limit)
+        return self._cached(key, lambda: self._compute_search(
+            query, mode, limit))
+
+    def _compute_search(self, query: str, mode: str,
+                        limit: int) -> Dict[str, Any]:
+        limit = max(limit, 0)
+        if mode == "prefix":
+            start = bisect_left(self._phrase_list, query)
+            matches = []
+            for phrase in self._phrase_list[start:]:
+                if not phrase.startswith(query):
+                    break
+                matches.append(phrase)
+        else:
+            matches = [p for p in self._phrase_list if query in p]
+        matches.sort(key=lambda p: (-self._phrase_topics[p][0][1], p))
+        return {
+            "query": query,
+            "mode": mode,
+            "num_matches": len(matches),
+            "matches": [{"phrase": phrase,
+                         "topics": [[notation, score] for notation, score
+                                    in self._phrase_topics[phrase]]}
+                        for phrase in matches[:limit]],
+        }
+
+    def entity_roles(self, name: str, entity_type: Optional[str] = None,
+                     topic: str = "o") -> Dict[str, Any]:
+        """An entity's topical roles: frequencies plus the normalized
+        distribution over ``topic``'s children (Eq. 5.3–5.6 read path).
+        """
+        key = ("entity_roles", name, entity_type, topic)
+        return self._cached(key, lambda: self._compute_entity_roles(
+            name, entity_type, topic))
+
+    def _compute_entity_roles(self, name: str, entity_type: Optional[str],
+                              topic: str) -> Dict[str, Any]:
+        node = self._record(topic)
+        if entity_type is not None:
+            if entity_type not in self._entity_roles:
+                raise DataError(f"no entity type {entity_type!r} in model")
+            types = [entity_type]
+        else:
+            types = sorted(self._entity_roles)
+        roles = {}
+        for etype in types:
+            frequencies = self._entity_roles[etype].get(name)
+            if frequencies is None:
+                continue
+            shares = {child: frequencies.get(child, 0.0)
+                      for child in self._children[node["notation"]]}
+            total = sum(shares.values())
+            distribution = ({c: v / total for c, v in shares.items()}
+                            if total > 0 else {c: 0.0 for c in shares})
+            roles[etype] = {
+                "total": frequencies.get("o", 0.0),
+                "frequencies": frequencies,
+                "distribution": distribution,
+            }
+        if not roles:
+            raise DataError(f"no entity named {name!r} in model"
+                            + (f" under type {entity_type!r}"
+                               if entity_type else ""))
+        return {"entity": name, "topic": node["notation"], "roles": roles}
+
+    # ---------------------------------------------------------------- batch
+    def batch(self, requests: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Execute many queries in one call.
+
+        Each request is ``{"op": <name>, "args": {...}}``; per-request
+        failures are reported in-band so one bad lookup cannot fail the
+        whole batch.
+        """
+        if not isinstance(requests, list):
+            raise ConfigurationError("batch payload must be an array")
+        results = []
+        for request in requests:
+            if not isinstance(request, dict) \
+                    or request.get("op") not in _BATCH_OPS:
+                results.append({"ok": False, "status": 400,
+                                "error": f"unsupported batch op: "
+                                         f"{request.get('op') if isinstance(request, dict) else request!r}"})
+                continue
+            args = request.get("args") or {}
+            try:
+                result = getattr(self, request["op"])(**args)
+            except DataError as exc:
+                results.append({"ok": False, "status": 404,
+                                "error": str(exc)})
+            except (ConfigurationError, TypeError) as exc:
+                results.append({"ok": False, "status": 400,
+                                "error": str(exc)})
+            else:
+                results.append({"ok": True, "result": result})
+        return {"results": results}

@@ -1,0 +1,336 @@
+"""Stdlib HTTP serving layer for mined hierarchies.
+
+:class:`ModelServer` wraps a :class:`~repro.serve.engine.ModelQueryEngine`
+in a :class:`http.server.ThreadingHTTPServer` (no third-party
+dependencies) and exposes the query API as JSON endpoints:
+
+=====================  ======================================================
+``GET /healthz``        liveness probe (status, uptime, model id)
+``GET /metrics``        request / latency / cache counters as JSON
+``GET /v1/model``       manifest + tree-shape statistics
+``GET /v1/topics/o/1``  topic detail; the path *is* the topic notation
+                        (``?phrases=&entities=&terms=`` trim the answer)
+``GET /v1/search``      ``?q=...&mode=prefix|substring&limit=N``
+``GET /v1/entities/X``  entity roles (``?type=`` and ``?topic=`` refine)
+``POST /v1/batch``      JSON array of ``{"op": ..., "args": {...}}``
+=====================  ======================================================
+
+Operational behavior:
+
+* every request is timed and counted in the server's own
+  :class:`~repro.obs.MetricsRegistry` (``serve.http.*``) — always on, so
+  ``/metrics`` works without global observability — and mirrored into the
+  process-wide registry when :func:`repro.obs.configure` enabled it;
+* a per-connection read timeout drops clients that stall mid-request
+  instead of pinning a handler thread forever;
+* :meth:`ModelServer.install_signal_handlers` arranges a graceful
+  shutdown on SIGTERM (and SIGINT): in-flight requests finish, the
+  listening socket closes, and ``serve_forever`` returns.
+
+Typed library errors map to JSON error responses: unknown topics and
+entities (:class:`~repro.errors.DataError`) give 404, invalid parameters
+(:class:`~repro.errors.ConfigurationError`) give 400, and anything
+unexpected gives a 500 with the exception logged, never a dropped
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+from ..errors import ConfigurationError, DataError
+from ..obs import MetricsRegistry, get_logger, inc, observe
+from .engine import ModelQueryEngine
+
+__all__ = ["ModelServer"]
+
+logger = get_logger("serve.http")
+
+
+def _int_param(params: Dict[str, list], name: str, default: int) -> int:
+    values = params.get(name)
+    if not values or values[0] == "":
+        return default
+    try:
+        return int(values[0])
+    except ValueError:
+        raise ConfigurationError(
+            f"query parameter {name!r} must be an integer: "
+            f"{values[0]!r}") from None
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the engine and answers in JSON."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------ plumbing
+    def setup(self) -> None:
+        # Read timeout: a client that stalls mid-request is disconnected
+        # instead of occupying a handler thread indefinitely.  Must be in
+        # place before setup() so the socket timeout is applied.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------- methods
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        server: "_EngineServer" = self.server
+        start = time.perf_counter()
+        endpoint = "unknown"
+        try:
+            status, payload, endpoint = self._route(method)
+        except DataError as exc:
+            status, payload = 404, {"error": str(exc)}
+        except (ConfigurationError, ValueError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except BrokenPipeError:  # client went away mid-answer
+            self.close_connection = True
+            return
+        except Exception as exc:  # noqa: BLE001 - must answer, not drop
+            logger.error("unhandled error serving %s: %r", self.path, exc)
+            status, payload = 500, {"error": f"internal error: {exc!r}"}
+        try:
+            self._send_json(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return
+        finally:
+            elapsed = time.perf_counter() - start
+            server.record_request(endpoint, status, elapsed)
+
+    # ------------------------------------------------------------- routing
+    def _route(self, method: str) -> Tuple[int, Any, str]:
+        server: "_EngineServer" = self.server
+        engine = server.engine
+        parsed = urlparse(self.path)
+        parts = [unquote(part) for part in parsed.path.strip("/").split("/")
+                 if part != ""]
+        # keep_blank_values: "?q=" is an explicit (match-all) query, not
+        # a missing parameter.
+        params = parse_qs(parsed.query, keep_blank_values=True)
+
+        if parts == ["healthz"]:
+            return 200, {"status": "ok",
+                         "uptime_s": time.time() - server.started_unix,
+                         "num_topics":
+                             engine.model.manifest["num_topics"]}, "healthz"
+        if parts == ["metrics"]:
+            return 200, server.metrics_payload(), "metrics"
+        if len(parts) >= 1 and parts[0] == "v1":
+            if method == "POST":
+                if parts == ["v1", "batch"]:
+                    return 200, engine.batch(self._read_json_body()), "batch"
+                raise DataError(f"no POST endpoint at {parsed.path!r}")
+            if parts == ["v1", "model"]:
+                return 200, engine.model_info(), "model"
+            if len(parts) >= 3 and parts[1] == "topics":
+                notation = "/".join(parts[2:])
+                return 200, engine.topic(
+                    notation,
+                    max_phrases=_int_param(params, "phrases", 10),
+                    max_entities=_int_param(params, "entities", 5),
+                    max_terms=_int_param(params, "terms", 10)), "topics"
+            if parts == ["v1", "search"]:
+                query = params.get("q")
+                if not query:
+                    raise ConfigurationError(
+                        "search requires a 'q' query parameter")
+                mode = params.get("mode", ["prefix"])[0]
+                return 200, engine.search_phrases(
+                    query[0], mode=mode,
+                    limit=_int_param(params, "limit", 10)), "search"
+            if len(parts) >= 3 and parts[1] == "entities":
+                name = "/".join(parts[2:])
+                entity_type = params.get("type", [None])[0]
+                topic = params.get("topic", ["o"])[0]
+                return 200, engine.entity_roles(
+                    name, entity_type=entity_type, topic=topic), "entities"
+        raise DataError(f"no endpoint at {parsed.path!r}")
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ConfigurationError("request body required")
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"request body is not valid JSON: {exc}") from exc
+
+
+class _EngineServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the engine and per-server metrics."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], engine: ModelQueryEngine,
+                 request_timeout: float) -> None:
+        super().__init__(address, _RequestHandler)
+        self.engine = engine
+        self.request_timeout = request_timeout
+        self.registry = MetricsRegistry()
+        self.started_unix = time.time()
+
+    def record_request(self, endpoint: str, status: int,
+                       elapsed: float) -> None:
+        self.registry.inc("serve.http.requests")
+        self.registry.inc(f"serve.http.status.{status}")
+        self.registry.observe("serve.http.latency", elapsed)
+        self.registry.observe(f"serve.http.{endpoint}.latency", elapsed)
+        # Mirror into the global registry for run reports (no-op unless
+        # observability is configured).
+        inc("serve.http.requests")
+        inc(f"serve.http.status.{status}")
+        observe("serve.http.latency", elapsed)
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        return {
+            "uptime_s": time.time() - self.started_unix,
+            "server": self.registry.snapshot(),
+            "cache": self.engine.cache_info(),
+        }
+
+
+class ModelServer:
+    """Lifecycle wrapper around the threaded HTTP server.
+
+    Usage (blocking, as the CLI does)::
+
+        server = ModelServer(engine, host="0.0.0.0", port=8080)
+        server.install_signal_handlers()     # SIGTERM -> graceful stop
+        server.serve_forever()
+
+    or non-blocking (as the tests do)::
+
+        with ModelServer(engine, port=0) as server:   # ephemeral port
+            server.start()
+            url = f"http://{server.host}:{server.port}/healthz"
+    """
+
+    def __init__(self, engine: ModelQueryEngine, host: str = "127.0.0.1",
+                 port: int = 8080, request_timeout: float = 30.0) -> None:
+        if request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive")
+        self._httpd = _EngineServer((host, port), engine, request_timeout)
+        self._thread: Optional[threading.Thread] = None
+        self._previous_handlers: Dict[int, Any] = {}
+        self._started = False
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def engine(self) -> ModelQueryEngine:
+        return self._httpd.engine
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The server-local metrics registry backing ``/metrics``."""
+        return self._httpd.registry
+
+    # ------------------------------------------------------------ lifecycle
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` is called (blocking)."""
+        logger.info("serving model on %s:%d", self.host, self.port)
+        self._started = True
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ModelServer":
+        """Serve from a background thread (returns immediately)."""
+        if self._thread is not None:
+            return self
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and let ``serve_forever`` return.
+
+        A no-op when the server never started serving (calling the
+        underlying ``shutdown`` then would block forever waiting for a
+        serve loop that never ran).
+        """
+        if self._started:
+            self._httpd.shutdown()
+            self._started = False
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self) -> None:
+        """Release the listening socket (after shutdown)."""
+        self.restore_signal_handlers()
+        self._httpd.server_close()
+
+    def install_signal_handlers(self,
+                                signals: Tuple[int, ...] = (signal.SIGTERM,
+                                                            signal.SIGINT),
+                                ) -> None:
+        """Trigger a graceful shutdown when one of ``signals`` arrives.
+
+        ``shutdown`` must not run on the thread blocked in
+        ``serve_forever`` (it would deadlock waiting for the serve loop
+        to exit), and signal handlers run on the main thread — so the
+        handler hands the shutdown to a short-lived helper thread.
+        """
+        def _handler(signum, frame):  # noqa: ARG001 - signal signature
+            logger.info("signal %d: shutting down gracefully", signum)
+            threading.Thread(target=self._httpd.shutdown,
+                             name="repro-serve-shutdown",
+                             daemon=True).start()
+
+        for signum in signals:
+            self._previous_handlers[signum] = signal.signal(signum, _handler)
+
+    def restore_signal_handlers(self) -> None:
+        """Reinstate the handlers replaced by :meth:`install_signal_handlers`."""
+        while self._previous_handlers:
+            signum, handler = self._previous_handlers.popitem()
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # not on the main thread
+                pass
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.shutdown()
+        finally:
+            self.close()

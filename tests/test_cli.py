@@ -149,3 +149,44 @@ class TestStrod:
         code = main(["strod", dataset_path, "--topics", "3", "--sparse"])
         assert code == 0
         assert capsys.readouterr().out.count("alpha=") == 3
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        from repro import get_version
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {get_version()}"
+
+
+class TestExportModel:
+    def test_writes_loadable_artifact(self, dataset_path, tmp_path, capsys):
+        from repro.serve import MODEL_SCHEMA, ModelQueryEngine, load_model
+        out = tmp_path / "model.json"
+        code = main(["export-model", dataset_path, "-o", str(out),
+                     "--children", "3", "--seed", "0"])
+        assert code == 0
+        assert "exported" in capsys.readouterr().out
+        model = load_model(str(out))
+        assert model.manifest["schema"] == MODEL_SCHEMA
+        engine = ModelQueryEngine(model)
+        assert engine.top_phrases("o", 3)["phrases"]
+
+    def test_output_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export-model", "ds.json"])
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "model.json"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.cache_size == 1024
+        assert args.request_timeout == 30.0
+
+    def test_serve_missing_model_exits_2(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

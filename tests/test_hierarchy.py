@@ -119,6 +119,31 @@ class TestHierarchy:
         assert "query processing" in text
         assert "SIGMOD" in text
 
+    def test_render_empty_hierarchy_degrades(self):
+        text = TopicalHierarchy().render()
+        assert text == "[o] (no ranked phrases)"
+
+    def test_render_undecorated_nodes_get_placeholder(self, small_tree):
+        hierarchy, _, b = small_tree
+        lines = hierarchy.render().splitlines()
+        # b mined no phrases, terms, or entities; its line still renders.
+        b_line = next(line for line in lines
+                      if line.strip().startswith(f"[{b.notation}]"))
+        assert "(no ranked phrases)" in b_line
+        assert not b_line.endswith(" ")
+
+    def test_render_falls_back_to_terms(self, small_tree):
+        hierarchy, a, _ = small_tree
+        a.phrases = []
+        text = hierarchy.render()
+        assert "query" in text  # phi["term"] fallback
+        assert "(no ranked phrases)" not in text.splitlines()[1]
+
+    def test_render_negative_max_phrases_clamped(self, small_tree):
+        hierarchy, _, _ = small_tree
+        text = hierarchy.render(max_phrases=-3)
+        assert "(no ranked phrases)" in text  # no crash, placeholder line
+
     def test_root_must_have_empty_path(self):
         with pytest.raises(DataError):
             TopicalHierarchy(root=Topic(path=(0,)))

@@ -226,6 +226,93 @@ class TestCheckpointProtocol:
         assert (tmp_path / "ckpts" / "fit.ckpt").exists()
 
 
+class TestCheckpointHistory:
+    def test_default_keeps_all_superseded(self, tmp_path):
+        writer = CheckpointWriter(str(tmp_path / "fit.ckpt"), "solver.x")
+        for iteration in range(5):
+            writer.save(iteration, {"iteration": iteration})
+        history = writer.history_paths()
+        assert len(history) == 4  # iterations 0..3; 4 is the live file
+        assert writer.load()["iteration"] == 4
+
+    def test_history_files_are_valid_checkpoints(self, tmp_path):
+        writer = CheckpointWriter(str(tmp_path / "fit.ckpt"), "solver.x")
+        for iteration in range(3):
+            writer.save(iteration, {"iteration": iteration})
+        iterations = [load_checkpoint(path)["iteration"]
+                      for path in writer.history_paths()]
+        assert iterations == [0, 1]  # oldest first
+
+    def test_keep_last_zero_keeps_no_history(self, tmp_path):
+        writer = CheckpointWriter(str(tmp_path / "fit.ckpt"), "solver.x",
+                                  keep_last=0)
+        for iteration in range(5):
+            writer.save(iteration, {"iteration": iteration})
+        assert writer.history_paths() == []
+        assert os.listdir(tmp_path) == ["fit.ckpt"]
+        assert writer.load()["iteration"] == 4
+
+    def test_keep_last_prunes_to_newest(self, tmp_path):
+        writer = CheckpointWriter(str(tmp_path / "fit.ckpt"), "solver.x",
+                                  keep_last=2)
+        for iteration in range(6):
+            writer.save(iteration, {"iteration": iteration})
+        history = writer.history_paths()
+        assert [load_checkpoint(p)["iteration"] for p in history] == [3, 4]
+        assert writer.load()["iteration"] == 5
+
+    def test_negative_keep_last_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="keep_last"):
+            CheckpointWriter(str(tmp_path / "fit.ckpt"), "solver.x",
+                             keep_last=-1)
+
+    def test_clear_removes_history_too(self, tmp_path):
+        writer = CheckpointWriter(str(tmp_path / "fit.ckpt"), "solver.x")
+        for iteration in range(4):
+            writer.save(iteration, {"iteration": iteration})
+        writer.clear()
+        assert os.listdir(tmp_path) == []
+
+    def test_fresh_writer_over_existing_file_stays_monotone(self, tmp_path):
+        path = str(tmp_path / "fit.ckpt")
+        first = CheckpointWriter(path, "solver.x")
+        for iteration in range(3):
+            first.save(iteration, {"iteration": iteration})
+        # A new writer that never loaded does not know the live file's
+        # iteration; its archive stamp must still sort after the rest.
+        second = CheckpointWriter(path, "solver.x")
+        second.save(9, {"iteration": 9})
+        history = second.history_paths()
+        assert [load_checkpoint(p)["iteration"] for p in history[:2]] == \
+            [0, 1]
+        assert load_checkpoint(history[-1])["iteration"] == 2
+
+    def test_checkpoint_in_threads_keep_last(self, tmp_path):
+        writer = checkpoint_in(str(tmp_path), "fit", "solver.x",
+                               keep_last=1)
+        for iteration in range(4):
+            writer.save(iteration, {"iteration": iteration})
+        assert len(writer.history_paths()) == 1
+
+    def test_prune_then_resume(self, term_network, tmp_path):
+        """Pruned history never breaks resume: the live file is enough."""
+        reference = CathyEM(num_topics=2, seed=0).fit(term_network)
+        path = str(tmp_path / "em.ckpt")
+        crasher = CrashingCheckpoint(path, "cathy.em", crash_after=3,
+                                     keep_last=1)
+        with pytest.raises(FaultInjected):
+            CathyEM(num_topics=2, seed=0, checkpoint=crasher).fit(
+                term_network)
+        assert len(crasher.history_paths()) <= 1
+        resumed = CathyEM(
+            num_topics=2, seed=0,
+            checkpoint=CheckpointWriter(path, "cathy.em", keep_last=1),
+            resume=True).fit(term_network)
+        assert np.array_equal(resumed.phi, reference.phi)
+        assert resumed.log_likelihood == reference.log_likelihood
+
+
 # ------------------------------------------------- kill/resume per solver
 class TestKillResumeEquivalence:
     def test_cathy_em(self, term_network, tmp_path):

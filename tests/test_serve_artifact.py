@@ -1,0 +1,174 @@
+"""Model-artifact round trips and corruption rejection (repro.serve)."""
+
+import json
+
+import pytest
+
+from repro import get_version
+from repro.core import LatentEntityMiner, MinerConfig
+from repro.corpus import Corpus
+from repro.errors import DataError
+from repro.serve import (MODEL_SCHEMA, ModelQueryEngine, ServedModel,
+                         load_model, save_model, vocabulary_hash)
+
+from .conftest import TINY_ENTITIES, TINY_LABELS, TINY_TEXTS
+from .faults import truncate_file
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A fitted tiny-corpus pipeline shared by the serve suites."""
+    corpus = Corpus.from_texts(TINY_TEXTS, entities=TINY_ENTITIES,
+                               labels=TINY_LABELS)
+    miner = LatentEntityMiner(
+        MinerConfig(num_children=2, max_depth=1, min_support=2), seed=0)
+    return miner, miner.fit(corpus)
+
+
+@pytest.fixture
+def artifact_path(fitted, tmp_path):
+    miner, result = fitted
+    path = str(tmp_path / "model.json")
+    miner.save_model(result, path)
+    return path
+
+
+class TestManifest:
+    def test_save_returns_manifest(self, fitted, tmp_path):
+        miner, result = fitted
+        manifest = miner.save_model(result, str(tmp_path / "m.json"))
+        assert manifest["schema"] == MODEL_SCHEMA
+        assert manifest["num_topics"] == result.hierarchy.num_topics
+        assert manifest["num_documents"] == len(result.corpus)
+        assert manifest["entity_types"] == ["author", "venue"]
+
+    def test_version_stamped(self, fitted, tmp_path):
+        miner, result = fitted
+        manifest = miner.save_model(result, str(tmp_path / "m.json"))
+        assert manifest["repro_version"] == get_version()
+
+    def test_config_fingerprint_recorded(self, fitted, tmp_path):
+        miner, result = fitted
+        manifest = miner.save_model(result, str(tmp_path / "m.json"))
+        assert manifest["config"]["num_children"] == 2
+        assert manifest["config"]["max_depth"] == 1
+
+    def test_vocab_hash_matches_corpus(self, fitted, artifact_path):
+        _, result = fitted
+        model = load_model(artifact_path)
+        assert model.manifest["vocab_hash"] == \
+            vocabulary_hash(result.corpus.vocabulary)
+
+    def test_vocab_hash_is_order_sensitive(self):
+        assert vocabulary_hash(["a", "b"]) != vocabulary_hash(["b", "a"])
+
+
+class TestRoundTrip:
+    def test_hierarchy_reconstructed(self, fitted, artifact_path):
+        _, result = fitted
+        model = load_model(artifact_path)
+        hierarchy = model.hierarchy()
+        assert hierarchy.num_topics == result.hierarchy.num_topics
+        for topic in hierarchy.topics():
+            original = result.hierarchy.topic(topic.path)
+            assert topic.notation == original.notation
+            assert [p for p, _ in topic.phrases] == \
+                [p for p, _ in original.phrases]
+
+    def test_query_results_byte_identical(self, fitted, artifact_path):
+        """Every engine answer from disk equals the in-memory answer."""
+        miner, result = fitted
+        from_disk = ModelQueryEngine(load_model(artifact_path))
+        from_memory = ModelQueryEngine.from_result(
+            result, config=miner._artifact_config())
+        for notation in [t.notation for t in result.hierarchy.topics()]:
+            for a, b in [
+                (from_disk.topic(notation), from_memory.topic(notation)),
+                (from_disk.children(notation),
+                 from_memory.children(notation)),
+                (from_disk.top_phrases(notation, 5),
+                 from_memory.top_phrases(notation, 5)),
+            ]:
+                assert json.dumps(a, sort_keys=True) == \
+                    json.dumps(b, sort_keys=True)
+
+    def test_double_save_identical_payload(self, fitted, tmp_path):
+        miner, result = fitted
+        first, second = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        miner.save_model(result, first)
+        miner.save_model(result, second)
+        with open(first) as f_a, open(second) as f_b:
+            doc_a, doc_b = json.load(f_a), json.load(f_b)
+        assert doc_a["model"] == doc_b["model"]
+        assert doc_a["manifest"]["payload_crc32"] == \
+            doc_b["manifest"]["payload_crc32"]
+
+    def test_from_result_equals_loaded(self, fitted, artifact_path):
+        miner, result = fitted
+        in_memory = ServedModel.from_result(
+            result, config=miner._artifact_config())
+        on_disk = load_model(artifact_path)
+        assert in_memory.model == on_disk.model
+
+
+class TestRejection:
+    def test_truncated_file_rejected(self, artifact_path):
+        truncate_file(artifact_path, 200)
+        with pytest.raises(DataError, match="truncated|not JSON|missing"):
+            load_model(artifact_path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.json")
+        with open(path, "w") as handle:
+            handle.write("this is not a model")
+        with pytest.raises(DataError, match="not a valid model artifact"):
+            load_model(path)
+
+    def test_wrong_schema_version_rejected(self, artifact_path):
+        with open(artifact_path) as handle:
+            document = json.load(handle)
+        document["schema"] = "repro.serve/model/v999"
+        with open(artifact_path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(DataError, match="unsupported model schema"):
+            load_model(artifact_path)
+
+    def test_manifest_schema_mismatch_rejected(self, artifact_path):
+        with open(artifact_path) as handle:
+            document = json.load(handle)
+        document["manifest"]["schema"] = "repro.serve/model/v0"
+        with open(artifact_path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(DataError, match="unsupported model schema"):
+            load_model(artifact_path)
+
+    def test_payload_corruption_rejected(self, artifact_path):
+        with open(artifact_path) as handle:
+            document = json.load(handle)
+        document["model"]["hierarchy"]["rho"] = 0.123456789
+        with open(artifact_path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(DataError, match="checksum mismatch"):
+            load_model(artifact_path)
+
+    def test_vocab_hash_mismatch_rejected(self, artifact_path):
+        with open(artifact_path) as handle:
+            document = json.load(handle)
+        document["manifest"]["vocab_hash"] = "sha256:" + "0" * 64
+        with open(artifact_path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(DataError, match="vocabulary hash mismatch"):
+            load_model(artifact_path)
+
+    def test_missing_manifest_field_rejected(self, artifact_path):
+        with open(artifact_path) as handle:
+            document = json.load(handle)
+        del document["manifest"]["payload_crc32"]
+        with open(artifact_path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(DataError, match="missing field"):
+            load_model(artifact_path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_model(str(tmp_path / "does-not-exist.json"))

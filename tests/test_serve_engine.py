@@ -1,0 +1,184 @@
+"""ModelQueryEngine: indexes, cache, batch, and search semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.obs import get_registry
+from repro.serve import ModelQueryEngine
+
+from .test_serve_artifact import fitted  # noqa: F401 - shared fixture
+
+
+@pytest.fixture()
+def engine(fitted):  # noqa: F811 - pytest fixture injection
+    miner, result = fitted
+    return ModelQueryEngine.from_result(result,
+                                        config=miner._artifact_config())
+
+
+class TestQueries:
+    def test_model_info_stats(self, engine, fitted):  # noqa: F811
+        _, result = fitted
+        info = engine.model_info()
+        assert info["stats"]["num_topics"] == result.hierarchy.num_topics
+        assert info["stats"]["height"] == result.hierarchy.height
+        assert info["stats"]["width"] == result.hierarchy.width
+        assert info["stats"]["entity_types"] == ["author", "venue"]
+
+    def test_topic_matches_hierarchy(self, engine, fitted):  # noqa: F811
+        _, result = fitted
+        for topic in result.hierarchy.topics():
+            answer = engine.topic(topic.notation, max_phrases=3)
+            assert answer["topic"] == topic.notation
+            assert answer["rho"] == pytest.approx(topic.rho)
+            assert [p for p, _ in answer["phrases"]] == \
+                topic.top_phrases(3)
+            assert answer["children"] == \
+                [c.notation for c in topic.children]
+
+    def test_topic_clamps_short_phrase_lists(self, engine):
+        answer = engine.topic("o/1", max_phrases=10_000)
+        assert len(answer["phrases"]) == answer["num_phrases"]
+
+    def test_children_summaries(self, engine, fitted):  # noqa: F811
+        _, result = fitted
+        answer = engine.children("o")
+        assert [c["topic"] for c in answer["children"]] == \
+            [c.notation for c in result.hierarchy.root.children]
+        for child in answer["children"]:
+            assert child["label"]
+
+    def test_unknown_topic_raises_data_error(self, engine):
+        with pytest.raises(DataError, match="no topic"):
+            engine.topic("o/9/9")
+
+    def test_parent_links(self, engine):
+        assert engine.topic("o")["parent"] is None
+        assert engine.topic("o/1")["parent"] == "o"
+
+    def test_top_phrases_ranked_descending(self, engine):
+        phrases = engine.top_phrases("o/1", k=10)["phrases"]
+        scores = [score for _, score in phrases]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSearch:
+    def test_prefix_search(self, engine):
+        answer = engine.search_phrases("support", mode="prefix")
+        assert answer["num_matches"] >= 1
+        assert all(m["phrase"].startswith("support")
+                   for m in answer["matches"])
+
+    def test_substring_search_superset_of_prefix(self, engine):
+        prefix = engine.search_phrases("vector", mode="prefix")
+        substring = engine.search_phrases("vector", mode="substring")
+        assert substring["num_matches"] >= prefix["num_matches"]
+        assert any("vector" in m["phrase"] for m in substring["matches"])
+
+    def test_search_topics_are_ranked(self, engine):
+        for match in engine.search_phrases("s", mode="prefix",
+                                           limit=50)["matches"]:
+            scores = [score for _, score in match["topics"]]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_no_matches_is_empty_not_error(self, engine):
+        answer = engine.search_phrases("zzz-no-such-phrase")
+        assert answer["num_matches"] == 0
+        assert answer["matches"] == []
+
+    def test_bad_mode_rejected(self, engine):
+        with pytest.raises(ConfigurationError, match="search mode"):
+            engine.search_phrases("x", mode="regex")
+
+    def test_limit_respected(self, engine):
+        answer = engine.search_phrases("", mode="prefix", limit=2)
+        assert len(answer["matches"]) <= 2
+        assert answer["num_matches"] >= len(answer["matches"])
+
+
+class TestEntityRoles:
+    def test_roles_match_analyzer(self, engine, fitted):  # noqa: F811
+        _, result = fitted
+        answer = engine.entity_roles("alice", entity_type="author")
+        expected = result.roles.entity_topic_frequencies("author")["alice"]
+        assert answer["roles"]["author"]["frequencies"] == \
+            pytest.approx(expected)
+        distribution = result.roles.entity_distribution("author", "alice")
+        assert answer["roles"]["author"]["distribution"] == \
+            pytest.approx(distribution)
+
+    def test_all_types_by_default(self, engine):
+        answer = engine.entity_roles("alice")
+        assert set(answer["roles"]) == {"author"}
+
+    def test_unknown_entity_raises(self, engine):
+        with pytest.raises(DataError, match="no entity"):
+            engine.entity_roles("nobody-here")
+
+    def test_unknown_type_raises(self, engine):
+        with pytest.raises(DataError, match="entity type"):
+            engine.entity_roles("alice", entity_type="planet")
+
+
+class TestCache:
+    def test_hits_and_misses_counted(self, fitted):  # noqa: F811
+        miner, result = fitted
+        engine = ModelQueryEngine.from_result(result)
+        engine.top_phrases("o", 5)
+        before = engine.cache_info()
+        assert before["misses"] >= 1 and before["hits"] == 0
+        first = engine.top_phrases("o", 5)
+        second = engine.top_phrases("o", 5)
+        info = engine.cache_info()
+        assert info["hits"] == 2
+        assert first is second  # the cached object is reused
+
+    def test_metrics_registry_mirrors_counters(self, fitted):  # noqa: F811
+        import repro.obs as obs
+
+        _, result = fitted
+        obs.configure(metrics=True)
+        engine = ModelQueryEngine.from_result(result)
+        engine.top_phrases("o", 5)
+        engine.top_phrases("o", 5)
+        registry = get_registry()
+        assert registry.counter("serve.cache.misses") >= 1
+        assert registry.counter("serve.cache.hits") >= 1
+
+    def test_capacity_bounds_cache(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result, cache_size=2)
+        for k in range(10):
+            engine.top_phrases("o", k)
+        assert engine.cache_info()["size"] <= 2
+
+    def test_zero_capacity_disables_cache(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result, cache_size=0)
+        engine.top_phrases("o", 5)
+        engine.top_phrases("o", 5)
+        info = engine.cache_info()
+        assert info["hits"] == 0 and info["size"] == 0
+
+
+class TestBatch:
+    def test_mixed_batch(self, engine):
+        answer = engine.batch([
+            {"op": "top_phrases", "args": {"topic_id": "o", "k": 2}},
+            {"op": "topic", "args": {"topic_id": "o/404"}},
+            {"op": "frobnicate"},
+            {"op": "search_phrases", "args": {"query": "support"}},
+        ])
+        results = answer["results"]
+        assert results[0]["ok"] and len(results[0]["result"]["phrases"]) == 2
+        assert not results[1]["ok"] and results[1]["status"] == 404
+        assert not results[2]["ok"] and results[2]["status"] == 400
+        assert results[3]["ok"]
+
+    def test_bad_args_reported_inband(self, engine):
+        answer = engine.batch([{"op": "topic", "args": {"nope": 1}}])
+        assert answer["results"][0]["status"] == 400
+
+    def test_non_list_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.batch({"op": "topic"})
