@@ -15,12 +15,14 @@ through the subpackages:
 * :mod:`repro.eval` — HPMI, intrusion, nKQM, MI_K, robustness metrics.
 * :mod:`repro.datasets` — synthetic DBLP / NEWS / planted-LDA generators.
 * :mod:`repro.core` — the integrated LatentEntityMiner facade.
+* :mod:`repro.lint` — static enforcement of the codebase's determinism,
+  atomicity, and error-contract invariants (``repro lint``).
 """
 
 from .errors import (ConfigurationError, ConvergenceError, DataError,
                      NotFittedError, ReproError)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",

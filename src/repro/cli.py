@@ -161,6 +161,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def _cmd_phrases(args: argparse.Namespace) -> int:
     from .phrases import ToPMine, ToPMineConfig
 
@@ -329,6 +335,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-connection read timeout")
     serve.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="enforce the codebase's determinism/atomicity/"
+                     "error-contract invariants (rules RL001-RL006)")
+    from .lint.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    # The lint subcommand takes none of the run-telemetry or execution
+    # flags; default them so main()'s shared plumbing stays oblivious.
+    lint.set_defaults(func=_cmd_lint, workers=None, report=None,
+                      trace=None, log_level=None, log_json=False)
     return parser
 
 
@@ -375,6 +391,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.report:
             try:
                 _write_run_report(args)
+            # repro: noqa-RL004  best-effort telemetry flush while the
+            # process is already unwinding from Ctrl-C; a reporting
+            # failure must not mask the interrupt exit status.
             except Exception:
                 pass
         print("repro: interrupted", file=sys.stderr)

@@ -6,6 +6,8 @@ catch a single base class at API boundaries.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -36,6 +38,6 @@ class ExecutionError(ReproError):
         label: the pmap label of the failing map, when known.
     """
 
-    def __init__(self, message: str, label: str = None) -> None:
+    def __init__(self, message: str, label: Optional[str] = None) -> None:
         super().__init__(message)
         self.label = label

@@ -1,0 +1,45 @@
+"""repro.lint — AST-based enforcement of the codebase's own invariants.
+
+PRs 1–4 established the contracts that make this reproduction
+trustworthy at scale: bit-deterministic seeding through
+:mod:`repro.parallel.seeding` (worker-count invariance), atomic-only
+persistence through :mod:`repro.resilience.atomic`, typed error
+surfaces from :mod:`repro.errors`, dotted-lowercase metric names in
+:mod:`repro.obs`, and config-fingerprint-guarded checkpoints.  Every
+one of those contracts is structural — visible in the syntax of the
+code that honors it — so every one of them can be machine-checked
+instead of re-reviewed by eye in each PR.
+
+This package is that check: a stdlib-:mod:`ast` static analyzer that
+walks ``src/`` and ``tests/`` and enforces the invariants as named
+rules (see :mod:`repro.lint.rules` for the catalogue, RL001–RL006).
+Intentional exceptions are declared in-line with a pragma that must
+carry a reason::
+
+    with open(path, "a") as handle:  # repro: noqa-RL003  append-only stream
+
+Run it as ``repro lint`` or ``python -m repro.lint``; ``--format json``
+emits a stable ``repro.lint/report/v1`` document for tooling (schema in
+:mod:`repro.lint.report`).  Exit status: 0 clean, 1 violations found,
+2 usage error.
+"""
+
+from .engine import FileContext, LintResult, lint_file, lint_paths
+from .report import REPORT_SCHEMA, render_human, render_json, to_document
+from .rules import RULES, PRAGMA_RE, Rule, Violation, rule_catalogue
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "PRAGMA_RE",
+    "REPORT_SCHEMA",
+    "RULES",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "render_human",
+    "render_json",
+    "rule_catalogue",
+    "to_document",
+]

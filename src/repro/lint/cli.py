@@ -1,0 +1,83 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.lint``.
+
+Exit status: 0 when the tree is clean, 1 when violations survive
+suppression, 2 on a usage error (unknown path, bad flag) — mirroring
+the wider CLI's "2 means you, not the code" convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from .engine import lint_paths
+from .report import render_human, render_json
+from .rules import RULES
+
+__all__ = ["add_lint_arguments", "main", "run"]
+
+#: Default lint targets when none are given (must exist under --root).
+DEFAULT_PATHS = ("src", "tests")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint flags on ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint, relative to --root "
+             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repository root the rule path scopes are anchored at "
+             "(default: current directory)")
+    parser.add_argument(
+        "--format", dest="fmt", default="human",
+        choices=["human", "json"],
+        help="human-readable text or the stable repro.lint/report/v1 "
+             "JSON document")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+
+
+def _list_rules() -> int:
+    for rule in RULES:
+        print(f"{rule.id}  {rule.title}")
+        print(f"       guards: {rule.guards}")
+    print("RL000  pragma hygiene")
+    print("       guards: suppressions stay justified and live")
+    return 0
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        return _list_rules()
+    paths = args.paths or list(DEFAULT_PATHS)
+    try:
+        result = lint_paths(paths, root=args.root)
+    except (ReproError, OSError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        sys.stdout.write(render_human(result))
+    return 0 if result.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Stand-alone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Enforce the repro codebase's determinism, "
+                    "atomicity, and error-contract invariants "
+                    "(rules RL001-RL006).")
+    add_lint_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,350 @@
+"""The lint engine: file discovery, import resolution, pragma handling.
+
+One file is linted in three steps: parse it once, hand the parsed
+:class:`FileContext` to every rule whose path scope covers it, then
+apply the file's suppression pragmas to the raw hits.  Pragmas are
+line-anchored (``# repro: noqa-RL003  reason`` on the flagged line) and
+audited by the implicit RL000 hygiene rule: a pragma with an unknown
+rule id, a missing reason, or nothing to suppress is itself reported,
+so the suppression inventory in a report is always live and justified.
+
+Name resolution is import-based: ``np.random.seed`` resolves to
+``numpy.random.seed`` because the file said ``import numpy as np``, and
+a relative ``from ..obs import inc`` resolves against the module path
+derived from the file's location under ``src/``.  Local variables that
+shadow an imported name are not tracked — the linter is a contract
+checker for this codebase's idioms, not a full type analysis — which in
+practice only ever errs on the side of flagging.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .rules import PRAGMA_RE, RULES, Rule, Violation
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "Pragma",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+]
+
+
+@dataclass
+class Pragma:
+    """One ``repro: noqa`` suppression comment.
+
+    ``line`` is where the comment sits; ``anchor`` is the code line it
+    suppresses — the same line for a trailing comment, the next code
+    line for a comment standing on its own (the form long statements
+    need).
+    """
+
+    path: str
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+    anchor: int = 0
+    used: int = 0
+
+
+def module_name_of(path: str) -> Optional[str]:
+    """Dotted module path for a root-relative file path.
+
+    ``src/repro/phrases/topmine.py`` → ``repro.phrases.topmine``;
+    package ``__init__.py`` files map to the package itself.  Files
+    outside a recognizable layout (scripts, fixtures) return None and
+    simply get no relative-import resolution.
+    """
+    if not path.endswith(".py"):
+        return None
+    parts = path[:-3].split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(part.isidentifier() for part in parts):
+        return None
+    return ".".join(parts)
+
+
+class FileContext:
+    """One parsed file plus everything the rules need to query it.
+
+    Attributes:
+        path: root-relative POSIX path (the scoping and report key).
+        tree: the parsed AST.
+        lines: raw source lines (pragma scanning, snippets).
+        module: dotted module path when derivable from the layout.
+    """
+
+    def __init__(self, path: str, source: str,
+                 module: Optional[str] = None) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.module = module if module is not None else module_name_of(path)
+        self.tree = ast.parse(source, filename=path)
+        self._imports = self._collect_imports()
+        self._nodes: Optional[List[ast.AST]] = None
+
+    # --------------------------------------------------------------- queries
+    def walk(self) -> Iterator[ast.AST]:
+        """Every AST node, cached so each rule pays one traversal cost."""
+        if self._nodes is None:
+            self._nodes = list(ast.walk(self.tree))
+        return iter(self._nodes)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified dotted name of an attribute chain, if imported.
+
+        ``np.random.seed`` → ``"numpy.random.seed"`` under
+        ``import numpy as np``; unresolvable expressions return None.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._imports.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        parts.reverse()
+        return ".".join(parts)
+
+    def snippet(self, line: int) -> str:
+        """The source line at 1-based ``line`` (empty when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    # --------------------------------------------------------------- pragmas
+    def pragmas(self) -> List[Pragma]:
+        """Every suppression pragma in the file, in line order.
+
+        Pragmas are extracted from real ``COMMENT`` tokens, not raw
+        lines, so a docstring that merely *mentions* the pragma syntax
+        (this engine's own documentation, for one) is never mistaken
+        for a suppression.  A trailing pragma anchors to its own line;
+        a pragma that is the whole line anchors to the next code line,
+        skipping blank and pure-comment lines.
+        """
+        found = []
+        source = "\n".join(self.lines) + "\n"
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [(tok.start, tok.string) for tok in tokens
+                        if tok.type == tokenize.COMMENT]
+        except (tokenize.TokenError, IndentationError):
+            return []
+        comment_lines = {start[0] for start, _ in comments}
+        for (lineno, col), text in comments:
+            match = PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            ids = tuple(part.strip()
+                        for part in match.group(1).split(","))
+            standalone = not self.lines[lineno - 1][:col].strip()
+            anchor = lineno
+            if standalone:
+                anchor = self._next_code_line(lineno, comment_lines)
+            found.append(Pragma(self.path, lineno, ids,
+                                match.group(2).strip(), anchor=anchor))
+        return found
+
+    def _next_code_line(self, lineno: int, comment_lines: set) -> int:
+        """First line after ``lineno`` holding code (fallback: itself)."""
+        for candidate in range(lineno + 1, len(self.lines) + 1):
+            if candidate in comment_lines:
+                continue
+            if self.lines[candidate - 1].strip():
+                return candidate
+        return lineno
+
+    # --------------------------------------------------------------- imports
+    def _collect_imports(self) -> Dict[str, str]:
+        """Local binding → fully qualified module/attribute path."""
+        bindings: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    bindings[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    bindings[local] = f"{base}.{alias.name}"
+        return bindings
+
+    def _resolve_from(self, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute module a ``from X import ...`` statement names."""
+        if node.level == 0:
+            return node.module
+        if self.module is None:
+            return None
+        package = self.module.split(".")
+        is_package = self.path.endswith("__init__.py")
+        # level=1 targets the file's own package; each further dot climbs.
+        climb = node.level - 1 if is_package else node.level
+        if climb >= len(package) + (1 if is_package else 0):
+            return None
+        base = package[:len(package) - climb] if climb else package
+        if not base:
+            return None
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of paths."""
+
+    root: str
+    paths: List[str]
+    files: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    pragmas: List[Pragma] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no violation survived suppression."""
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Surviving violation count per rule id (only non-zero rules)."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+
+def _hygiene(pragmas: List[Pragma], known_ids: Sequence[str],
+             ) -> List[Violation]:
+    """RL000 audit: every pragma must be well-formed and earn its keep."""
+    problems = []
+    for pragma in pragmas:
+        unknown = [rid for rid in pragma.rule_ids if rid not in known_ids]
+        if unknown:
+            problems.append(Violation(
+                "RL000", pragma.path, pragma.line, 0,
+                f"pragma names unknown rule(s) {', '.join(unknown)}"))
+        if not pragma.reason:
+            problems.append(Violation(
+                "RL000", pragma.path, pragma.line, 0,
+                "pragma has no reason; write '# repro: noqa-RLxxx  why'"))
+        elif not unknown and pragma.used == 0:
+            problems.append(Violation(
+                "RL000", pragma.path, pragma.line, 0,
+                "pragma suppresses nothing on this line; remove it"))
+    return problems
+
+
+def lint_file(path: str, source: str,
+              rules: Optional[Sequence[Rule]] = None,
+              ) -> Tuple[List[Violation], List[Violation], List[Pragma]]:
+    """Lint one file; returns (violations, suppressed, pragmas).
+
+    A file that fails to parse yields a single RL000 violation at the
+    offending line rather than aborting the run — a syntax error in one
+    file must not hide violations in the rest of the tree.
+    """
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return ([Violation("RL000", path, exc.lineno or 1, 0,
+                           f"file does not parse: {exc.msg}")], [], [])
+    active = list(RULES if rules is None else rules)
+    hits: List[Violation] = []
+    for rule in active:
+        if rule.applies_to(path):
+            hits.extend(rule.check(ctx))
+    pragmas = ctx.pragmas()
+    by_line: Dict[int, List[Pragma]] = {}
+    for pragma in pragmas:
+        by_line.setdefault(pragma.anchor, []).append(pragma)
+
+    surviving: List[Violation] = []
+    suppressed: List[Violation] = []
+    for violation in hits:
+        matched = None
+        for pragma in by_line.get(violation.line, ()):
+            if violation.rule in pragma.rule_ids and pragma.reason:
+                matched = pragma
+                break
+        if matched is not None:
+            matched.used += 1
+            suppressed.append(violation)
+        else:
+            surviving.append(violation)
+    known_ids = [rule.id for rule in active] + ["RL000"]
+    surviving.extend(_hygiene(pragmas, known_ids))
+    return surviving, suppressed, pragmas
+
+
+def collect_files(root: str, paths: Sequence[str]) -> List[str]:
+    """Root-relative POSIX paths of every ``.py`` file under ``paths``.
+
+    Each entry may be a file or a directory (searched recursively,
+    ``__pycache__`` and hidden directories skipped).  Order is sorted
+    and deterministic.
+    """
+    found = set()
+    for entry in paths:
+        absolute = os.path.join(root, entry)
+        if os.path.isfile(absolute):
+            found.add(os.path.relpath(absolute, root))
+            continue
+        if not os.path.isdir(absolute):
+            raise ConfigurationError(
+                f"lint path {entry!r} does not exist under {root!r}")
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(
+                name for name in dirnames
+                if name != "__pycache__" and not name.startswith("."))
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.add(os.path.relpath(
+                        os.path.join(dirpath, filename), root))
+    return sorted(path.replace(os.sep, "/") for path in found)
+
+
+def lint_paths(paths: Sequence[str], root: str = ".",
+               rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint every Python file under ``paths`` (relative to ``root``).
+
+    Raises:
+        ConfigurationError: when a requested path does not exist.
+    """
+    root = os.path.abspath(root)
+    result = LintResult(root=root, paths=list(paths))
+    active = list(RULES if rules is None else rules)
+    for path in collect_files(root, paths):
+        with open(os.path.join(root, path), "rb") as handle:
+            source = handle.read().decode("utf-8")
+        violations, suppressed, pragmas = lint_file(path, source,
+                                                    rules=active)
+        result.files.append(path)
+        result.violations.extend(violations)
+        result.suppressed.extend(suppressed)
+        result.pragmas.extend(pragmas)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result

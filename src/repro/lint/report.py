@@ -1,0 +1,124 @@
+"""Lint reporters: human-readable text and the stable JSON document.
+
+The JSON form carries the ``repro.lint/report/v1`` schema tag, matching
+the library's other versioned artifacts (run reports, checkpoints,
+model manifests).  Its shape is a compatibility contract — tooling
+diffs rule counts across commits — so fields are only ever *added*
+under this schema id, never renamed or removed:
+
+.. code-block:: json
+
+    {"schema": "repro.lint/report/v1",
+     "repro_version": "1.2.0",
+     "root": "/abs/path",
+     "paths": ["src", "tests"],
+     "files_scanned": 142,
+     "clean": true,
+     "rules": {"RL001": {"title": "...", "guards": "...",
+                         "violations": 0, "suppressed": 0}},
+     "violations": [{"rule": "RL003", "file": "src/...", "line": 9,
+                     "col": 4, "message": "..."}],
+     "suppressions": [{"rules": ["RL003"], "file": "src/...",
+                       "line": 195, "reason": "...", "used": 1}],
+     "summary": {"violations": 0, "suppressions": 3,
+                 "suppressed_hits": 3}}
+
+``rules`` always lists the full catalogue (zero counts included) plus
+an ``RL000`` entry when pragma-hygiene problems were found, so a diff
+between two reports never confuses "rule removed" with "count zero".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .engine import LintResult
+from .rules import RULES
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "render_human",
+    "render_json",
+    "to_document",
+]
+
+REPORT_SCHEMA = "repro.lint/report/v1"
+
+
+def to_document(result: LintResult) -> Dict[str, Any]:
+    """The ``repro.lint/report/v1`` document for one lint run."""
+    from .. import get_version
+
+    by_rule = result.counts_by_rule()
+    suppressed_by_rule: Dict[str, int] = {}
+    for violation in result.suppressed:
+        suppressed_by_rule[violation.rule] = \
+            suppressed_by_rule.get(violation.rule, 0) + 1
+    rules = {
+        rule.id: {
+            "title": rule.title,
+            "guards": rule.guards,
+            "violations": by_rule.get(rule.id, 0),
+            "suppressed": suppressed_by_rule.get(rule.id, 0),
+        }
+        for rule in RULES
+    }
+    if by_rule.get("RL000"):
+        rules["RL000"] = {
+            "title": "pragma hygiene",
+            "guards": "suppressions stay justified and live",
+            "violations": by_rule["RL000"],
+            "suppressed": 0,
+        }
+    return {
+        "schema": REPORT_SCHEMA,
+        "repro_version": get_version(),
+        "root": result.root,
+        "paths": list(result.paths),
+        "files_scanned": len(result.files),
+        "clean": result.clean,
+        "rules": rules,
+        "violations": [
+            {"rule": v.rule, "file": v.path, "line": v.line, "col": v.col,
+             "message": v.message}
+            for v in result.violations
+        ],
+        "suppressions": [
+            {"rules": list(p.rule_ids), "file": p.path, "line": p.line,
+             "reason": p.reason, "used": p.used}
+            for p in result.pragmas
+        ],
+        "summary": {
+            "violations": len(result.violations),
+            "suppressions": len(result.pragmas),
+            "suppressed_hits": len(result.suppressed),
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """The JSON report as an indented, newline-terminated string."""
+    return json.dumps(to_document(result), indent=2, sort_keys=False) + "\n"
+
+
+def render_human(result: LintResult) -> str:
+    """Compiler-style report: one ``file:line:col RLxxx message`` per hit."""
+    lines = []
+    for violation in result.violations:
+        lines.append(f"{violation.location()}: {violation.rule} "
+                     f"{violation.message}")
+    total = len(result.violations)
+    if total:
+        by_rule = result.counts_by_rule()
+        breakdown = ", ".join(f"{rule} x{count}"
+                              for rule, count in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(f"repro lint: {total} violation"
+                     f"{'s' if total != 1 else ''} in "
+                     f"{len(result.files)} files ({breakdown})")
+    else:
+        lines.append(f"repro lint: {len(result.files)} files clean "
+                     f"({len(result.pragmas)} suppression"
+                     f"{'s' if len(result.pragmas) != 1 else ''} in use)")
+    return "\n".join(lines) + "\n"

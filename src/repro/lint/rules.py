@@ -1,0 +1,511 @@
+"""The rule catalogue: one class per enforced invariant.
+
+Each rule is a small AST check over one file, scoped to the part of the
+tree where its contract applies (``scope``) minus the modules that
+legitimately implement the primitive it polices (``allow``).  Paths are
+matched as POSIX-style strings relative to the lint root, so the same
+rule definitions work on the real repository and on the synthetic
+fixture trees the test suite builds in temporary directories.
+
+The catalogue (the PR-1–4 contract each rule guards):
+
+========  =============================================================
+RL001     No global RNG.  Legacy ``numpy.random.*`` draws and the
+          stdlib :mod:`random` module carry hidden process-wide state
+          that breaks worker-count invariance; randomness must route
+          through :func:`repro.utils.ensure_rng` or
+          :mod:`repro.parallel.seeding` (which alone may construct
+          generators).
+RL002     No wall clock or OS entropy in solver code.  ``time.time``,
+          ``datetime.now`` and ``os.urandom`` make solver output depend
+          on when/where it ran; only the observability and serving
+          layers may read the clock.
+RL003     No raw file writes inside ``src/repro`` outside
+          :mod:`repro.resilience.atomic`.  A plain ``open(.., "w")`` or
+          ``json.dump`` can be killed mid-write and leave a truncated
+          artifact; persistence must go through ``atomic_write_*``.
+RL004     No blind exception handling.  A bare ``except:`` or an
+          ``except Exception: pass`` hides infrastructure failures the
+          resilience layer is designed to surface; raising builtin
+          ``Exception``/``RuntimeError`` bypasses the typed
+          :mod:`repro.errors` surface callers are promised.
+RL005     Metric-name literals passed to :mod:`repro.obs` must be
+          dotted lowercase (``solver.phase_name``), the registered
+          convention every run report and dashboard keys on.
+RL006     Checkpoint writers must thread a ``config=`` fingerprint;
+          a checkpoint without one cannot reject a resume under
+          different hyperparameters, silently voiding the bit-for-bit
+          resume guarantee.
+RL000     Pragma hygiene (implicit): a ``# repro: noqa-RLxxx`` pragma
+          must name a known rule, carry a non-empty reason, and
+          actually suppress something.
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .engine import FileContext
+
+__all__ = [
+    "PRAGMA_RE",
+    "RULES",
+    "Rule",
+    "Violation",
+    "rule_catalogue",
+]
+
+#: Suppression pragma: a ``repro: noqa-`` comment naming one or more
+#: comma-separated rule ids, followed by a mandatory reason — a
+#: reasonless pragma is itself reported under RL000 and suppresses
+#: nothing.
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*noqa-((?:[A-Z]{2}\d{3})(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"[ \t]*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """``file:line:col`` form used by the human reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def _dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _match_any(path: str, patterns: Sequence[str]) -> bool:
+    """True when ``path`` falls under any prefix/exact pattern.
+
+    A pattern ending in ``/`` matches the whole subtree; otherwise it
+    must match the path exactly.
+    """
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if path.startswith(pattern):
+                return True
+        elif path == pattern:
+            return True
+    return False
+
+
+class Rule:
+    """Base rule: id/title/contract metadata plus path scoping.
+
+    Subclasses implement :meth:`check` over a parsed
+    :class:`~repro.lint.engine.FileContext`.
+
+    Attributes:
+        id: stable ``RLxxx`` identifier (pragma and report currency).
+        title: one-line human name.
+        guards: the PR-1–4 contract this rule protects (documentation).
+        scope: path patterns the rule applies to (empty = every file).
+        allow: path patterns exempt because they *implement* the
+            primitive the rule polices elsewhere.
+    """
+
+    id: str = "RL000"
+    title: str = ""
+    guards: str = ""
+    scope: Sequence[str] = ()
+    allow: Sequence[str] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (scope minus allowlist)."""
+        if self.scope and not _match_any(path, self.scope):
+            return False
+        return not _match_any(path, self.allow)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        """Yield every violation of this rule in one parsed file."""
+        raise NotImplementedError
+
+    def violation(self, ctx: "FileContext", node: ast.AST,
+                  message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(self.id, ctx.path, getattr(node, "lineno", 1),
+                         getattr(node, "col_offset", 0), message)
+
+
+# --------------------------------------------------------------------- RL001
+#: Legacy ``numpy.random`` surface backed by the hidden global
+#: ``RandomState`` (or constructing one): non-reproducible under fan-out.
+_NUMPY_LEGACY = frozenset({
+    "seed", "get_state", "set_state", "rand", "randn", "randint",
+    "random", "random_sample", "random_integers", "ranf", "sample",
+    "choice", "bytes", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "beta", "binomial", "dirichlet", "exponential",
+    "gamma", "geometric", "laplace", "lognormal", "multinomial",
+    "multivariate_normal", "poisson", "power", "RandomState",
+})
+
+#: Sanctioned generator constructors; allowed only in the two modules
+#: that own seeding (everything else receives a Generator/SeedSequence).
+_NUMPY_CONSTRUCTORS = frozenset({"default_rng", "SeedSequence", "Generator"})
+
+
+class NoGlobalRng(Rule):
+    """RL001 — all randomness flows through the seeding discipline."""
+
+    id = "RL001"
+    title = "no global RNG"
+    guards = ("PR-2 bit-deterministic seeding: SeedSequence.spawn per "
+              "task, worker-count invariance")
+    #: Constructor calls are additionally confined to these two modules.
+    constructor_allow = ("src/repro/utils.py", "src/repro/parallel/seeding.py")
+    constructor_scope = ("src/repro/",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_import(self, ctx: "FileContext",
+                      node: ast.AST) -> Iterator[Violation]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.violation(
+                        ctx, node,
+                        "stdlib 'random' is process-global state; use "
+                        "repro.utils.ensure_rng / repro.parallel.seeding")
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module == "random":
+            yield self.violation(
+                ctx, node,
+                "stdlib 'random' is process-global state; use "
+                "repro.utils.ensure_rng / repro.parallel.seeding")
+
+    def _check_call(self, ctx: "FileContext",
+                    node: ast.Call) -> Iterator[Violation]:
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        parts = resolved.split(".")
+        if len(parts) >= 3 and parts[0] == "numpy" and parts[1] == "random":
+            name = parts[2]
+            if name in _NUMPY_LEGACY:
+                yield self.violation(
+                    ctx, node,
+                    f"numpy.random.{name} uses the hidden global "
+                    f"RandomState; derive a Generator via "
+                    f"repro.utils.ensure_rng or spawn_seed_sequences")
+            elif name in _NUMPY_CONSTRUCTORS \
+                    and _match_any(ctx.path, self.constructor_scope) \
+                    and not _match_any(ctx.path, self.constructor_allow):
+                yield self.violation(
+                    ctx, node,
+                    f"numpy.random.{name} constructed outside the seeding "
+                    f"modules; accept a seed and call "
+                    f"repro.utils.ensure_rng / repro.parallel.seeding")
+        elif resolved.startswith("random."):
+            yield self.violation(
+                ctx, node,
+                f"{resolved} draws from the process-global stdlib RNG; "
+                f"use repro.utils.ensure_rng / repro.parallel.seeding")
+
+
+# --------------------------------------------------------------------- RL002
+#: Wall-clock and OS-entropy calls forbidden in solver code.  Monotonic
+#: timing (perf_counter/monotonic) is deliberately absent: durations do
+#: not leak into solver output.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today", "os.urandom", "uuid.uuid1", "uuid.uuid4",
+})
+
+
+class NoWallClock(Rule):
+    """RL002 — solver output never depends on when/where it ran."""
+
+    id = "RL002"
+    title = "no wall clock or OS entropy in solver code"
+    guards = ("PR-1/PR-3 reproducible runs: telemetry and serving may "
+              "timestamp, solvers may not")
+    scope = ("src/repro/",)
+    allow = ("src/repro/obs/", "src/repro/serve/")
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _WALL_CLOCK or (
+                    resolved is not None
+                    and resolved.startswith("secrets.")):
+                yield self.violation(
+                    ctx, node,
+                    f"{resolved} injects wall-clock/entropy into solver "
+                    f"code; only repro.obs and repro.serve may timestamp")
+
+
+# --------------------------------------------------------------------- RL003
+_WRITE_FUNCS = frozenset({
+    "json.dump", "pickle.dump", "numpy.save", "numpy.savez",
+    "numpy.savez_compressed", "numpy.savetxt", "shutil.copy",
+    "shutil.copy2", "shutil.copyfile", "shutil.copyfileobj",
+    "shutil.move",
+})
+
+_WRITE_MODE = re.compile(r"[wax+]")
+
+#: ``open``-like callables whose second positional argument is a mode.
+_OPEN_CALLS = frozenset({"open", "io.open", "os.fdopen", "gzip.open",
+                         "bz2.open", "lzma.open"})
+
+
+class AtomicWritesOnly(Rule):
+    """RL003 — persistence in the library goes through atomic_write_*."""
+
+    id = "RL003"
+    title = "no raw file writes outside resilience/atomic.py"
+    guards = ("PR-3 atomic-only persistence: crash mid-write never "
+              "leaves a truncated artifact")
+    scope = ("src/repro/",)
+    allow = ("src/repro/resilience/atomic.py",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _WRITE_FUNCS:
+                yield self.violation(
+                    ctx, node,
+                    f"{resolved} writes a file directly; route it through "
+                    f"repro.resilience.atomic (atomic_write_*)")
+                continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("write_text", "write_bytes"):
+                yield self.violation(
+                    ctx, node,
+                    f".{node.func.attr}() writes a file directly; route it "
+                    f"through repro.resilience.atomic (atomic_write_*)")
+                continue
+            name = resolved
+            if name is None and isinstance(node.func, ast.Name):
+                name = node.func.id
+            if name in _OPEN_CALLS and self._write_mode(node):
+                yield self.violation(
+                    ctx, node,
+                    f"{name}(..., {self._write_mode(node)!r}) opens a file "
+                    f"for writing; use repro.resilience.atomic instead")
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "open" and self._write_mode(node):
+                yield self.violation(
+                    ctx, node,
+                    f".open(..., {self._write_mode(node)!r}) opens a file "
+                    f"for writing; use repro.resilience.atomic instead")
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> Optional[str]:
+        """The literal mode string when it requests write access."""
+        mode: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str) \
+                and _WRITE_MODE.search(mode.value):
+            return mode.value
+        return None
+
+
+# --------------------------------------------------------------------- RL004
+_BLIND_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+
+class TypedErrorsOnly(Rule):
+    """RL004 — no swallowed exceptions, no untyped raises."""
+
+    id = "RL004"
+    title = "no bare/blind exception handling"
+    guards = ("PR-3 typed error surfaces: failures degrade or raise "
+              "repro.errors classes, never vanish")
+    scope = ("src/repro/",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node)
+
+    def _check_handler(self, ctx: "FileContext",
+                       node: ast.ExceptHandler) -> Iterator[Violation]:
+        if node.type is None:
+            yield self.violation(
+                ctx, node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                "name the exception (prefer repro.errors classes)")
+            return
+        if self._catches_everything(node.type) and self._swallows(node.body):
+            yield self.violation(
+                ctx, node,
+                "'except Exception' that only passes hides real failures; "
+                "handle, log, or re-raise a repro.errors class")
+
+    @staticmethod
+    def _catches_everything(type_node: ast.expr) -> bool:
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [elt.id for elt in type_node.elts
+                     if isinstance(elt, ast.Name)]
+        elif isinstance(type_node, ast.Name):
+            names = [type_node.id]
+        return any(name in ("Exception", "BaseException") for name in names)
+
+    @staticmethod
+    def _swallows(body: List[ast.stmt]) -> bool:
+        """True when the handler body does nothing observable."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) \
+                    and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    def _check_raise(self, ctx: "FileContext",
+                     node: ast.Raise) -> Iterator[Violation]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in _BLIND_RAISES:
+            yield self.violation(
+                ctx, node,
+                f"raise {exc.id} bypasses the typed error surface; raise "
+                f"a class from repro.errors instead")
+
+
+# --------------------------------------------------------------------- RL005
+#: Registered metric-name shape: at least two dotted lowercase segments.
+_METRIC_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+#: Characters permitted in the literal fragments of an f-string name.
+_METRIC_FRAGMENT = re.compile(r"^[a-z0-9_.]*$")
+
+_OBS_FUNCS = re.compile(
+    r"^repro\.obs(\.registry)?\.(inc|set_gauge|observe|timed|"
+    r"timed_function)$")
+
+
+class DottedMetricNames(Rule):
+    """RL005 — every obs metric literal is dotted lowercase."""
+
+    id = "RL005"
+    title = "obs metric names dotted lowercase"
+    guards = ("PR-1 metrics registry: run reports and dashboards key on "
+              "the solver.metric_name convention")
+    scope = ("src/repro/",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None or not _OBS_FUNCS.match(resolved):
+                continue
+            yield from self._check_name(ctx, node.args[0])
+
+    def _check_name(self, ctx: "FileContext",
+                    arg: ast.expr) -> Iterator[Violation]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not _METRIC_NAME.match(arg.value):
+                yield self.violation(
+                    ctx, arg,
+                    f"metric name {arg.value!r} is not dotted lowercase "
+                    f"(expected e.g. 'solver.phase_name')")
+        elif isinstance(arg, ast.JoinedStr):
+            for piece in arg.values:
+                if isinstance(piece, ast.Constant) \
+                        and isinstance(piece.value, str) \
+                        and not _METRIC_FRAGMENT.match(piece.value):
+                    yield self.violation(
+                        ctx, arg,
+                        f"metric name fragment {piece.value!r} is not "
+                        f"dotted lowercase")
+
+
+# --------------------------------------------------------------------- RL006
+_CHECKPOINT_FACTORIES = re.compile(
+    r"^repro\.resilience(\.checkpoint)?\.(checkpoint_in|CheckpointWriter)$")
+
+#: Positional index of ``config`` in each factory's signature.
+_CONFIG_POSITION = {"checkpoint_in": 3, "CheckpointWriter": 2}
+
+
+class CheckpointsCarryFingerprint(Rule):
+    """RL006 — checkpoint writers always get a config fingerprint."""
+
+    id = "RL006"
+    title = "checkpoint writers thread config_fingerprint"
+    guards = ("PR-3 guarded resume: a config-less checkpoint cannot "
+              "reject a resume under different hyperparameters")
+    scope = ("src/repro/",)
+    allow = ("src/repro/resilience/",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            match = _CHECKPOINT_FACTORIES.match(resolved)
+            if match is None:
+                continue
+            factory = match.group(2)
+            if len(node.args) > _CONFIG_POSITION[factory]:
+                continue
+            if any(keyword.arg == "config" for keyword in node.keywords):
+                continue
+            yield self.violation(
+                ctx, node,
+                f"{factory}(...) without config=: the checkpoint cannot "
+                f"verify it is resumed under the same hyperparameters "
+                f"and seed (pass a config_fingerprint-able dict)")
+
+
+#: The catalogue, in report order.
+RULES: List[Rule] = [
+    NoGlobalRng(),
+    NoWallClock(),
+    AtomicWritesOnly(),
+    TypedErrorsOnly(),
+    DottedMetricNames(),
+    CheckpointsCarryFingerprint(),
+]
+
+
+def rule_catalogue() -> Dict[str, Rule]:
+    """Rule id → rule instance for the shipped catalogue."""
+    return {rule.id: rule for rule in RULES}

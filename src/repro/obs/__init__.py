@@ -23,6 +23,11 @@ Typical use::
 
 With :func:`configure` never called, every instrumented hot loop pays a
 single flag check per call site and allocates nothing.
+
+Metric names are dotted lowercase (``solver.metric_name``); the
+convention is machine-enforced by ``repro lint`` rule RL005, and this
+package (with :mod:`repro.serve`) is the only place allowed to read the
+wall clock under rule RL002.
 """
 
 from __future__ import annotations

@@ -12,7 +12,7 @@ from __future__ import annotations
 import functools
 import threading
 import time
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 __all__ = [
     "MetricsRegistry",
@@ -165,7 +165,24 @@ def reset_metrics() -> None:
 
 
 # ------------------------------------------------------------------ timing
-class _Timer:
+class Timer:
+    """Context-manager interface returned by :func:`timed`.
+
+    The shared base exists so strictly typed call sites see one nominal
+    type whether they got the live timer or the disabled-path no-op.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, exc_type: Optional[type],
+                 exc: Optional[BaseException], tb: object) -> bool:
+        return False
+
+
+class _Timer(Timer):
     """Context manager recording its block's duration into the registry."""
 
     __slots__ = ("_name", "_start")
@@ -178,27 +195,17 @@ class _Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Optional[type],
+                 exc: Optional[BaseException], tb: object) -> bool:
         _REGISTRY.observe(self._name, time.perf_counter() - self._start)
         return False
 
 
-class _NullTimer:
-    """Shared do-nothing context manager for the disabled fast path."""
-
-    __slots__ = ()
-
-    def __enter__(self) -> "_NullTimer":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        return False
+#: Shared do-nothing context manager for the disabled fast path.
+_NULL_TIMER = Timer()
 
 
-_NULL_TIMER = _NullTimer()
-
-
-def timed(name: str) -> object:
+def timed(name: str) -> Timer:
     """Context manager timing a block under ``name``.
 
     When observability is disabled this returns a shared no-op object, so
@@ -209,11 +216,12 @@ def timed(name: str) -> object:
     return _Timer(name)
 
 
-def timed_function(name: str) -> Callable:
+def timed_function(name: str) -> Callable[[Callable[..., Any]],
+                                          Callable[..., Any]]:
     """Decorator form of :func:`timed`; the flag is checked per call."""
-    def decorate(func: Callable) -> Callable:
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
         @functools.wraps(func)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             with timed(name):
                 return func(*args, **kwargs)
         return wrapper

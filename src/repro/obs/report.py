@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import DataError
 from .registry import get_registry
@@ -143,7 +143,7 @@ def validate_report(data: Dict[str, Any]) -> None:
                                 "'iteration' and 'time_s'")
 
 
-def _main(argv: Optional[list] = None) -> int:
+def _main(argv: Optional[List[str]] = None) -> int:
     """Validate report files given on the command line."""
     import sys
     paths = argv if argv is not None else sys.argv[1:]

@@ -86,13 +86,33 @@ class ConvergenceTrace:
         }
 
 
-class _LiveTracer:
+class Tracer:
+    """Interface returned by :func:`trace` (live or no-op).
+
+    The shared base gives strictly typed call sites one nominal type;
+    the class itself is the do-nothing tracer of the disabled path.
+    """
+
+    __slots__ = ()
+
+    #: Costly diagnostics may be computed only when this is True.
+    active = False
+
+    def record(self, **values: float) -> None:
+        """Append one iteration record (no-op while disabled)."""
+
+    def finish(self, termination: str = TERMINATION_COMPLETED,
+               ) -> Optional[ConvergenceTrace]:
+        """Close the trace (no-op while disabled)."""
+        return None
+
+
+class _LiveTracer(Tracer):
     """Collecting tracer returned while observability is enabled."""
 
     __slots__ = ("_name", "_context", "_records", "_start", "_last",
                  "_finished")
 
-    #: Costly diagnostics may be computed only when this is True.
     active = True
 
     def __init__(self, name: str, context: Dict[str, Any]) -> None:
@@ -128,24 +148,11 @@ class _LiveTracer:
         return result
 
 
-class _NullTracer:
-    """Shared do-nothing tracer for the disabled fast path."""
-
-    __slots__ = ()
-
-    active = False
-
-    def record(self, **values: float) -> None:
-        pass
-
-    def finish(self, termination: str = TERMINATION_COMPLETED) -> None:
-        return None
+#: Shared do-nothing tracer for the disabled fast path.
+_NULL_TRACER = Tracer()
 
 
-_NULL_TRACER = _NullTracer()
-
-
-def trace(name: str, **context: Any) -> object:
+def trace(name: str, **context: Any) -> Tracer:
     """Open a convergence trace for one iterative-solver run.
 
     Returns the shared no-op tracer while observability is disabled.
@@ -192,5 +199,8 @@ def _write_jsonl(result: ConvergenceTrace, path: str) -> None:
         "total_time_s": result.total_time_s,
         "context": result.context,
     }, default=repr))
+    # repro: noqa-RL003  append-only JSONL stream: each trace is one
+    # appended line; atomic replace would rewrite prior history on
+    # every event and lose it on interleaved writers.
     with open(path, "a") as handle:
         handle.write("\n".join(lines) + "\n")

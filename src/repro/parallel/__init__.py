@@ -24,6 +24,12 @@ without changing the mathematics.  This package supplies the mechanics:
 
 Nested fan-out is safe: inside a worker process every pmap resolves to
 the serial backend, so pools never nest.
+
+The seeding discipline is machine-enforced: ``repro lint`` rule RL001
+bans global RNG state everywhere and confines
+``default_rng``/``SeedSequence`` construction to :mod:`repro.utils` and
+:mod:`repro.parallel.seeding`, so every stream provably derives from
+the run seed.
 """
 
 from .backend import (ExecutionBackend, ProcessBackend, SHARED_REUSE_LIMIT,

@@ -60,7 +60,8 @@ import time
 from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
                                 TimeoutError as FuturesTimeout)
 from contextlib import contextmanager
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from ..errors import ConfigurationError, ExecutionError
 from ..obs import get_logger, inc, set_gauge, timed
@@ -160,7 +161,7 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 # ------------------------------------------------------------ pool lifecycle
 @contextmanager
-def pool_scope():
+def pool_scope() -> Iterator[None]:
     """Keep one process pool alive across every pmap inside this scope.
 
     Scopes nest; the pool is shut down when the outermost scope exits.
@@ -202,7 +203,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
         proc.join(timeout=1.0)
 
 
-def _reusable_pool(workers: int, context) -> ProcessPoolExecutor:
+def _reusable_pool(workers: int, context: Any) -> ProcessPoolExecutor:
     global _POOL, _POOL_KEY
     key = (workers, context.get_start_method())
     if _POOL is not None and _POOL_KEY == key \
@@ -252,7 +253,7 @@ def _worker_init(has_shared: bool, shared: object) -> None:
     _WORKER_SHARED = shared
 
 
-def _run_chunk(payload) -> List:
+def _run_chunk(payload: Tuple[Any, ...]) -> List:
     """Execute one chunk against the initializer-installed shared payload."""
     fn, chunk = payload
     if not _WORKER_HAS_SHARED:
@@ -260,7 +261,7 @@ def _run_chunk(payload) -> List:
     return [fn(_WORKER_SHARED, item) for item in chunk]
 
 
-def _run_chunk_inline(payload) -> List:
+def _run_chunk_inline(payload: Tuple[Any, ...]) -> List:
     """Execute one chunk whose shared payload travels with the message."""
     fn, chunk, has_shared, shared = payload
     if not has_shared:
@@ -338,7 +339,7 @@ class ProcessBackend(ExecutionBackend):
         self.timeout = timeout
         self.on_failure = on_failure
 
-    def _context(self):
+    def _context(self) -> Any:
         import multiprocessing
 
         if self.start_method:

@@ -18,6 +18,11 @@ method, and TPFG — accepts ``checkpoint=`` / ``resume=`` (or a
 ``checkpoint_dir``), surfaced on the CLI as ``--checkpoint-dir`` and
 ``--resume``.  Fault tolerance for the process pool itself lives in
 :mod:`repro.parallel`.
+
+Both pillars are machine-enforced by ``repro lint``: rule RL003 routes
+every file write in ``src/repro`` through :mod:`repro.resilience.atomic`,
+and rule RL006 requires every checkpoint writer outside this package to
+pass a ``config=`` fingerprint so resumes are guarded.
 """
 
 from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text

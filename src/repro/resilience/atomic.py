@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 __all__ = [
     "atomic_write_bytes",
@@ -57,7 +57,8 @@ def atomic_write_text(path: str, text: str) -> None:
 
 
 def atomic_write_json(path: str, obj: Any, indent: Optional[int] = None,
-                      default=None, trailing_newline: bool = False) -> None:
+                      default: Optional[Callable[[Any], Any]] = None,
+                      trailing_newline: bool = False) -> None:
     """Serialize ``obj`` as JSON and write it to ``path`` atomically.
 
     Serialization happens fully in memory before the target directory is

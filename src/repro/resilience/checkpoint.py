@@ -216,7 +216,8 @@ class CheckpointWriter:
             iteration = 0
             if history:
                 match = _HISTORY_SUFFIX.search(history[-1])
-                iteration = int(match.group(1)) + 1
+                if match is not None:
+                    iteration = int(match.group(1)) + 1
         archive = f"{self.path}.v{iteration:09d}"
         try:
             if os.path.exists(archive):
@@ -225,6 +226,9 @@ class CheckpointWriter:
         except OSError:
             # Filesystems without hard links fall back to a real copy.
             try:
+                # repro: noqa-RL003  advisory archive copy of an already
+                # complete checkpoint; the authoritative latest file is
+                # atomic, and a truncated archive is rejected by its CRC.
                 shutil.copy2(self.path, archive)
             except OSError:
                 return

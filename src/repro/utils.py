@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -61,7 +61,7 @@ def pointwise_kl(p: float, q: float) -> float:
     return p * float(np.log(max(p, EPS) / max(q, EPS)))
 
 
-def top_k_indices(scores: Sequence[float], k: int) -> list:
+def top_k_indices(scores: Sequence[float], k: int) -> List[int]:
     """Indices of the ``k`` largest scores, in descending score order."""
     arr = np.asarray(scores, dtype=float)
     if k <= 0:
@@ -79,7 +79,7 @@ def is_distribution(vector: np.ndarray, tol: float = 1e-6) -> bool:
 
 def weighted_sample(probabilities: np.ndarray,
                     rng: np.random.Generator,
-                    size: Optional[int] = None):
+                    size: Optional[int] = None) -> Union[int, np.ndarray]:
     """Sample indices from a probability vector (single int when size=None)."""
     probs = normalize(probabilities)
     result = rng.choice(len(probs), size=size, p=probs)
