@@ -8,6 +8,10 @@ Problem sizes are environment-tunable so CI can run a seconds-long smoke
 pass (``REPRO_BENCH_EDGES=2000``) while the default configuration
 reproduces the acceptance measurement: the vectorized posterior split
 must be >= 10x faster than the reference loop at 1e5 edges.
+
+Each kernel invocation runs under a profiled span, so the report ends
+with a self-time/RSS breakdown (see :mod:`repro.obs.profile`) — the
+same table ``repro fit --profile`` produces for a full run.
 """
 
 import os
@@ -15,6 +19,8 @@ import sys
 import time
 
 import numpy as np
+
+import repro.obs as obs
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "tests"))
@@ -36,13 +42,29 @@ TOPICS = int(os.environ.get("REPRO_BENCH_TOPICS", 5))
 FULL_SIZE = 100_000
 
 
-def _time(fn, repeats: int = 3) -> float:
+def _time(fn, repeats: int = 3, span_name: str = None) -> float:
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        fn()
+        if span_name is None:
+            fn()
+        else:
+            with obs.span(span_name):
+                fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _profiled_rows(names):
+    """Self-time/CPU/RSS rows for this test's spans, report-formatted."""
+    rows = [row for row in obs.top_spans(obs.get_spans())
+            if row["name"] in names]
+    lines = [fmt_row("span", ["self_s", "cpu_s", "peak_rss_mb"])]
+    for row in rows:
+        lines.append(fmt_row(row["name"], [
+            row["self_s"], row["cpu_s"],
+            row.get("rss_peak_bytes", 0) / 1e6]))
+    return lines
 
 
 def _problem(rng):
@@ -56,12 +78,15 @@ def _problem(rng):
 
 def test_hotpath_posterior_link_split(benchmark):
     rho, phi, i_idx, j_idx, weights = _problem(np.random.default_rng(0))
+    obs.configure(profile=True)
 
     def run():
         fast = _time(lambda: posterior_link_split(
-            rho, phi, i_idx, j_idx, weights, counter=None))
+            rho, phi, i_idx, j_idx, weights, counter=None),
+            span_name="bench.split.vectorized")
         slow = _time(lambda: reference_posterior_link_split(
-            rho, phi, i_idx, j_idx, weights), repeats=1)
+            rho, phi, i_idx, j_idx, weights), repeats=1,
+            span_name="bench.split.reference")
         return fast, slow
 
     fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -70,6 +95,9 @@ def test_hotpath_posterior_link_split(benchmark):
         fmt_row("kernel", ["seconds", "speedup"]),
         fmt_row("vectorized (k,E) pass", [fast, 1.0]),
         fmt_row("reference per-link loop", [slow, speedup]),
+        "",
+    ] + _profiled_rows({"bench.split.vectorized",
+                        "bench.split.reference"}) + [
         f"edges={EDGES} nodes={NODES} topics={TOPICS}",
         "acceptance: >= 10x at 1e5 edges",
     ])
@@ -89,12 +117,15 @@ def test_hotpath_scatter(benchmark):
     # The EM precomputes the flat indices once per fit; time the hot path.
     flat_idx = (flat_scatter_index(i_idx, NODES, TOPICS),
                 flat_scatter_index(j_idx, NODES, TOPICS))
+    obs.configure(profile=True)
 
     def run():
         fast = _time(lambda: scatter_expectations(
-            expected, i_idx, j_idx, NODES, flat_idx=flat_idx))
+            expected, i_idx, j_idx, NODES, flat_idx=flat_idx),
+            span_name="bench.scatter.bincount")
         slow = _time(lambda: reference_scatter(
-            expected, i_idx, j_idx, NODES))
+            expected, i_idx, j_idx, NODES),
+            span_name="bench.scatter.reference")
         return fast, slow
 
     fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -103,6 +134,9 @@ def test_hotpath_scatter(benchmark):
         fmt_row("kernel", ["seconds", "speedup"]),
         fmt_row("bincount over (k*V)", [fast, 1.0]),
         fmt_row("reference np.add.at loop", [slow, speedup]),
+        "",
+    ] + _profiled_rows({"bench.scatter.bincount",
+                        "bench.scatter.reference"}) + [
         f"edges={EDGES} nodes={NODES} topics={TOPICS}",
     ])
     assert np.max(np.abs(

@@ -4,7 +4,10 @@ Exports a model fitted on the synthetic DBLP corpus, then measures
 
 * cold start: ``load_model`` + index build + first ``top_phrases`` query,
 * warm path: the same query answered from the engine's LRU cache,
-* HTTP overhead: p50/p99 round-trip latency against a live server.
+* HTTP overhead: p50/p99 round-trip latency against a live server —
+  client-observed, cross-checked against the server's own
+  ``serve.http.latency`` quantile sketch as scraped from ``/metrics``
+  in Prometheus text format.
 
 Acceptance: a warm-cache ``top_phrases`` query must be >= 10x faster
 than a cold artifact load (the point of the read-optimized indexes and
@@ -61,12 +64,22 @@ def test_serve_cold_vs_warm(benchmark, dblp, tmp_path):
     latencies = []
     with ModelServer(engine, port=0) as server:
         server.start()
-        url = f"http://{server.host}:{server.port}/v1/topics/o/1"
+        base = f"http://{server.host}:{server.port}"
+        url = f"{base}/v1/topics/o/1"
         for _ in range(HTTP_REQUESTS):
             start = time.perf_counter()
             with urllib.request.urlopen(url, timeout=10) as response:
                 json.loads(response.read())
             latencies.append(time.perf_counter() - start)
+        # The server's own view: quantile sketch via Prometheus text.
+        metrics_url = f"{base}/metrics?format=prometheus"
+        with urllib.request.urlopen(metrics_url, timeout=10) as response:
+            prometheus = response.read().decode()
+    server_quantiles = {}
+    for line in prometheus.splitlines():
+        if line.startswith('repro_serve_http_latency_seconds{quantile='):
+            q = line.split('"')[1]
+            server_quantiles[q] = float(line.rsplit(None, 1)[1])
     latencies.sort()
     p50 = statistics.median(latencies)
     p99 = latencies[int(len(latencies) * 0.99) - 1]
@@ -77,8 +90,11 @@ def test_serve_cold_vs_warm(benchmark, dblp, tmp_path):
         fmt_row("warm cached query", [warm_s, speedup]),
         "",
         fmt_row("http round trip", ["p50_ms", "p99_ms"]),
-        fmt_row(f"GET /v1/topics/o/1 x{HTTP_REQUESTS}",
+        fmt_row(f"GET /v1/topics/o/1 x{HTTP_REQUESTS} (client)",
                 [p50 * 1e3, p99 * 1e3]),
+        fmt_row("server sketch (/metrics summary)",
+                [server_quantiles.get("0.5", 0.0) * 1e3,
+                 server_quantiles.get("0.99", 0.0) * 1e3]),
         f"corpus={len(dblp.corpus)} docs, "
         f"topics={result.hierarchy.num_topics}, "
         f"warm sample={WARM_QUERIES} queries",

@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
-from ..obs import trace
+from ..obs import span, trace
 from ..resilience import CheckpointWriter
 from ..utils import EPS, RandomState, ensure_rng
 from ..phrases.ranking import FlatTopicModel
@@ -138,35 +138,37 @@ class LDAGibbs:
                        num_units=sum(len(u) for u in units),
                        phrase_constrained=partitions is not None)
         for iteration in range(start, self.iterations):
-            for d, doc_units in enumerate(units):
-                labels = assignments[d]
-                for u, unit in enumerate(doc_units):
-                    z_old = labels[u]
-                    size = len(unit)
-                    n_dk[d, z_old] -= size
-                    n_k[z_old] -= size
-                    for w in unit:
-                        n_kw[z_old, w] -= 1
+            with span("lda.gibbs.sweep", iteration=iteration):
+                for d, doc_units in enumerate(units):
+                    labels = assignments[d]
+                    for u, unit in enumerate(doc_units):
+                        z_old = labels[u]
+                        size = len(unit)
+                        n_dk[d, z_old] -= size
+                        n_k[z_old] -= size
+                        for w in unit:
+                            n_kw[z_old, w] -= 1
 
-                    # Joint conditional for the whole phrase instance: the
-                    # document factor uses the unit count once; the word
-                    # factor multiplies each token's topic-word term.
-                    log_p = np.log(n_dk[d] + self.alpha)
-                    denom = n_k + beta_sum
-                    for offset, w in enumerate(unit):
-                        log_p = log_p + np.log(
-                            n_kw[:, w] + self.beta + EPS) - np.log(
-                            denom + offset)
-                    log_p -= log_p.max()
-                    p = np.exp(log_p)
-                    p /= p.sum()
-                    z_new = int(rng.choice(k, p=p))
+                        # Joint conditional for the whole phrase instance:
+                        # the document factor uses the unit count once; the
+                        # word factor multiplies each token's topic-word
+                        # term.
+                        log_p = np.log(n_dk[d] + self.alpha)
+                        denom = n_k + beta_sum
+                        for offset, w in enumerate(unit):
+                            log_p = log_p + np.log(
+                                n_kw[:, w] + self.beta + EPS) - np.log(
+                                denom + offset)
+                        log_p -= log_p.max()
+                        p = np.exp(log_p)
+                        p /= p.sum()
+                        z_new = int(rng.choice(k, p=p))
 
-                    labels[u] = z_new
-                    n_dk[d, z_new] += size
-                    n_k[z_new] += size
-                    for w in unit:
-                        n_kw[z_new, w] += 1
+                        labels[u] = z_new
+                        n_dk[d, z_new] += size
+                        n_k[z_new] += size
+                        for w in unit:
+                            n_kw[z_new, w] += 1
 
             if tracer.active:
                 # Per-sweep likelihood is extra work, so it is computed

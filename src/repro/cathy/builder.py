@@ -25,7 +25,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..hierarchy import Topic, TopicalHierarchy
 from ..network import HeterogeneousNetwork
-from ..obs import get_logger
+from ..obs import get_logger, span
 from ..parallel import pmap, pool_scope, rng_from, spawn_seed_sequences
 from ..resilience import checkpoint_in
 from ..utils import RandomState, ensure_rng
@@ -162,6 +162,14 @@ class HierarchyBuilder:
     # -------------------------------------------------------------- recursion
     def _expand(self, topic: Topic, network: HeterogeneousNetwork,
                 level: int, seed_seq: np.random.SeedSequence) -> None:
+        # One span per hierarchy node: the recursion's span tree mirrors
+        # the topic tree, so a flamegraph shows which subtree was slow.
+        with span("cathy.builder.expand", topic=topic.notation,
+                  level=level):
+            self._expand_node(topic, network, level, seed_seq)
+
+    def _expand_node(self, topic: Topic, network: HeterogeneousNetwork,
+                     level: int, seed_seq: np.random.SeedSequence) -> None:
         config = self.config
         if level >= config.max_depth:
             return

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
-from ..obs import inc, timed, trace
+from ..obs import inc, span, trace
 from ..parallel import pmap, rng_from, spawn_seed_sequences
 from ..resilience import CheckpointWriter
 from ..utils import EPS, RandomState, ensure_rng
@@ -230,21 +230,23 @@ def _fit_kernel(i_idx: np.ndarray, j_idx: np.ndarray, weights: np.ndarray,
     termination = "max_iter"
     for iteration in range(start, max_iter):
         # E-step (Eq. 3.5): responsibilities per link and subtopic.
-        scores = rho[:, None] * phi[:, i_idx] * phi[:, j_idx]  # (k, E)
-        denom = scores.sum(axis=0)
-        denom = np.maximum(denom, EPS)
-        q = scores / denom  # (k, E)
-        ll = float(np.dot(weights, np.log(denom)))
+        with span("cathy.em.e_step", iteration=iteration):
+            scores = rho[:, None] * phi[:, i_idx] * phi[:, j_idx]  # (k, E)
+            denom = scores.sum(axis=0)
+            denom = np.maximum(denom, EPS)
+            q = scores / denom  # (k, E)
+            ll = float(np.dot(weights, np.log(denom)))
 
         # M-step (Eq. 3.6-3.7).
-        expected = q * weights  # (k, E)
-        rho = expected.sum(axis=1)
-        phi = scatter_expectations(expected, i_idx, j_idx, num_nodes,
-                                   flat_idx=flat_idx)
-        row_sums = phi.sum(axis=1, keepdims=True)
-        row_sums = np.maximum(row_sums, EPS)
-        phi = phi / row_sums
-        rho = np.maximum(rho, EPS)
+        with span("cathy.em.m_step", iteration=iteration):
+            expected = q * weights  # (k, E)
+            rho = expected.sum(axis=1)
+            phi = scatter_expectations(expected, i_idx, j_idx, num_nodes,
+                                       flat_idx=flat_idx)
+            row_sums = phi.sum(axis=1, keepdims=True)
+            row_sums = np.maximum(row_sums, EPS)
+            phi = phi / row_sums
+            rho = np.maximum(rho, EPS)
 
         tracer.record(log_likelihood=ll)
         done = ll - prev_ll < tol * max(abs(prev_ll), 1.0) \
@@ -331,7 +333,7 @@ class CathyEM:
         j_idx = np.array([l[1] for l in links], dtype=np.int64)
         weights = np.array([l[2] for l in links], dtype=float)
 
-        with timed("cathy.em.fit"):
+        with span("cathy.em.fit"):
             shared = (i_idx, j_idx, weights, num_nodes, self.num_topics,
                       self.max_iter, self.tol)
             seeds = spawn_seed_sequences(self._rng, self.restarts)

@@ -32,7 +32,7 @@ from ..errors import ConfigurationError, NotFittedError
 from ..network import HeterogeneousNetwork
 from .em import flat_scatter_index, run_restarts_checkpointed
 from ..network.weighted import LinkType, canonical_link_type
-from ..obs import inc, timed, trace
+from ..obs import inc, span, trace
 from ..parallel import pmap, rng_from, spawn_seed_sequences
 from ..resilience import CheckpointWriter
 from ..utils import EPS, RandomState, ensure_rng
@@ -202,7 +202,7 @@ class CathyHIN:
 
         alpha = self._initial_alpha()
 
-        with timed("cathy.hin_em.fit"):
+        with span("cathy.hin_em.fit"):
             shared = (self._constructor_params(), self._link_data,
                       node_names, alpha)
             seeds = spawn_seed_sequences(self._rng, self.restarts)
@@ -327,11 +327,14 @@ class CathyHIN:
                 weight_mode=str(self.weight_mode))
             termination = "max_iter"
             for iteration in range(start, self.max_iter):
-                ll, rho, rho0, phi, phi0 = self._em_step(
-                    alpha, rho, rho0, phi, phi0, phi_parent, node_names)
+                with span("cathy.hin_em.em_step", iteration=iteration):
+                    ll, rho, rho0, phi, phi0 = self._em_step(
+                        alpha, rho, rho0, phi, phi0, phi_parent, node_names)
                 if learn and (iteration + 1) % self.weight_update_every == 0:
-                    alpha = self._update_alpha(rho, rho0, phi, phi0,
-                                               phi_parent)
+                    with span("cathy.hin_em.alpha_update",
+                              iteration=iteration):
+                        alpha = self._update_alpha(rho, rho0, phi, phi0,
+                                                   phi_parent)
                 tracer.record(log_likelihood=ll)
                 done = bool(
                     np.isfinite(prev_ll)

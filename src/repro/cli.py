@@ -14,6 +14,10 @@ Commands:
   versioned ``repro.serve/model/v1`` artifact.
 * ``serve`` — answer topic / phrase / entity queries over HTTP from an
   exported model artifact (see :mod:`repro.serve`).
+* ``trace-export`` — convert a ``--trace`` span stream (JSON lines) to
+  Chrome ``trace_event`` JSON loadable in ``chrome://tracing``.
+
+``fit`` is an alias of ``hierarchy`` (the full-pipeline fit).
 
 ``repro --version`` prints the library version (the same one stamped
 into run reports, datasets, and model manifests).
@@ -22,8 +26,11 @@ Every command accepts ``--seed`` for reproducibility, ``--workers N``
 for parallel execution (falling back to the ``REPRO_WORKERS``
 environment variable; results are identical for every worker count
 under the same seed), plus the observability flags ``--log-level``,
-``--trace PATH`` (JSON-lines convergence traces), and ``--report PATH``
-(aggregated run report; see :mod:`repro.obs.report` for the schema).
+``--trace PATH`` (JSON-lines convergence traces and phase spans),
+``--report PATH`` (aggregated run report; see :mod:`repro.obs.report`
+for the schema), and ``--profile PATH`` (per-span peak-RSS and
+allocation profiling; writes a ``repro.obs/profile/v1`` report ranking
+spans by self time — see :mod:`repro.obs.profile`).
 
 Crash recovery: ``--checkpoint-dir DIR`` makes the iterative solvers
 persist their state there (atomically, at every iteration), and
@@ -85,6 +92,11 @@ def _obs_parent() -> argparse.ArgumentParser:
     group.add_argument("--report", default=None, metavar="PATH",
                        help="write an aggregated run report (metrics, "
                             "phase timings, traces) to this JSON file")
+    group.add_argument("--profile", default=None, metavar="PATH",
+                       help="record per-span peak RSS and allocation "
+                            "deltas and write a profiling report "
+                            "(spans ranked by self time) to this JSON "
+                            "file; implies span collection")
     return parent
 
 
@@ -158,6 +170,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
     print("repro serve: shut down gracefully", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .obs import spans_from_jsonl, to_chrome_trace
+    from .resilience import atomic_write_json
+
+    records = spans_from_jsonl(args.input)
+    atomic_write_json(args.output, to_chrome_trace(records))
+    print(f"exported {len(records)} spans -> {args.output}",
+          file=sys.stderr)
     return 0
 
 
@@ -263,7 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.set_defaults(func=_cmd_generate)
 
-    hier = sub.add_parser("hierarchy", help="build a topical hierarchy",
+    hier = sub.add_parser("hierarchy", aliases=["fit"],
+                          help="build a topical hierarchy ('fit' is an "
+                               "alias)",
                           parents=obs_parent)
     _add_dataset_argument(hier)
     hier.add_argument("--children", default="6,3",
@@ -336,6 +361,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-connection read timeout")
     serve.set_defaults(func=_cmd_serve)
 
+    export_trace = sub.add_parser(
+        "trace-export",
+        help="convert a --trace span stream to Chrome trace_event JSON")
+    export_trace.add_argument("input", help="span JSON-lines file "
+                                            "written via --trace")
+    export_trace.add_argument("--output", "-o", required=True,
+                              metavar="PATH",
+                              help="where to write the Chrome trace "
+                                   "(open in chrome://tracing)")
+    # Pure file transformation: default the shared run flags away.
+    export_trace.set_defaults(func=_cmd_trace_export, workers=None,
+                              report=None, trace=None, profile=None,
+                              log_level=None, log_json=False)
+
     lint = sub.add_parser(
         "lint", help="enforce the codebase's determinism/atomicity/"
                      "error-contract invariants (rules RL001-RL006)")
@@ -344,26 +383,40 @@ def build_parser() -> argparse.ArgumentParser:
     # The lint subcommand takes none of the run-telemetry or execution
     # flags; default them so main()'s shared plumbing stays oblivious.
     lint.set_defaults(func=_cmd_lint, workers=None, report=None,
-                      trace=None, log_level=None, log_json=False)
+                      trace=None, profile=None, log_level=None,
+                      log_json=False)
     return parser
 
 
 def _configure_observability(args: argparse.Namespace) -> None:
     """Enable telemetry when any observability flag was given."""
-    if args.trace or args.report:
+    if args.trace or args.report or args.profile:
         obs.configure(level=args.log_level, trace_path=args.trace,
-                      report_path=args.report, json_logs=args.log_json)
+                      report_path=args.report, json_logs=args.log_json,
+                      profile=bool(args.profile))
     elif args.log_level:
         obs.configure(level=args.log_level, json_logs=args.log_json,
                       metrics=False)
 
 
+def _cli_config(args: argparse.Namespace) -> dict:
+    """The invocation's arguments as a JSON-safe report config."""
+    return {key: value for key, value in vars(args).items()
+            if key != "func"}
+
+
 def _write_run_report(args: argparse.Namespace) -> None:
     """Aggregate this invocation's telemetry into the requested report."""
-    config = {key: value for key, value in vars(args).items()
-              if key != "func"}
-    obs.write_report(obs.build_run_report(config=config), args.report)
+    obs.write_report(obs.build_run_report(config=_cli_config(args)),
+                     args.report)
     print(f"wrote run report -> {args.report}", file=sys.stderr)
+
+
+def _write_profile_report(args: argparse.Namespace) -> None:
+    """Rank this invocation's spans by self time into the profile."""
+    obs.write_profile_report(
+        obs.build_profile_report(config=_cli_config(args)), args.profile)
+    print(f"wrote profile report -> {args.profile}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -385,12 +438,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = args.func(args)
         if code == 0 and args.report:
             _write_run_report(args)
+        if code == 0 and args.profile:
+            _write_profile_report(args)
     except KeyboardInterrupt:
         # Atomic checkpoint writes mean everything persisted so far is a
         # valid --resume point; flush the telemetry gathered and leave.
-        if args.report:
+        if args.report or args.profile:
             try:
-                _write_run_report(args)
+                if args.report:
+                    _write_run_report(args)
+                if args.profile:
+                    _write_profile_report(args)
             # repro: noqa-RL004  best-effort telemetry flush while the
             # process is already unwinding from Ctrl-C; a reporting
             # failure must not mask the interrupt exit status.

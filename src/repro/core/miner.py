@@ -21,7 +21,7 @@ from ..errors import DataError
 from ..hierarchy import TopicalHierarchy
 from ..network import HeterogeneousNetwork, build_collapsed_network
 from ..obs import (build_run_report, get_logger, get_report_path,
-                   is_enabled, timed, write_report)
+                   is_enabled, span, write_report)
 from ..parallel import pool_scope
 from ..phrases import (PhraseCounts, attach_entity_rankings, attach_phrases)
 from ..relations import (CandidateGraph, CollaborationNetwork, TPFG,
@@ -123,8 +123,8 @@ class LatentEntityMiner:
         config = self.config
         logger.info("fit: %d documents, %d terms", len(corpus),
                     len(corpus.vocabulary))
-        with timed("miner.fit"), pool_scope():
-            with timed("miner.network_collapse"):
+        with span("miner.fit"), pool_scope():
+            with span("miner.network_collapse"):
                 network = build_collapsed_network(
                     corpus, entity_types=config.entity_types,
                     min_count=config.min_count)
@@ -140,18 +140,18 @@ class LatentEntityMiner:
             builder_kwargs.update(config.builder_overrides)
             builder_config = BuilderConfig(**builder_kwargs)
             builder = HierarchyBuilder(builder_config, seed=self._rng)
-            with timed("miner.hierarchy"):
+            with span("miner.hierarchy"):
                 hierarchy = builder.build(network)
             logger.info("fit: hierarchy has %d topics",
                         sum(1 for _ in hierarchy.topics()))
-            with timed("miner.phrase_decoration"):
+            with span("miner.phrase_decoration"):
                 counts = attach_phrases(
                     hierarchy, corpus, min_support=config.min_support,
                     max_phrase_length=config.max_phrase_length,
                     top_k=config.top_k)
-            with timed("miner.entity_ranking"):
+            with span("miner.entity_ranking"):
                 attach_entity_rankings(hierarchy, top_k=config.top_k)
-            with timed("miner.roles"):
+            with span("miner.roles"):
                 roles = RoleAnalyzer(
                     hierarchy, corpus, counts=counts,
                     min_support=config.min_support,

@@ -1,0 +1,69 @@
+"""Prometheus text exposition (version 0.0.4) for metric snapshots.
+
+Maps a :meth:`MetricsRegistry.snapshot` onto the Prometheus text
+format so ``GET /metrics`` can serve scrapers next to the JSON payload:
+
+* counters → ``repro_<name>_total`` (``# TYPE ... counter``);
+* gauges → ``repro_<name>`` (``# TYPE ... gauge``);
+* timers → summaries: ``repro_<name>_seconds{quantile="0.5|0.9|0.99"}``
+  from the quantile sketch plus ``_seconds_sum`` / ``_seconds_count``.
+
+Dotted metric names (``serve.http.latency``, the RL005 convention)
+become underscore-separated Prometheus names (``serve_http_latency``),
+prefixed ``repro_`` to namespace the exporter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The exposition content type Prometheus scrapers negotiate for.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_QUANTILES: Tuple[Tuple[str, str], ...] = (
+    ("0.5", "p50_s"), ("0.9", "p90_s"), ("0.99", "p99_s"))
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    """``serve.http.latency`` → ``repro_serve_http_latency<suffix>``."""
+    cleaned = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return f"repro_{cleaned}{suffix}"
+
+
+def _format_value(value: float) -> str:
+    """Shortest exact decimal (Prometheus accepts Go float syntax)."""
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render one metrics snapshot as Prometheus 0.0.4 text.
+
+    Accepts the :meth:`MetricsRegistry.snapshot` shape; missing
+    sections render as nothing, so partial snapshots are fine.
+    """
+    lines: List[str] = []
+    counters: Dict[str, float] = dict(snapshot.get("counters", {}))
+    for name in sorted(counters):
+        metric = _metric_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    gauges: Dict[str, float] = dict(snapshot.get("gauges", {}))
+    for name in sorted(gauges):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    timers: Dict[str, Dict[str, Any]] = dict(snapshot.get("timers", {}))
+    for name in sorted(timers):
+        stats = timers[name]
+        metric = _metric_name(name, "_seconds")
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            value = float(stats.get(key, 0.0))
+            lines.append(f'{metric}{{quantile="{quantile}"}} '
+                         f"{_format_value(value)}")
+        lines.append(f"{metric}_sum "
+                     f"{_format_value(float(stats.get('total_s', 0.0)))}")
+        lines.append(f"{metric}_count {int(stats.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,113 @@
+"""Cross-process telemetry propagation for pmap workers.
+
+PR 1's registry is process-local: a counter incremented inside a
+:func:`repro.parallel.pmap` worker lives and dies in that worker.  This
+module is the fix.  The parent captures its observability *state*
+(which collectors are on) with :func:`observability_state` and ships it
+in every task payload; the worker applies it via
+:func:`apply_observability_state`, runs the chunk, then packs whatever
+it collected with :func:`capture_telemetry` and ships the package back
+beside the results.  The parent folds each package in submission order
+with :func:`merge_telemetry` — counters add exactly, quantile sketches
+add bucket counts, worker span trees graft under the parent's
+``parallel.*`` span, and worker convergence traces register as if their
+loops had run in-process.  The result: metrics and traces are
+worker-count-*invariant* (identical totals at ``workers=1`` and
+``workers=8``), not worker-count-blind.
+
+Workers never write to the trace path themselves —
+:func:`apply_observability_state` leaves it unset, and the parent
+streams the merged records once, so files carry no duplicates even
+under the fork start method (where workers inherit the parent's
+module globals).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .registry import get_registry, is_enabled, reset_metrics, set_enabled
+from .spans import (clear_spans, get_spans, merge_spans, set_spans_enabled,
+                    spans_enabled)
+from .tracer import (ConvergenceTrace, clear_traces, get_traces,
+                     register_trace, set_trace_path)
+
+__all__ = [
+    "apply_observability_state",
+    "capture_telemetry",
+    "merge_telemetry",
+    "observability_state",
+]
+
+
+def observability_state() -> Dict[str, bool]:
+    """The parent-side collector flags a worker must reproduce."""
+    from .profile import profiling_enabled
+
+    return {
+        "metrics": is_enabled(),
+        "spans": spans_enabled(),
+        "profiling": profiling_enabled(),
+    }
+
+
+def apply_observability_state(state: Optional[Dict[str, bool]]) -> None:
+    """Adopt shipped collector flags and start from a clean slate.
+
+    Called at the top of every worker chunk: resets the worker's
+    registry, spans, and traces (so a reused pool process never ships
+    the same telemetry twice), switches each collector to the parent's
+    setting, and clears the trace path — the parent streams merged
+    telemetry; workers only collect.
+    """
+    from .profile import set_profiling_enabled
+
+    if state is None:
+        state = {}
+    reset_metrics()
+    clear_spans()
+    clear_traces()
+    set_trace_path(None)
+    set_enabled(bool(state.get("metrics", False)))
+    set_spans_enabled(bool(state.get("spans", False)))
+    set_profiling_enabled(bool(state.get("profiling", False)))
+
+
+def capture_telemetry() -> Optional[Dict[str, Any]]:
+    """Package this process's collected telemetry for shipping.
+
+    Returns None when nothing was collected (every collector off), so
+    the common disabled path ships no extra bytes.
+    """
+    if not (is_enabled() or spans_enabled()):
+        return None
+    package: Dict[str, Any] = {}
+    if is_enabled():
+        package["metrics"] = get_registry().snapshot()
+        traces = get_traces()
+        if traces:
+            package["traces"] = [t.to_dict() for t in traces]
+    if spans_enabled():
+        spans = get_spans()
+        if spans:
+            package["spans"] = spans
+    return package
+
+
+def merge_telemetry(package: Optional[Dict[str, Any]],
+                    parent_span_id: Optional[str] = None) -> None:
+    """Fold a worker's shipped telemetry into this process.
+
+    Safe to call with None (worker had collectors off, or the chunk was
+    recovered without telemetry after a worker crash).
+    """
+    if not package:
+        return
+    metrics = package.get("metrics")
+    if metrics:
+        get_registry().merge_snapshot(metrics)
+    spans = package.get("spans")
+    if spans:
+        merge_spans(spans, parent_id=parent_span_id)
+    for data in package.get("traces", []):
+        register_trace(ConvergenceTrace.from_dict(data))

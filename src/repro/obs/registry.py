@@ -5,17 +5,26 @@ solvers emit.  Instrumentation is free when observability is disabled
 (the default): :func:`timed` returns a shared no-op context manager and
 :func:`inc` / :func:`set_gauge` return immediately, so hot loops carry no
 more than a module-global check per call and allocate nothing.
+
+Every :class:`TimerStats` carries a :class:`QuantileSketch` — a
+fixed-memory log-bucketed histogram exposing p50/p90/p99 — and both are
+**mergeable**: :meth:`MetricsRegistry.merge_snapshot` folds a snapshot
+taken in another process into this registry (the worker-telemetry path
+of :mod:`repro.parallel`), with counter addition and bucket-count
+addition, so merged totals are exact and merge order never matters.
 """
 
 from __future__ import annotations
 
 import functools
+import math
 import threading
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 __all__ = [
     "MetricsRegistry",
+    "QuantileSketch",
     "TimerStats",
     "get_registry",
     "inc",
@@ -43,6 +52,92 @@ def set_enabled(enabled: bool) -> None:
     _ENABLED = bool(enabled)
 
 
+class QuantileSketch:
+    """Fixed-memory streaming quantile estimate over positive values.
+
+    A log-bucketed histogram: bucket ``b`` covers
+    ``[MIN_VALUE * GROWTH**b, MIN_VALUE * GROWTH**(b+1))``, so relative
+    quantile error is bounded by the bucket width (~9% at the default
+    growth factor) while memory stays bounded by :data:`NUM_BUCKETS`
+    integers regardless of observation count.  Buckets are stored
+    sparsely (``index -> count``), which keeps snapshots tiny for the
+    typical timer that spans a few decades.
+
+    Merging two sketches adds their bucket counts — integer addition, so
+    the merge is exact, commutative, and associative: folding worker
+    sketches into the parent registry gives the same p50/p99 regardless
+    of worker count or merge order.
+    """
+
+    #: Lower edge of bucket 0 (100 ns — below any duration we time).
+    MIN_VALUE = 1e-7
+    #: Geometric bucket growth; 2**(1/4) gives 4 buckets per octave.
+    GROWTH = 2.0 ** 0.25
+    #: Bucket count; covers 1e-7 s .. ~3.6e4 s (10 hours) at GROWTH.
+    NUM_BUCKETS = 160
+
+    __slots__ = ("_buckets",)
+
+    _LOG_GROWTH = math.log(GROWTH)
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+
+    def _bucket_of(self, value: float) -> int:
+        if value <= self.MIN_VALUE:
+            return 0
+        index = int(math.log(value / self.MIN_VALUE) / self._LOG_GROWTH)
+        return min(index, self.NUM_BUCKETS - 1)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        index = self._bucket_of(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations folded in."""
+        return sum(self._buckets.values())
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1; 0.0 when empty).
+
+        Returns the geometric midpoint of the bucket holding the
+        rank-``ceil(q * count)`` observation.
+        """
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * total))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                lower = self.MIN_VALUE * self.GROWTH ** index
+                return lower * math.sqrt(self.GROWTH)
+        return self.MIN_VALUE * self.GROWTH ** self.NUM_BUCKETS
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other``'s buckets into this sketch (exact addition)."""
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+
+    def to_dict(self) -> Dict[str, int]:
+        """Sparse bucket map with string keys (JSON/snapshot currency)."""
+        return {str(index): count
+                for index, count in sorted(self._buckets.items())}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        sketch = cls()
+        for key, count in data.items():
+            index = min(max(int(key), 0), cls.NUM_BUCKETS - 1)
+            sketch._buckets[index] = sketch._buckets.get(index, 0) \
+                + int(count)
+        return sketch
+
+
 class TimerStats:
     """Aggregate statistics of one named timer (a tiny histogram).
 
@@ -51,9 +146,10 @@ class TimerStats:
         total: summed duration in seconds.
         min / max: extreme observations in seconds.
         last: the most recent observation in seconds.
+        sketch: fixed-memory quantile sketch over the observations.
     """
 
-    __slots__ = ("count", "total", "min", "max", "last")
+    __slots__ = ("count", "total", "min", "max", "last", "sketch")
 
     def __init__(self) -> None:
         self.count = 0
@@ -61,6 +157,7 @@ class TimerStats:
         self.min = float("inf")
         self.max = 0.0
         self.last = 0.0
+        self.sketch = QuantileSketch()
 
     def observe(self, seconds: float) -> None:
         """Fold one duration into the aggregate."""
@@ -71,14 +168,32 @@ class TimerStats:
             self.min = seconds
         if seconds > self.max:
             self.max = seconds
+        self.sketch.add(seconds)
 
     @property
     def mean(self) -> float:
         """Average observed duration in seconds (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> Dict[str, float]:
-        """Plain-data form used by run reports."""
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the observed durations."""
+        return self.sketch.quantile(q)
+
+    def merge(self, other: "TimerStats") -> None:
+        """Fold another timer's aggregate into this one (cross-process)."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.last = other.last
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.sketch.merge(other.sketch)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form used by run reports and snapshot merging."""
         return {
             "count": self.count,
             "total_s": self.total,
@@ -86,7 +201,31 @@ class TimerStats:
             "min_s": self.min if self.count else 0.0,
             "max_s": self.max,
             "last_s": self.last,
+            "p50_s": self.quantile(0.50),
+            "p90_s": self.quantile(0.90),
+            "p99_s": self.quantile(0.99),
+            "sketch": self.sketch.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimerStats":
+        """Rebuild timer stats from :meth:`to_dict` output.
+
+        Tolerates sketch-less dicts (pre-quantile snapshots): the sketch
+        then starts empty and quantiles read as 0 until new observations
+        arrive.
+        """
+        stats = cls()
+        stats.count = int(data.get("count", 0))
+        stats.total = float(data.get("total_s", 0.0))
+        stats.min = float(data.get("min_s", 0.0)) if stats.count \
+            else float("inf")
+        stats.max = float(data.get("max_s", 0.0))
+        stats.last = float(data.get("last_s", 0.0))
+        sketch = data.get("sketch")
+        if isinstance(sketch, Mapping):
+            stats.sketch = QuantileSketch.from_dict(sketch)
+        return stats
 
 
 class MetricsRegistry:
@@ -149,6 +288,30 @@ class MetricsRegistry:
                 "timers": {name: stats.to_dict()
                            for name, stats in self._timers.items()},
             }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another process into this registry.
+
+        Counters add, gauges take the incoming value (last write wins, as
+        for a local ``set_gauge``), and timers merge count/sum/extremes
+        plus their quantile sketches.  Counter and sketch merging are
+        exact integer/float addition, so folding N worker snapshots gives
+        the same totals as running the same work in-process.
+        """
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        timers = snapshot.get("timers", {})
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0.0) \
+                    + float(value)
+            for name, value in gauges.items():
+                self._gauges[name] = float(value)
+            for name, data in timers.items():
+                stats = self._timers.get(name)
+                if stats is None:
+                    stats = self._timers[name] = TimerStats()
+                stats.merge(TimerStats.from_dict(data))
 
 
 _REGISTRY = MetricsRegistry()

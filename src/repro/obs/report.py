@@ -5,14 +5,17 @@ timers), every finished convergence trace, and the run's configuration
 under a versioned schema, so ``BENCH_*.json`` perf entries and CI smoke
 checks consume measured numbers instead of nothing.
 
-Schema (``repro.obs/run-report/v1``)::
+Schema (``repro.obs/run-report/v2``)::
 
     {
-      "schema": "repro.obs/run-report/v1",
+      "schema": "repro.obs/run-report/v2",
       "generated_unix": 1722945600.0,
       "config": {...},                      # sanitized, run-specific
       "metrics": {"counters": {}, "gauges": {}, "timers": {}},
       "phases": {"miner.hierarchy": {"count": 1, "total_s": ...}, ...},
+      "resources": {"peak_rss_bytes": ..., "cpu_time_s": ...},
+      "top_spans": [{"name": ..., "count": ..., "total_s": ...,
+                     "self_s": ..., "cpu_s": ...}, ...],   # top 10
       "traces": [{"name": "cathy.hin_em", "termination": "converged",
                   "num_iterations": 12, "total_time_s": ...,
                   "iterations": [{"iteration": 0, "time_s": ...,
@@ -21,6 +24,9 @@ Schema (``repro.obs/run-report/v1``)::
 
 ``phases`` mirrors ``metrics.timers`` (one entry per :func:`~repro.obs.timed`
 name) and exists so report consumers need no knowledge of the registry.
+v2 added ``resources`` and ``top_spans``; v1 reports (without them) are
+still accepted by :func:`validate_report` and upgraded in place by
+:func:`upgrade_report`, so stored ``BENCH_*.json`` history keeps loading.
 
 Run ``python -m repro.obs.report <path>`` to validate a report file.
 """
@@ -37,14 +43,17 @@ from .tracer import get_traces
 
 __all__ = [
     "REPORT_SCHEMA",
+    "REPORT_SCHEMA_V1",
     "build_run_report",
     "get_report_path",
     "set_report_path",
+    "upgrade_report",
     "validate_report",
     "write_report",
 ]
 
-REPORT_SCHEMA = "repro.obs/run-report/v1"
+REPORT_SCHEMA = "repro.obs/run-report/v2"
+REPORT_SCHEMA_V1 = "repro.obs/run-report/v1"
 
 _REPORT_PATH: Optional[str] = None
 
@@ -79,6 +88,8 @@ def build_run_report(config: Optional[Dict[str, Any]] = None,
     stored report is traceable to the code that generated it.
     """
     from .. import get_version
+    from .profile import cpu_time_s, peak_rss_bytes
+    from .spans import get_spans, top_spans
 
     metrics = get_registry().snapshot()
     return {
@@ -88,6 +99,11 @@ def build_run_report(config: Optional[Dict[str, Any]] = None,
         "config": _jsonable(config or {}),
         "metrics": metrics,
         "phases": metrics["timers"],
+        "resources": {
+            "peak_rss_bytes": peak_rss_bytes(),
+            "cpu_time_s": cpu_time_s(),
+        },
+        "top_spans": top_spans(get_spans(), limit=10),
         "traces": [t.to_dict() for t in get_traces()],
     }
 
@@ -104,16 +120,53 @@ def write_report(report: Dict[str, Any], path: str) -> None:
                       trailing_newline=True)
 
 
+def upgrade_report(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Upgrade a v1 report to the v2 shape, in place (loader shim).
+
+    v1 reports predate ``resources`` and ``top_spans``; the shim fills
+    both with empty-run values and bumps the schema tag, so one loader
+    code path serves old ``BENCH_*.json`` history and fresh runs alike.
+    v2 (and newer-tagged) documents pass through untouched.
+    """
+    if not isinstance(data, dict):
+        return data
+    if data.get("schema") == REPORT_SCHEMA_V1:
+        data["schema"] = REPORT_SCHEMA
+        data.setdefault("resources",
+                        {"peak_rss_bytes": 0, "cpu_time_s": 0.0})
+        data.setdefault("top_spans", [])
+    return data
+
+
 def validate_report(data: Dict[str, Any]) -> None:
     """Check ``data`` against the documented run-report schema.
+
+    Both the current v2 schema and legacy v1 documents (validated after
+    the :func:`upgrade_report` shim) are accepted.
 
     Raises:
         DataError: on any structural mismatch, with a one-line reason.
     """
     if not isinstance(data, dict):
         raise DataError("run report must be a JSON object")
+    if data.get("schema") == REPORT_SCHEMA_V1:
+        data = upgrade_report(dict(data))
     if data.get("schema") != REPORT_SCHEMA:
         raise DataError(f"unsupported report schema: {data.get('schema')!r}")
+    resources = data.get("resources")
+    if not isinstance(resources, dict):
+        raise DataError("report field 'resources' must be an object")
+    for key in ("peak_rss_bytes", "cpu_time_s"):
+        if not isinstance(resources.get(key), (int, float)):
+            raise DataError(f"resources field {key!r} must be a number")
+    top = data.get("top_spans")
+    if not isinstance(top, list):
+        raise DataError("report field 'top_spans' must be an array")
+    for row in top:
+        if not isinstance(row, dict) or "name" not in row \
+                or "self_s" not in row:
+            raise DataError("every top_spans row must carry "
+                            "'name' and 'self_s'")
     for key in ("config", "metrics", "phases"):
         if not isinstance(data.get(key), dict):
             raise DataError(f"report field {key!r} must be an object")

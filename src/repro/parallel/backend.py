@@ -44,10 +44,20 @@ at pool-creation time: enter one only after process-wide configuration
 (workers, observability) is settled.
 
 Every dispatch records into :mod:`repro.obs`: the ``parallel.tasks``
-counter, the ``parallel.workers`` gauge, a ``parallel.<label>``
-wall-time timer, and the ``parallel.pool_created`` /
+counter, the ``parallel.workers`` gauge, a ``parallel.<label>`` span
+(doubling as the wall-time timer), and the ``parallel.pool_created`` /
 ``parallel.pool_reused`` counters, so speedups and degradations are
 visible in run reports.
+
+**Telemetry propagation.**  Each chunk payload carries the parent's
+observability state; the worker adopts it, collects, and ships its
+metrics snapshot, finished spans, and convergence traces back beside
+the chunk results (see :mod:`repro.obs.propagate`).  The parent merges
+packages in submission order — counter and quantile-sketch merging are
+exact, and worker span trees graft under the map's ``parallel.<label>``
+span — so observability is worker-count-invariant: a ``workers=8`` run
+reports the same counter totals and one connected span tree, exactly
+like ``workers=1``.
 """
 
 from __future__ import annotations
@@ -64,7 +74,9 @@ from typing import (Any, Callable, Iterable, Iterator, List, Optional,
                     Sequence, Tuple)
 
 from ..errors import ConfigurationError, ExecutionError
-from ..obs import get_logger, inc, set_gauge, timed
+from ..obs import (apply_observability_state, capture_telemetry,
+                   get_logger, inc, merge_telemetry, observability_state,
+                   set_gauge, span)
 
 __all__ = [
     "ExecutionBackend",
@@ -253,20 +265,33 @@ def _worker_init(has_shared: bool, shared: object) -> None:
     _WORKER_SHARED = shared
 
 
-def _run_chunk(payload: Tuple[Any, ...]) -> List:
-    """Execute one chunk against the initializer-installed shared payload."""
-    fn, chunk = payload
+def _run_chunk(payload: Tuple[Any, ...]) -> Tuple[List, Optional[dict]]:
+    """Execute one chunk against the initializer-installed shared payload.
+
+    Returns ``(results, telemetry)``: the chunk's telemetry package is
+    captured at task end and shipped back beside the results, so worker
+    metrics, spans, and traces reach the parent registry instead of
+    dying with the worker (see :mod:`repro.obs.propagate`).
+    """
+    fn, chunk, obs_state = payload
+    apply_observability_state(obs_state)
     if not _WORKER_HAS_SHARED:
-        return [fn(item) for item in chunk]
-    return [fn(_WORKER_SHARED, item) for item in chunk]
+        results = [fn(item) for item in chunk]
+    else:
+        results = [fn(_WORKER_SHARED, item) for item in chunk]
+    return results, capture_telemetry()
 
 
-def _run_chunk_inline(payload: Tuple[Any, ...]) -> List:
+def _run_chunk_inline(payload: Tuple[Any, ...],
+                      ) -> Tuple[List, Optional[dict]]:
     """Execute one chunk whose shared payload travels with the message."""
-    fn, chunk, has_shared, shared = payload
+    fn, chunk, has_shared, shared, obs_state = payload
+    apply_observability_state(obs_state)
     if not has_shared:
-        return [fn(item) for item in chunk]
-    return [fn(shared, item) for item in chunk]
+        results = [fn(item) for item in chunk]
+    else:
+        results = [fn(shared, item) for item in chunk]
+    return results, capture_telemetry()
 
 
 def _submit_and_collect(pool: ProcessPoolExecutor, runner: Callable,
@@ -373,11 +398,13 @@ class ProcessBackend(ExecutionBackend):
                   for i in range(0, len(items), chunk_size)]
         results: List = [None] * len(chunks)
 
+        obs_state = observability_state()
         if _SCOPE_DEPTH > 0 and self._reusable_shared(shared):
             pool = _reusable_pool(self.workers, self._context())
             has_shared = shared is not _UNSET
             payloads = [(fn, chunk, has_shared,
-                         shared if has_shared else None) for chunk in chunks]
+                         shared if has_shared else None, obs_state)
+                        for chunk in chunks]
             failed, cause = _submit_and_collect(pool, _run_chunk_inline,
                                                 payloads, results,
                                                 self.timeout)
@@ -393,7 +420,7 @@ class ProcessBackend(ExecutionBackend):
                           None if shared is _UNSET else shared))
             inc("parallel.pool_created")
             try:
-                payloads = [(fn, chunk) for chunk in chunks]
+                payloads = [(fn, chunk, obs_state) for chunk in chunks]
                 failed, cause = _submit_and_collect(pool, _run_chunk,
                                                     payloads, results,
                                                     self.timeout)
@@ -403,9 +430,12 @@ class ProcessBackend(ExecutionBackend):
         if failed:
             self._recover(fn, chunks, sorted(set(failed)), results, shared,
                           cause, label)
+        # Merge worker telemetry in submission order — deterministic, and
+        # exact for counters/sketches, so totals match a serial run.
         flat: List = []
-        for chunk_result in results:
+        for chunk_result, telemetry in results:
             flat.extend(chunk_result)
+            merge_telemetry(telemetry)
         return flat
 
     def _recover(self, fn: Callable, chunks: List, failed: List[int],
@@ -428,7 +458,10 @@ class ProcessBackend(ExecutionBackend):
             "serially", name, len(failed), len(chunks), reason)
         serial = SerialBackend()
         for idx in failed:
-            results[idx] = serial.map(fn, chunks[idx], shared=shared)
+            # Recovered chunks run in the parent, where their metrics
+            # land directly in the registry — no telemetry to merge.
+            results[idx] = (serial.map(fn, chunks[idx], shared=shared),
+                            None)
 
 
 def get_backend(workers: Optional[int] = None) -> ExecutionBackend:
@@ -480,6 +513,9 @@ def pmap(fn: Callable, items: Iterable, *,
     inc("parallel.tasks", len(items))
     inc(f"parallel.tasks.{backend.name}", len(items))
     set_gauge("parallel.workers", count)
-    with timed(f"parallel.{label or getattr(fn, '__name__', 'map')}"):
+    # A span (not a bare timer) so shipped worker span trees graft under
+    # this map's node in the parent's trace.
+    with span(f"parallel.{label or getattr(fn, '__name__', 'map')}",
+              items=len(items), workers=count, backend=backend.name):
         return backend.map(fn, items, shared=shared, chunk_size=chunk_size,
                            label=label)

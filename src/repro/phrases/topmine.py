@@ -19,7 +19,7 @@ import numpy as np
 
 from ..corpus import Corpus
 from ..errors import ConfigurationError
-from ..obs import timed
+from ..obs import span
 from ..utils import EPS, RandomState, ensure_rng
 from .frequent import Phrase, PhraseCounts, mine_frequent_phrases
 from .ranking import FlatTopicModel, render_phrase
@@ -134,12 +134,12 @@ class ToPMine:
                            iterations=config.lda_iterations, seed=self._rng,
                            checkpoint=writer, resume=resume)
         docs = [doc.tokens for doc in corpus]
-        with timed("topmine.lda"):
+        with span("topmine.lda"):
             lda = sampler.fit(docs, vocab_size=len(corpus.vocabulary),
                               partitions=partitions)
         model = lda.to_flat()
 
-        with timed("topmine.ranking"):
+        with span("topmine.ranking"):
             phrase_topic_counts = self._phrase_topic_counts(
                 partitions, model, lda.theta)
             rankings = self._rank(phrase_topic_counts, counts, model)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..obs import timed_function, trace
+from ..obs import span, timed_function, trace
 from ..utils import EPS
 from .preprocess import Candidate, CandidateGraph
 
@@ -170,32 +170,33 @@ class TPFG:
                        damping=self.damping)
         for iteration in range(start_iter, self.max_iter):
             new_messages: Dict[Tuple[str, str, str], np.ndarray] = {}
-            for x, i in edges:
-                # Message from advisee x to advisor i over y_i.
-                base = node_belief(x, exclude=("up", i))
-                xi = index_in_domain[x][i]
-                others = np.delete(base, xi)
-                best_other = others.max() if len(others) else -np.inf
-                s_choose_i = base[xi]
-                mask = allowed[(x, i)]
-                msg = np.where(
-                    mask,
-                    np.maximum(best_other, s_choose_i),
-                    np.maximum(best_other, s_choose_i - self.penalty))
-                msg = msg - msg.max()
-                new_messages[("down", x, i)] = msg
+            with span("tpfg.message_round", iteration=iteration):
+                for x, i in edges:
+                    # Message from advisee x to advisor i over y_i.
+                    base = node_belief(x, exclude=("up", i))
+                    xi = index_in_domain[x][i]
+                    others = np.delete(base, xi)
+                    best_other = others.max() if len(others) else -np.inf
+                    s_choose_i = base[xi]
+                    mask = allowed[(x, i)]
+                    msg = np.where(
+                        mask,
+                        np.maximum(best_other, s_choose_i),
+                        np.maximum(best_other, s_choose_i - self.penalty))
+                    msg = msg - msg.max()
+                    new_messages[("down", x, i)] = msg
 
-                # Message from advisor i to advisee x over y_x.
-                base_i = node_belief(i, exclude=("down", x))
-                best_all = base_i.max()
-                allowed_scores = base_i[mask]
-                best_allowed = (allowed_scores.max()
-                                if len(allowed_scores) else
-                                best_all - self.penalty)
-                msg_up = np.full(len(domain[x]), best_all)
-                msg_up[xi] = max(best_allowed, best_all - self.penalty)
-                msg_up = msg_up - msg_up.max()
-                new_messages[("up", i, x)] = msg_up
+                    # Message from advisor i to advisee x over y_x.
+                    base_i = node_belief(i, exclude=("down", x))
+                    best_all = base_i.max()
+                    allowed_scores = base_i[mask]
+                    best_allowed = (allowed_scores.max()
+                                    if len(allowed_scores) else
+                                    best_all - self.penalty)
+                    msg_up = np.full(len(domain[x]), best_all)
+                    msg_up[xi] = max(best_allowed, best_all - self.penalty)
+                    msg_up = msg_up - msg_up.max()
+                    new_messages[("up", i, x)] = msg_up
 
             if tracer.active:
                 # Max message change — the flooding-schedule residual.

@@ -6,7 +6,11 @@ dependencies) and exposes the query API as JSON endpoints:
 
 =====================  ======================================================
 ``GET /healthz``        liveness probe (status, uptime, model id)
-``GET /metrics``        request / latency / cache counters as JSON
+``GET /metrics``        request / latency / cache counters as JSON, or
+                        Prometheus text exposition with
+                        ``?format=prometheus`` (or an ``Accept`` header
+                        preferring ``text/plain``); latency timers carry
+                        p50/p90/p99 in both formats
 ``GET /v1/model``       manifest + tree-shape statistics
 ``GET /v1/topics/o/1``  topic detail; the path *is* the topic notation
                         (``?phrases=&entities=&terms=`` trim the answer)
@@ -21,6 +25,10 @@ Operational behavior:
   :class:`~repro.obs.MetricsRegistry` (``serve.http.*``) — always on, so
   ``/metrics`` works without global observability — and mirrored into the
   process-wide registry when :func:`repro.obs.configure` enabled it;
+* every request gets a trace ID, echoed back as the ``X-Request-Id``
+  response header; with span tracing enabled the whole handling path is
+  wrapped in a ``serve.http.request`` span carrying that ID, so one
+  request's spans are one trace in the exported Chrome timeline;
 * a per-connection read timeout drops clients that stall mid-request
   instead of pinning a handler thread forever;
 * :meth:`ModelServer.install_signal_handlers` arranges a graceful
@@ -36,7 +44,9 @@ connection.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import signal
 import threading
 import time
@@ -45,7 +55,8 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
 from ..errors import ConfigurationError, DataError
-from ..obs import MetricsRegistry, get_logger, inc, observe
+from ..obs import (PROMETHEUS_CONTENT_TYPE, MetricsRegistry, get_logger,
+                   inc, observe, render_prometheus, set_trace_id, span)
 from .engine import ModelQueryEngine
 
 __all__ = ["ModelServer"]
@@ -65,11 +76,23 @@ def _int_param(params: Dict[str, list], name: str, default: int) -> int:
             f"{values[0]!r}") from None
 
 
+class _PrometheusText:
+    """Marker wrapping a text-exposition body through ``_route``."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+
 class _RequestHandler(BaseHTTPRequestHandler):
     """Routes one HTTP request to the engine and answers in JSON."""
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+
+    #: Trace ID of the request being handled (echoed as X-Request-Id).
+    _request_id: Optional[str] = None
 
     # ------------------------------------------------------------ plumbing
     def setup(self) -> None:
@@ -82,13 +105,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: Any) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, status: int, body: bytes,
+                   content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send_body(status, json.dumps(payload).encode("utf-8"),
+                        "application/json")
 
     # ------------------------------------------------------------- methods
     def do_GET(self) -> None:
@@ -99,28 +128,45 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         server: "_EngineServer" = self.server
+        # One trace ID per request: every span opened while handling it
+        # (this request span included) shares the ID, and the client gets
+        # it back as X-Request-Id for log correlation.
+        self._request_id = server.next_request_id()
+        set_trace_id(self._request_id)
         start = time.perf_counter()
         endpoint = "unknown"
         try:
-            status, payload, endpoint = self._route(method)
-        except DataError as exc:
-            status, payload = 404, {"error": str(exc)}
-        except (ConfigurationError, ValueError) as exc:
-            status, payload = 400, {"error": str(exc)}
-        except BrokenPipeError:  # client went away mid-answer
-            self.close_connection = True
-            return
-        except Exception as exc:  # noqa: BLE001 - must answer, not drop
-            logger.error("unhandled error serving %s: %r", self.path, exc)
-            status, payload = 500, {"error": f"internal error: {exc!r}"}
-        try:
-            self._send_json(status, payload)
-        except (BrokenPipeError, ConnectionResetError):
-            self.close_connection = True
-            return
+            with span("serve.http.request", method=method,
+                      request_id=self._request_id):
+                try:
+                    status, payload, endpoint = self._route(method)
+                except DataError as exc:
+                    status, payload = 404, {"error": str(exc)}
+                except (ConfigurationError, ValueError) as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except BrokenPipeError:  # client went away mid-answer
+                    self.close_connection = True
+                    return
+                except Exception as exc:  # noqa: BLE001 - must answer
+                    logger.error("unhandled error serving %s: %r",
+                                 self.path, exc)
+                    status, payload = 500, {
+                        "error": f"internal error: {exc!r}"}
+                try:
+                    if isinstance(payload, _PrometheusText):
+                        self._send_body(status,
+                                        payload.text.encode("utf-8"),
+                                        PROMETHEUS_CONTENT_TYPE)
+                    else:
+                        self._send_json(status, payload)
+                except (BrokenPipeError, ConnectionResetError):
+                    self.close_connection = True
+                    return
+                finally:
+                    elapsed = time.perf_counter() - start
+                    server.record_request(endpoint, status, elapsed)
         finally:
-            elapsed = time.perf_counter() - start
-            server.record_request(endpoint, status, elapsed)
+            set_trace_id(None)
 
     # ------------------------------------------------------------- routing
     def _route(self, method: str) -> Tuple[int, Any, str]:
@@ -139,6 +185,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
                          "num_topics":
                              engine.model.manifest["num_topics"]}, "healthz"
         if parts == ["metrics"]:
+            # Content negotiation: JSON stays the default; Prometheus
+            # text exposition via ?format=prometheus or an Accept header
+            # preferring text/plain over JSON.
+            fmt = params.get("format", [None])[0]
+            accept = self.headers.get("Accept", "")
+            wants_text = fmt == "prometheus" or (
+                fmt is None and "text/plain" in accept
+                and "application/json" not in accept)
+            if wants_text:
+                return (200, _PrometheusText(server.prometheus_payload()),
+                        "metrics")
             return 200, server.metrics_payload(), "metrics"
         if len(parts) >= 1 and parts[0] == "v1":
             if method == "POST":
@@ -196,6 +253,11 @@ class _EngineServer(ThreadingHTTPServer):
         self.request_timeout = request_timeout
         self.registry = MetricsRegistry()
         self.started_unix = time.time()
+        self._request_serial = itertools.count(1)
+
+    def next_request_id(self) -> str:
+        """A process-unique request / trace ID (no RNG involved)."""
+        return f"req-{os.getpid():x}-{next(self._request_serial):x}"
 
     def record_request(self, endpoint: str, status: int,
                        elapsed: float) -> None:
@@ -209,12 +271,35 @@ class _EngineServer(ThreadingHTTPServer):
         inc(f"serve.http.status.{status}")
         observe("serve.http.latency", elapsed)
 
+    def _combined_snapshot(self) -> Dict[str, Any]:
+        """Server registry snapshot plus cache counters, one code path.
+
+        Both ``/metrics`` formats are views of this snapshot, so the
+        JSON and Prometheus answers always agree; timer entries carry
+        p50/p90/p99 from the quantile sketches.
+        """
+        snapshot = self.registry.snapshot()
+        cache = self.engine.cache_info()
+        snapshot["counters"]["serve.cache.hits"] = float(cache["hits"])
+        snapshot["counters"]["serve.cache.misses"] = float(cache["misses"])
+        snapshot["gauges"]["serve.cache.size"] = float(cache["size"])
+        snapshot["gauges"]["serve.cache.capacity"] = float(
+            cache["capacity"])
+        snapshot["gauges"]["serve.uptime_s"] = \
+            time.time() - self.started_unix
+        return snapshot
+
     def metrics_payload(self) -> Dict[str, Any]:
         return {
             "uptime_s": time.time() - self.started_unix,
             "server": self.registry.snapshot(),
+            "combined": self._combined_snapshot(),
             "cache": self.engine.cache_info(),
         }
+
+    def prometheus_payload(self) -> str:
+        """The combined snapshot in Prometheus 0.0.4 text exposition."""
+        return render_prometheus(self._combined_snapshot())
 
 
 class ModelServer:

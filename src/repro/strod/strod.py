@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
-from ..obs import get_logger, set_gauge, timed
+from ..obs import get_logger, set_gauge, span
 from ..phrases.ranking import FlatTopicModel
 from ..utils import EPS, RandomState, ensure_rng
 from .moments import (compute_whitener, first_moment, second_moment,
@@ -115,7 +115,7 @@ class STROD:
             raise ConfigurationError(
                 "need at least k documents of length >= 3")
 
-        with timed("strod.fit"):
+        with span("strod.fit"):
             if self.alpha0 is not None:
                 model = self._fit_alpha0(rows, vocab_size, self.alpha0,
                                          checkpoint=checkpoint,
@@ -136,7 +136,7 @@ class STROD:
 
     def _fit_alpha0(self, rows, vocab_size: int, alpha0: float,
                     checkpoint=None, resume: bool = False) -> STRODModel:
-        with timed("strod.whitening"):
+        with span("strod.whitening"):
             if self.sparse:
                 from .sparse import compute_whitener_sparse
                 whitener, unwhitener, m1 = compute_whitener_sparse(
@@ -145,14 +145,14 @@ class STROD:
                 m1 = first_moment(rows, vocab_size)
                 m2 = second_moment(rows, vocab_size, alpha0)
                 whitener, unwhitener = compute_whitener(m2, self.num_topics)
-        with timed("strod.third_moment"):
+        with span("strod.third_moment"):
             tensor = whitened_third_moment(rows, whitener, m1, alpha0)
-        with timed("strod.tensor_decomposition"):
+        with span("strod.tensor_decomposition"):
             pairs = robust_tensor_decomposition(
                 tensor, self.num_topics, num_restarts=self.num_restarts,
                 num_iterations=self.num_iterations, seed=self._rng,
                 checkpoint=checkpoint, resume=resume)
-        with timed("strod.recovery"):
+        with span("strod.recovery"):
             residual = reconstruction_error(tensor, pairs)
             alpha, phi = self._recover(pairs, unwhitener, alpha0)
         return STRODModel(alpha=alpha, phi=phi, alpha0=alpha0,

@@ -15,7 +15,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..obs import inc, trace
+from ..obs import inc, span, trace
 from ..utils import RandomState, ensure_rng
 
 
@@ -102,26 +102,29 @@ def robust_tensor_decomposition(tensor: np.ndarray,
             rng.bit_generator.state = saved["rng_state"]
             start_component = int(saved["component"])
     for component in range(start_component, num_components):
-        best_vector, best_value = None, -np.inf
-        for _ in range(num_restarts):
-            start = rng.standard_normal(k)
-            vector, value = power_iteration(work, start, num_iterations)
-            if value > best_value:
-                best_vector, best_value = vector, value
-        inc("strod.power_restarts", num_restarts)
-        # A few extra polishing iterations on the winner, traced so the
-        # robustness experiments can see the residual decay.
-        tracer = trace("strod.tensor_power", component=component,
-                       num_restarts=num_restarts,
-                       num_iterations=num_iterations)
-        best_vector, best_value = power_iteration(work, best_vector,
-                                                  num_iterations,
-                                                  tracer=tracer)
-        tracer.finish("completed")
-        pairs.append(TensorEigenpair(eigenvalue=best_value,
-                                     eigenvector=best_vector))
-        work = work - best_value * np.einsum(
-            "i,j,l->ijl", best_vector, best_vector, best_vector)
+        with span("strod.tensor_power.component", component=component,
+                  num_restarts=num_restarts):
+            best_vector, best_value = None, -np.inf
+            for _ in range(num_restarts):
+                start = rng.standard_normal(k)
+                vector, value = power_iteration(work, start,
+                                                num_iterations)
+                if value > best_value:
+                    best_vector, best_value = vector, value
+            inc("strod.power_restarts", num_restarts)
+            # A few extra polishing iterations on the winner, traced so
+            # the robustness experiments can see the residual decay.
+            tracer = trace("strod.tensor_power", component=component,
+                           num_restarts=num_restarts,
+                           num_iterations=num_iterations)
+            best_vector, best_value = power_iteration(work, best_vector,
+                                                      num_iterations,
+                                                      tracer=tracer)
+            tracer.finish("completed")
+            pairs.append(TensorEigenpair(eigenvalue=best_value,
+                                         eigenvector=best_vector))
+            work = work - best_value * np.einsum(
+                "i,j,l->ijl", best_vector, best_vector, best_vector)
         if checkpoint is not None:
             checkpoint.maybe_save(component, lambda: {  # noqa: E731
                 "pairs": list(pairs), "work": work,

@@ -27,7 +27,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Number of suppression pragmas the repository ships with.  Growing
 #: this number is a reviewed decision, not a drive-by: every new pragma
 #: weakens a machine-checked invariant and needs a written reason.
-SHIPPED_PRAGMA_BASELINE = 3
+SHIPPED_PRAGMA_BASELINE = 4  # PR-6 added the span JSONL append stream
 
 SOLVER_PATH = "src/repro/cathy/somefile.py"
 

@@ -85,7 +85,18 @@ class TestTimers:
             pass
         stats = obs.get_registry().timer("phase.dict").to_dict()
         assert set(stats) == {"count", "total_s", "mean_s", "min_s",
-                              "max_s", "last_s"}
+                              "max_s", "last_s", "p50_s", "p90_s",
+                              "p99_s", "sketch"}
+
+    def test_timer_quantiles_bracket_observations(self):
+        obs.set_enabled(True)
+        for ms in range(1, 101):
+            obs.observe("phase.q", ms / 1000.0)
+        stats = obs.get_registry().timer("phase.q")
+        # The sketch has ~9% relative error; check loose brackets.
+        assert 0.04 <= stats.quantile(0.5) <= 0.06
+        assert 0.08 <= stats.quantile(0.9) <= 0.11
+        assert stats.quantile(0.99) <= stats.max * 1.1
 
 
 class TestDisabledFastPath:

@@ -577,7 +577,7 @@ class TestCLIFailureModes:
                          "--report", str(report)])
         assert code == 130
         data = json.loads(report.read_text())
-        assert data["schema"] == "repro.obs/run-report/v1"
+        assert data["schema"] == "repro.obs/run-report/v2"
 
     def test_execution_error_exits_2(self, monkeypatch, tmp_path, capsys):
         import repro.cli as cli
