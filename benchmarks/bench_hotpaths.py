@@ -25,21 +25,35 @@ import repro.obs as obs
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "tests"))
 
-from reference_kernels import (reference_posterior_link_split,
-                               reference_scatter)
+from reference_kernels import (ReferenceDictNetwork, legacy_gibbs_sweep,
+                               reference_posterior_link_split,
+                               reference_scatter, reference_segment_chunk)
 
+from repro.baselines.lda_gibbs import LDAGibbs
 from repro.cathy.em import (flat_scatter_index, posterior_link_split,
                             scatter_expectations)
+from repro.network import HeterogeneousNetwork
+from repro.phrases import (make_merge_scorer,
+                           mine_frequent_phrases_from_chunks, segment_chunk)
 
 from conftest import fmt_row, report
 
 EDGES = int(os.environ.get("REPRO_BENCH_EDGES", 100_000))
 NODES = int(os.environ.get("REPRO_BENCH_NODES", 2_000))
 TOPICS = int(os.environ.get("REPRO_BENCH_TOPICS", 5))
+GIBBS_DOCS = int(os.environ.get("REPRO_BENCH_DOCS", 300))
+CHUNKS = int(os.environ.get("REPRO_BENCH_CHUNKS", 600))
 
-#: The acceptance threshold only binds at the full problem size; the CI
-#: smoke pass shrinks EDGES and asserts plain correctness instead.
+#: The acceptance thresholds only bind at the full problem sizes; the CI
+#: smoke pass shrinks the knobs and asserts plain correctness instead.
 FULL_SIZE = 100_000
+FULL_DOCS = 300
+FULL_CHUNKS = 600
+
+#: Per-kernel wall-time sanity bound: even the CI smoke sizes must keep
+#: every *fast* kernel well under this, so a silently-degraded hot path
+#: (e.g. an accidental reference fallback) fails the build on timing too.
+SANITY_SECONDS = float(os.environ.get("REPRO_BENCH_SANITY_S", 10.0))
 
 
 def _time(fn, repeats: int = 3, span_name: str = None) -> float:
@@ -145,3 +159,200 @@ def test_hotpath_scatter(benchmark):
     # numpy >= 1.24 gives np.add.at a fast path, so the win here is the
     # amortized index; assert parity rather than a large margin.
     assert fast <= slow * 1.5
+
+
+def _gibbs_state(rng, num_topics, vocab):
+    """Initial sampler state over GIBBS_DOCS random token documents."""
+    units = [[(int(tok),) for tok in rng.integers(0, vocab, size=60)]
+             for _ in range(GIBBS_DOCS)]
+    n_dk = np.zeros((len(units), num_topics), dtype=np.int64)
+    n_kw = np.zeros((num_topics, vocab), dtype=np.int64)
+    n_k = np.zeros(num_topics, dtype=np.int64)
+    assignments = []
+    for d, doc_units in enumerate(units):
+        labels = rng.integers(0, num_topics, size=len(doc_units))
+        assignments.append(labels)
+        for unit, z in zip(doc_units, labels):
+            n_dk[d, z] += len(unit)
+            n_k[z] += len(unit)
+            for w in unit:
+                n_kw[z, w] += 1
+    return units, assignments, n_dk, n_kw, n_k
+
+
+def _copy_state(state):
+    units, assignments, n_dk, n_kw, n_k = state
+    return (units, [a.copy() for a in assignments], n_dk.copy(),
+            n_kw.copy(), n_k.copy())
+
+
+def test_hotpath_gibbs_sweep(benchmark):
+    """Blocked list-kernel sweep vs the per-unit ``Generator.choice`` loop.
+
+    The timing baseline is the verbatim legacy sweep; bit-identity is
+    checked against the retained in-library reference sweep (which shares
+    the fast kernel's draw contract).
+    """
+    num_topics, vocab = 8, 1_000
+    state = _gibbs_state(np.random.default_rng(2), num_topics, vocab)
+    sampler = LDAGibbs(num_topics=num_topics, alpha=0.1, beta=0.01,
+                       iterations=1)
+    beta_sum = sampler.beta * vocab
+    # tracemalloc profiling (enabled by the CATHY benches above) hooks
+    # every allocation, which penalizes interpreter-level kernels ~10x
+    # while leaving numpy-heavy ones almost untouched; the interpreter
+    # benches time with it off so the comparison stays honest.
+    obs.set_profiling_enabled(False)
+
+    def run():
+        fast_state = _copy_state(state)
+        fast = _time(lambda: sampler._sweep(
+            *_copy_state(state), beta_sum, np.random.default_rng(7)),
+            span_name="bench.gibbs.blocked")
+        slow = _time(lambda: legacy_gibbs_sweep(
+            *_copy_state(state), alpha=sampler.alpha, beta=sampler.beta,
+            beta_sum=beta_sum, rng=np.random.default_rng(7)), repeats=1,
+            span_name="bench.gibbs.legacy")
+        return fast, slow, fast_state
+
+    fast, slow, fast_state = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = slow / max(fast, 1e-9)
+    report("hotpath_gibbs_sweep", [
+        fmt_row("kernel", ["seconds", "speedup"]),
+        fmt_row("blocked list kernel", [fast, 1.0]),
+        fmt_row("legacy choice-per-unit", [slow, speedup]),
+        "",
+    ] + _profiled_rows({"bench.gibbs.blocked", "bench.gibbs.legacy"}) + [
+        f"docs={GIBBS_DOCS} vocab={vocab} topics={num_topics}",
+        "acceptance: >= 10x at 300 docs x 60 tokens",
+    ])
+
+    # Bit-identity vs the retained reference sweep (same draw contract).
+    ref_state = _copy_state(state)
+    sampler._sweep(*fast_state, beta_sum, np.random.default_rng(7))
+    sampler._sweep_reference(*ref_state, beta_sum, np.random.default_rng(7))
+    assert all((a == b).all()
+               for a, b in zip(fast_state[1], ref_state[1]))
+    assert (fast_state[3] == ref_state[3]).all()
+    assert fast <= SANITY_SECONDS
+    if GIBBS_DOCS >= FULL_DOCS:
+        assert speedup >= 10.0
+
+
+def test_hotpath_network_build(benchmark):
+    """Columnwise CSR edge ingest vs per-edge dict accumulation."""
+    rng = np.random.default_rng(3)
+    i_idx = rng.integers(0, NODES, size=EDGES)
+    j_idx = rng.integers(0, NODES, size=EDGES)
+    weights = rng.uniform(0.1, 3.0, size=EDGES)
+    names = [f"t{n}" for n in range(NODES)]
+    edge_rows = list(zip(i_idx.tolist(), j_idx.tolist(), weights.tolist()))
+    obs.set_profiling_enabled(False)  # see test_hotpath_gibbs_sweep
+
+    def build_fast():
+        network = HeterogeneousNetwork(["term"])
+        network.add_nodes("term", names)
+        network.add_links("term", i_idx, "term", j_idx, weights)
+        network.num_links(("term", "term"))  # force the freeze
+        return network
+
+    def build_slow():
+        reference = ReferenceDictNetwork()
+        for i, j, weight in edge_rows:
+            reference.add_link("term", i, "term", j, weight)
+        return reference
+
+    def run():
+        fast = _time(build_fast, span_name="bench.network.columnwise")
+        slow = _time(build_slow, repeats=1,
+                     span_name="bench.network.dict")
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = slow / max(fast, 1e-9)
+    report("hotpath_network_build", [
+        fmt_row("build path", ["seconds", "speedup"]),
+        fmt_row("columnwise CSR freeze", [fast, 1.0]),
+        fmt_row("per-edge dict inserts", [slow, speedup]),
+        "",
+    ] + _profiled_rows({"bench.network.columnwise",
+                        "bench.network.dict"}) + [
+        f"edges={EDGES} nodes={NODES}",
+        "acceptance: >= 5x at 1e5 edges",
+    ])
+
+    network, reference = build_fast(), build_slow()
+    assert abs(network.total_weight(("term", "term"))
+               - reference.total_weight(("term", "term"))) <= 1e-6
+    assert network.num_links(("term", "term")) == \
+        len(reference.links[("term", "term")])
+    probe_i, probe_j = int(i_idx[0]), int(j_idx[0])
+    assert network.link_weight("term", probe_i, "term", probe_j) > 0
+    assert fast <= SANITY_SECONDS
+    if EDGES >= FULL_SIZE:
+        assert speedup >= 5.0
+
+
+def test_hotpath_topmine_merge(benchmark):
+    """Lazy-invalidation heap segmentation vs the rescanning merge."""
+    rng = np.random.default_rng(4)
+    # Zipfian tokens over long chunks: heavy repetition drives many
+    # merges per chunk, which is exactly where the rescan's O(n^2)
+    # behaviour separates from the heap's O(n log n).
+    chunks = [np.minimum(rng.zipf(1.2, size=rng.integers(60, 200)),
+                         60).tolist()
+              for _ in range(CHUNKS)]
+    counts = mine_frequent_phrases_from_chunks(
+        chunks, min_support=3, max_length=6,
+        num_tokens=sum(len(c) for c in chunks))
+    alpha = 0.5
+    obs.set_profiling_enabled(False)  # see test_hotpath_gibbs_sweep
+
+    def segment_fast():
+        scorer = make_merge_scorer(counts)
+        result = [segment_chunk(chunk, counts, alpha=alpha, scorer=scorer)
+                  for chunk in chunks]
+        scorer.flush()
+        return result
+
+    def segment_slow():
+        return [reference_segment_chunk(chunk, counts, alpha=alpha)
+                for chunk in chunks]
+
+    def run():
+        fast = _time(segment_fast, span_name="bench.topmine.heap")
+        slow = _time(segment_slow, repeats=1,
+                     span_name="bench.topmine.rescan")
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = slow / max(fast, 1e-9)
+    report("hotpath_topmine_merge", [
+        fmt_row("merge strategy", ["seconds", "speedup"]),
+        fmt_row("lazy-invalidation heap", [fast, 1.0]),
+        fmt_row("rescanning reference", [slow, speedup]),
+        "",
+    ] + _profiled_rows({"bench.topmine.heap", "bench.topmine.rescan"}) + [
+        f"chunks={CHUNKS} phrases={len(counts)} alpha={alpha}",
+        "acceptance: >= 5x at 600 long chunks (10x the unit-test corpus)",
+    ])
+
+    for chunk in chunks[:50]:
+        assert segment_chunk(chunk, counts, alpha=alpha) == \
+            reference_segment_chunk(chunk, counts, alpha=alpha)
+    assert fast <= SANITY_SECONDS
+    if CHUNKS >= FULL_CHUNKS:
+        assert speedup >= 5.0
+
+
+def test_no_kernel_fallbacks_recorded():
+    """Guard: the benches above must have run on the fast paths.
+
+    With ``REPRO_REQUIRE_FAST_KERNELS=1`` (the CI perf-smoke setting) any
+    fallback raises before reaching here; without it, this assertion
+    still fails the run if a hot path silently degraded.
+    """
+    counters = obs.get_registry().snapshot()["counters"]
+    fallbacks = {name: count for name, count in counters.items()
+                 if name.startswith("kernel.fallback.")}
+    assert not fallbacks, f"reference-path fallbacks recorded: {fallbacks}"

@@ -292,8 +292,7 @@ class HierarchyBuilder:
             names = network.node_names(node_type)
             if not names:
                 continue
-            degrees = np.array(
-                [network.degree(node_type, i) for i in range(len(names))])
+            degrees = network.degree_vector(node_type)
             total = degrees.sum()
             if total <= 0:
                 continue

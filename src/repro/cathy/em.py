@@ -22,11 +22,17 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
+from ..fastpath import kernel_fallback
 from ..obs import inc, span, trace
 from ..parallel import pmap, rng_from, spawn_seed_sequences
 from ..resilience import CheckpointWriter
 from ..utils import EPS, RandomState, ensure_rng
 from ..network import HeterogeneousNetwork, TERM_TYPE
+
+try:
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy ships with the project
+    _sparse = None
 
 
 class RestartCheckpoint:
@@ -153,6 +159,51 @@ def scatter_expectations(expected: np.ndarray, i_idx: np.ndarray,
     return flat.reshape(k, num_nodes)
 
 
+def link_incidence(i_idx: np.ndarray, j_idx: np.ndarray,
+                   num_nodes: int):
+    """(E, V) CSR incidence matrix of an undirected edge list.
+
+    Row e carries a unit entry at columns ``i_e`` and ``j_e`` (a 2.0 at
+    the diagonal column for self-links, matching the double count of
+    :func:`scatter_expectations`), so the whole M-step scatter becomes a
+    single sparse product ``expected @ incidence`` — the (k, E) posterior
+    expectations land on the (k, V) node axis in one pass.  Returns
+    ``None`` when :mod:`scipy` is unavailable; callers fall back to the
+    bincount scatter via :func:`repro.fastpath.kernel_fallback`.
+    """
+    if _sparse is None:
+        return None
+    num_links = len(i_idx)
+    rows = np.repeat(np.arange(num_links, dtype=np.int64), 2)
+    cols = np.empty(2 * num_links, dtype=np.int64)
+    cols[0::2] = i_idx
+    cols[1::2] = j_idx
+    data = np.ones(2 * num_links, dtype=np.float64)
+    matrix = _sparse.coo_matrix((data, (rows, cols)),
+                                shape=(num_links, num_nodes))
+    matrix.sum_duplicates()
+    return matrix.tocsr()
+
+
+def endpoint_one_hot(idx: np.ndarray, num_nodes: int):
+    """(E, V) CSR with a single unit entry per row at column ``idx[e]``.
+
+    The per-endpoint scatter operator for heterogeneous links, where the
+    two endpoints live on different node-type axes and need separate
+    matrices.  Each row has exactly one entry, so the CSR triple is
+    assembled directly (``indptr = arange``) without a COO round-trip.
+    Returns ``None`` when :mod:`scipy` is unavailable.
+    """
+    if _sparse is None:
+        return None
+    num_links = len(idx)
+    return _sparse.csr_matrix(
+        (np.ones(num_links, dtype=np.float64),
+         np.asarray(idx, dtype=np.int64),
+         np.arange(num_links + 1, dtype=np.int64)),
+        shape=(num_links, num_nodes))
+
+
 def posterior_link_split(rho: np.ndarray, phi: np.ndarray,
                          i_idx: np.ndarray, j_idx: np.ndarray,
                          weights: np.ndarray,
@@ -222,8 +273,12 @@ def _fit_kernel(i_idx: np.ndarray, j_idx: np.ndarray, weights: np.ndarray,
         prev_ll = -np.inf
         ll = prev_ll
         start = 0
-    flat_idx = (flat_scatter_index(i_idx, num_nodes, k),
-                flat_scatter_index(j_idx, num_nodes, k))
+    incidence = link_incidence(i_idx, j_idx, num_nodes)
+    flat_idx = None
+    if incidence is None:
+        kernel_fallback("cathy.m_step", "scipy.sparse unavailable")
+        flat_idx = (flat_scatter_index(i_idx, num_nodes, k),
+                    flat_scatter_index(j_idx, num_nodes, k))
 
     tracer = trace("cathy.em", num_topics=k, num_nodes=num_nodes,
                    num_links=len(weights))
@@ -241,8 +296,11 @@ def _fit_kernel(i_idx: np.ndarray, j_idx: np.ndarray, weights: np.ndarray,
         with span("cathy.em.m_step", iteration=iteration):
             expected = q * weights  # (k, E)
             rho = expected.sum(axis=1)
-            phi = scatter_expectations(expected, i_idx, j_idx, num_nodes,
-                                       flat_idx=flat_idx)
+            if incidence is not None:
+                phi = np.asarray(expected @ incidence)
+            else:
+                phi = scatter_expectations(expected, i_idx, j_idx,
+                                           num_nodes, flat_idx=flat_idx)
             row_sums = phi.sum(axis=1, keepdims=True)
             row_sums = np.maximum(row_sums, EPS)
             phi = phi / row_sums
@@ -326,12 +384,9 @@ class CathyEM:
         num_nodes = len(names)
         if num_nodes == 0:
             raise ConfigurationError("network has no nodes to cluster")
-        links = list(network.links((node_type, node_type)))
-        if not links:
+        i_idx, j_idx, weights = network.link_arrays((node_type, node_type))
+        if not len(weights):
             raise ConfigurationError("network has no links to cluster")
-        i_idx = np.array([l[0] for l in links], dtype=np.int64)
-        j_idx = np.array([l[1] for l in links], dtype=np.int64)
-        weights = np.array([l[2] for l in links], dtype=float)
 
         with span("cathy.em.fit"):
             shared = (i_idx, j_idx, weights, num_nodes, self.num_topics,
@@ -355,25 +410,38 @@ class CathyEM:
         return self.model_
 
     # ------------------------------------------------------------ subnetwork
+    def expected_link_arrays(self, network: HeterogeneousNetwork,
+                             node_type: str = TERM_TYPE,
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Eq. 3.5 posterior split as ``(i_idx, j_idx, (k, E) expected)``.
+
+        The sparse-array form of :meth:`expected_link_weights`: one
+        vectorized pass over the network's CSR link arrays, no dict
+        materialization.  Row z of the expected matrix is the e-hat
+        weight of every link under subtopic z.  Links whose posterior
+        degenerates (zero mixture score) are counted under the
+        ``cathy.degenerate_links`` metric.
+        """
+        model = self._require_fitted()
+        i_idx, j_idx, weights = network.link_arrays((node_type, node_type))
+        expected = posterior_link_split(model.rho, model.phi,
+                                        i_idx, j_idx, weights)
+        return i_idx, j_idx, expected
+
     def expected_link_weights(self, network: HeterogeneousNetwork,
                               node_type: str = TERM_TYPE,
                               ) -> List[Dict[Tuple[int, int], float]]:
         """Expected per-subtopic link weights e-hat (posterior split).
 
-        Returns one ``{(i, j): weight}`` mapping per subtopic, computed
-        with Eq. 3.5 at the fitted parameters in a single vectorized
-        (k, E) pass.  Links whose posterior degenerates (zero mixture
-        score) are counted under the ``cathy.degenerate_links`` metric.
+        Returns one ``{(i, j): weight}`` mapping per subtopic — the
+        dict-bucket rendering of :meth:`expected_link_arrays`, kept for
+        inspection and compatibility; hot paths should use the array
+        form.
         """
-        model = self._require_fitted()
-        links = list(network.links((node_type, node_type)))
-        if not links:
-            return [{} for _ in range(model.num_topics)]
-        i_idx = np.array([l[0] for l in links], dtype=np.int64)
-        j_idx = np.array([l[1] for l in links], dtype=np.int64)
-        weights = np.array([l[2] for l in links], dtype=float)
-        expected = posterior_link_split(model.rho, model.phi,
-                                        i_idx, j_idx, weights)
+        i_idx, j_idx, expected = self.expected_link_arrays(
+            network, node_type)
+        if not len(i_idx):
+            return [{} for _ in range(self._require_fitted().num_topics)]
         return sparse_topic_buckets(expected, i_idx, j_idx)
 
     def subnetworks(self, network: HeterogeneousNetwork,
@@ -382,12 +450,17 @@ class CathyEM:
         """Per-subtopic subnetworks, dropping links below ``min_weight``.
 
         This is the recursion step of CATHY: extract E^{t/z} =
-        {e-hat >= 1} and cluster again (Section 3.1).
+        {e-hat >= 1} and cluster again (Section 3.1).  The split stays
+        on arrays end to end: each subtopic's row of the (k, E) expected
+        matrix feeds :meth:`HeterogeneousNetwork.subnetwork` directly as
+        an ``(i_idx, j_idx, weights)`` triple.
         """
-        per_topic = self.expected_link_weights(network, node_type)
-        return [network.subnetwork({(node_type, node_type): bucket},
+        i_idx, j_idx, expected = self.expected_link_arrays(
+            network, node_type)
+        return [network.subnetwork({(node_type, node_type):
+                                    (i_idx, j_idx, expected[z])},
                                    min_weight=min_weight)
-                for bucket in per_topic]
+                for z in range(expected.shape[0])]
 
     def _require_fitted(self) -> TermTopicModel:
         if self.model_ is None:

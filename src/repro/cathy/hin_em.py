@@ -29,8 +29,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, NotFittedError
+from ..fastpath import kernel_fallback
 from ..network import HeterogeneousNetwork
-from .em import flat_scatter_index, run_restarts_checkpointed
+from .em import (endpoint_one_hot, flat_scatter_index,
+                 run_restarts_checkpointed)
 from ..network.weighted import LinkType, canonical_link_type
 from ..obs import inc, span, trace
 from ..parallel import pmap, rng_from, spawn_seed_sequences
@@ -173,6 +175,7 @@ class CathyHIN:
         self._link_data: List[_LinkData] = []
         self._network: Optional[HeterogeneousNetwork] = None
         self._scatter_idx: Dict[LinkType, Tuple[np.ndarray, np.ndarray]] = {}
+        self._incidence: Dict[LinkType, Tuple[object, object]] = {}
 
     def _constructor_params(self) -> Dict[str, object]:
         """The constructor arguments needed to rebuild this estimator in a
@@ -195,6 +198,7 @@ class CathyHIN:
         self._network = network
         self._link_data = self._extract_links(network)
         self._scatter_idx = {}
+        self._incidence = {}
         if not self._link_data:
             raise ConfigurationError("network has no links to cluster")
         node_names = {t: network.node_names(t) for t in network.node_types()
@@ -224,14 +228,11 @@ class CathyHIN:
     def _extract_links(network: HeterogeneousNetwork) -> List[_LinkData]:
         data = []
         for link_type in network.link_types():
-            links = list(network.links(link_type))
-            if not links:
+            i_idx, j_idx, weights = network.link_arrays(link_type)
+            if not len(weights):
                 continue
-            data.append(_LinkData(
-                link_type=link_type,
-                i_idx=np.array([l[0] for l in links], dtype=np.int64),
-                j_idx=np.array([l[1] for l in links], dtype=np.int64),
-                weights=np.array([l[2] for l in links], dtype=float)))
+            data.append(_LinkData(link_type=link_type, i_idx=i_idx,
+                                  j_idx=j_idx, weights=weights))
         return data
 
     def _initial_alpha(self) -> Dict[LinkType, float]:
@@ -259,26 +260,40 @@ class CathyHIN:
                    for t, names in node_names.items()}
         for ld in self._link_data:
             type_x, type_y = ld.link_type
-            np.add.at(degrees[type_x], ld.i_idx, ld.weights)
-            np.add.at(degrees[type_y], ld.j_idx, ld.weights)
+            degrees[type_x] += np.bincount(ld.i_idx, weights=ld.weights,
+                                           minlength=len(degrees[type_x]))
+            degrees[type_y] += np.bincount(ld.j_idx, weights=ld.weights,
+                                           minlength=len(degrees[type_y]))
         return {t: deg / deg.sum() for t, deg in degrees.items()}
 
     def _ensure_scatter_index(self,
                               node_names: Dict[str, List[str]]) -> None:
-        """Precompute per-link-type flattened scatter indices (once per fit).
+        """Precompute per-link-type scatter operators (once per fit).
 
-        The indices depend only on the link arrays, node counts, and k —
-        all fixed across EM iterations and restarts — and let the M-step
-        scatter run as one bincount per link direction.
+        The fast path builds one (E, V) one-hot CSR matrix per link
+        endpoint (:func:`repro.cathy.em.endpoint_one_hot`), turning the
+        whole M-step scatter — topic expectations and background vectors
+        alike — into sparse matrix products.  Without :mod:`scipy` the
+        fit degrades to the flattened-bincount scatter and records the
+        fallback under ``kernel.fallback.cathy.hin_m_step``.  Both
+        operators depend only on the link arrays, node counts, and k —
+        all fixed across EM iterations and restarts.
         """
-        if self._scatter_idx:
+        if self._scatter_idx or self._incidence:
             return
         k = self.num_topics
         for ld in self._link_data:
             type_x, type_y = ld.link_type
-            self._scatter_idx[ld.link_type] = (
-                flat_scatter_index(ld.i_idx, len(node_names[type_x]), k),
-                flat_scatter_index(ld.j_idx, len(node_names[type_y]), k))
+            inc_i = endpoint_one_hot(ld.i_idx, len(node_names[type_x]))
+            inc_j = endpoint_one_hot(ld.j_idx, len(node_names[type_y]))
+            if inc_i is not None and inc_j is not None:
+                self._incidence[ld.link_type] = (inc_i, inc_j)
+            else:
+                kernel_fallback("cathy.hin_m_step",
+                                "scipy.sparse unavailable")
+                self._scatter_idx[ld.link_type] = (
+                    flat_scatter_index(ld.i_idx, len(node_names[type_x]), k),
+                    flat_scatter_index(ld.j_idx, len(node_names[type_y]), k))
 
     def _fit_once(self, node_names: Dict[str, List[str]],
                   alpha: Dict[LinkType, float],
@@ -406,22 +421,32 @@ class CathyHIN:
 
             expected = scores / denom * w  # (k, E)
             new_rho += expected.sum(axis=1)
-            flat_i, flat_j = self._scatter_idx[ld.link_type]
-            contrib = expected.reshape(-1)
-            num_x = new_phi[type_x].shape[1]
-            num_y = new_phi[type_y].shape[1]
-            new_phi[type_x] += np.bincount(
-                flat_i, weights=contrib,
-                minlength=k * num_x).reshape(k, num_x)
-            new_phi[type_y] += np.bincount(
-                flat_j, weights=contrib,
-                minlength=k * num_y).reshape(k, num_y)
+            incidence = self._incidence.get(ld.link_type)
+            if incidence is not None:
+                inc_i, inc_j = incidence
+                new_phi[type_x] += np.asarray(expected @ inc_i)
+                new_phi[type_y] += np.asarray(expected @ inc_j)
+            else:
+                flat_i, flat_j = self._scatter_idx[ld.link_type]
+                contrib = expected.reshape(-1)
+                num_x = new_phi[type_x].shape[1]
+                num_y = new_phi[type_y].shape[1]
+                new_phi[type_x] += np.bincount(
+                    flat_i, weights=contrib,
+                    minlength=k * num_x).reshape(k, num_x)
+                new_phi[type_y] += np.bincount(
+                    flat_j, weights=contrib,
+                    minlength=k * num_y).reshape(k, num_y)
             if self.background:
                 exp_bg_a = bg_a / denom * w
                 exp_bg_b = bg_b / denom * w
                 new_rho0 += float(exp_bg_a.sum() + exp_bg_b.sum())
-                np.add.at(new_phi0[type_x], ld.i_idx, exp_bg_a)
-                np.add.at(new_phi0[type_y], ld.j_idx, exp_bg_b)
+                if incidence is not None:
+                    new_phi0[type_x] += np.asarray(exp_bg_a @ inc_i).ravel()
+                    new_phi0[type_y] += np.asarray(exp_bg_b @ inc_j).ravel()
+                else:
+                    np.add.at(new_phi0[type_x], ld.i_idx, exp_bg_a)
+                    np.add.at(new_phi0[type_y], ld.j_idx, exp_bg_b)
 
         # MAP smoothing (Section 3.2.3's Bayesian extension): Dirichlet
         # pseudo-counts added to the expected-count statistics.
@@ -467,19 +492,24 @@ class CathyHIN:
         return _normalize_alpha(alpha, self._link_data)
 
     # ------------------------------------------------------------ subnetwork
-    def expected_link_weights(self, subtopic: int,
-                              ) -> Dict[LinkType, Dict[LinkKey, float]]:
-        """e-hat^{x,y,t/z}: expected scaled link weight per link (Eq. 3.23).
+    def expected_link_arrays(self, subtopic: int,
+                             ) -> Dict[LinkType, Tuple[np.ndarray,
+                                                       np.ndarray,
+                                                       np.ndarray]]:
+        """e-hat^{x,y,t/z} as ``(i_idx, j_idx, weights)`` per link type.
 
-        Fully vectorized per link type; links whose mixture score
-        degenerates to zero cannot be attributed to any subtopic and are
-        counted under the ``cathy.degenerate_links`` metric instead of
-        being dropped silently.
+        The sparse-array form of Eq. 3.23's expected scaled link weight:
+        one vectorized pass per link type over the network's CSR link
+        arrays.  Links whose mixture score degenerates to zero cannot be
+        attributed to any subtopic and are counted under the
+        ``cathy.degenerate_links`` metric instead of being dropped
+        silently.
         """
         model = self._require_fitted()
         if not 0 <= subtopic < model.num_topics:
             raise ConfigurationError(f"subtopic {subtopic} out of range")
-        result: Dict[LinkType, Dict[LinkKey, float]] = {}
+        result: Dict[LinkType, Tuple[np.ndarray, np.ndarray,
+                                     np.ndarray]] = {}
         for ld in self._link_data:
             a = model.alpha.get(ld.link_type, 1.0)
             scores, bg_a, bg_b = self._link_scores(
@@ -491,13 +521,24 @@ class CathyHIN:
                 inc("cathy.degenerate_links", num_degenerate)
             denom = np.maximum(raw_denom, EPS)
             expected = ld.weights * a * scores[subtopic] / denom
+            result[ld.link_type] = (ld.i_idx, ld.j_idx, expected)
+        return result
+
+    def expected_link_weights(self, subtopic: int,
+                              ) -> Dict[LinkType, Dict[LinkKey, float]]:
+        """e-hat^{x,y,t/z} as ``{(i, j): weight}`` dict buckets.
+
+        The inspection-friendly rendering of
+        :meth:`expected_link_arrays`; hot paths (subnetwork recursion)
+        use the array form directly.
+        """
+        result: Dict[LinkType, Dict[LinkKey, float]] = {}
+        for link_type, (i_idx, j_idx, expected) in \
+                self.expected_link_arrays(subtopic).items():
             nonzero = np.flatnonzero(expected > 0)
-            i_list = ld.i_idx[nonzero].tolist()
-            j_list = ld.j_idx[nonzero].tolist()
-            values = expected[nonzero].tolist()
-            result[ld.link_type] = {
-                (i, j): value
-                for i, j, value in zip(i_list, j_list, values)}
+            result[link_type] = dict(zip(
+                zip(i_idx[nonzero].tolist(), j_idx[nonzero].tolist()),
+                expected[nonzero].tolist()))
         return result
 
     def subnetwork(self, subtopic: int,
@@ -505,7 +546,7 @@ class CathyHIN:
         """The child network G^{t/z} for recursion (Section 3.2.1)."""
         if self._network is None:
             raise NotFittedError("call fit() before extracting subnetworks")
-        return self._network.subnetwork(self.expected_link_weights(subtopic),
+        return self._network.subnetwork(self.expected_link_arrays(subtopic),
                                         min_weight=min_weight)
 
     def bic(self) -> float:

@@ -67,16 +67,23 @@ def split_network(network: HeterogeneousNetwork,
     rng = ensure_rng(seed)
     train = HeterogeneousNetwork()
     for node_type in network.node_types():
-        for name in network.node_names(node_type):
-            train.add_node(node_type, name)
+        train.add_nodes(node_type, network.node_names(node_type))
     held_out = []
     for link_type in network.link_types():
         type_x, type_y = link_type
-        for i, j, weight in network.links(link_type):
-            if rng.random() < holdout_fraction:
-                held_out.append((link_type, i, j, weight))
-            else:
-                train.add_link(type_x, i, type_y, j, weight)
+        i_idx, j_idx, weights = network.link_arrays(link_type)
+        if not len(weights):
+            continue
+        # One batched draw per link type; the held-out mask selects
+        # columns out of the CSR arrays instead of testing per link.
+        mask = rng.random(len(weights)) < holdout_fraction
+        held_out.extend(
+            (link_type, i, j, w)
+            for i, j, w in zip(i_idx[mask].tolist(), j_idx[mask].tolist(),
+                               weights[mask].tolist()))
+        keep = ~mask
+        train.add_links(type_x, i_idx[keep], type_y, j_idx[keep],
+                        weights=weights[keep])
     return train, held_out
 
 

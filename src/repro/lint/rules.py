@@ -164,7 +164,13 @@ _NUMPY_LEGACY = frozenset({
 
 #: Sanctioned generator constructors; allowed only in the two modules
 #: that own seeding (everything else receives a Generator/SeedSequence).
-_NUMPY_CONSTRUCTORS = frozenset({"default_rng", "SeedSequence", "Generator"})
+#: Raw bit-generator classes are included: a blocked kernel that builds
+#: its own ``PCG64`` for batched draws sidesteps the per-task
+#: ``SeedSequence.spawn`` discipline and breaks worker-count invariance.
+_NUMPY_CONSTRUCTORS = frozenset({
+    "default_rng", "SeedSequence", "Generator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
 
 
 class NoGlobalRng(Rule):

@@ -7,17 +7,109 @@ Two builders are provided:
 * :func:`build_collapsed_network` — the collapsed heterogeneous network of
   Section 3.2 / Example 3.1: term–term co-occurrence links plus
   term–entity and entity–entity links derived from document attachments.
+
+Both assemble edge lists *columnwise*: per document they emit index
+arrays (all unordered term pairs come from one cached ``triu_indices``
+template, entity–term stars from a repeat/tile), concatenate once, and
+hand the whole column to :meth:`HeterogeneousNetwork.add_links` — the
+network's COO→CSR freeze deduplicates and sums in a single vectorized
+pass instead of one dict insert per co-occurrence.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
-from typing import Iterable, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..corpus import Corpus
-from .weighted import HeterogeneousNetwork
+from .weighted import HeterogeneousNetwork, LinkType, canonical_link_type
 
 TERM_TYPE = "term"
+
+
+@lru_cache(maxsize=4096)
+def _pair_template(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Upper-triangle index template for all unordered pairs of n items."""
+    return np.triu_indices(n, k=1)
+
+
+class _EdgeColumns:
+    """Per-link-type accumulator of (i, j, weight-1) edge-list columns."""
+
+    def __init__(self) -> None:
+        self._parts: Dict[LinkType, Tuple[List[np.ndarray],
+                                          List[np.ndarray]]] = {}
+        self._scalars: Dict[LinkType, Tuple[List[int], List[int]]] = {}
+
+    def add_arrays(self, type_x: str, i_idx: np.ndarray, type_y: str,
+                   j_idx: np.ndarray) -> None:
+        """Append one unit-weight edge column (canonicalized by type)."""
+        link_type = canonical_link_type(type_x, type_y)
+        if (type_x, type_y) != link_type:
+            i_idx, j_idx = j_idx, i_idx
+        parts = self._parts.get(link_type)
+        if parts is None:
+            parts = ([], [])
+            self._parts[link_type] = parts
+        parts[0].append(i_idx)
+        parts[1].append(j_idx)
+
+    def add_pair(self, type_x: str, i: int, type_y: str, j: int) -> None:
+        """Append one unit-weight edge (sparse per-document pairs)."""
+        link_type = canonical_link_type(type_x, type_y)
+        if (type_x, type_y) != link_type:
+            i, j = j, i
+        scalars = self._scalars.get(link_type)
+        if scalars is None:
+            scalars = ([], [])
+            self._scalars[link_type] = scalars
+        scalars[0].append(i)
+        scalars[1].append(j)
+
+    def flush(self, network: HeterogeneousNetwork) -> None:
+        """Hand every accumulated column to the network in one call."""
+        for link_type, (i_lists, j_lists) in self._scalars.items():
+            parts = self._parts.setdefault(link_type, ([], []))
+            parts[0].append(np.asarray(i_lists, dtype=np.int64))
+            parts[1].append(np.asarray(j_lists, dtype=np.int64))
+        for link_type, (i_parts, j_parts) in self._parts.items():
+            if not i_parts:
+                continue
+            network.add_links(link_type[0], np.concatenate(i_parts),
+                              link_type[1], np.concatenate(j_parts))
+
+
+class _TermIndex:
+    """Maps kept corpus token ids to network node ids, registering lazily.
+
+    Registration order matches the classic per-edge builder: first
+    document containing a term registers it, terms within a document in
+    sorted token order.
+    """
+
+    def __init__(self, corpus: Corpus, network: HeterogeneousNetwork,
+                 min_count: int) -> None:
+        counts = corpus.word_counts()
+        self._keep = {w for w, c in counts.items() if c >= min_count}
+        self._vocabulary = corpus.vocabulary
+        self._network = network
+        self._node_of: Dict[int, int] = {}
+
+    def doc_term_ids(self, tokens: Sequence[int]) -> np.ndarray:
+        """Network node ids of the document's distinct kept terms."""
+        node_of = self._node_of
+        ids: List[int] = []
+        for tok in sorted({t for t in tokens if t in self._keep}):
+            node = node_of.get(tok)
+            if node is None:
+                node = self._network.add_node(
+                    TERM_TYPE, self._vocabulary.word_of(tok))
+                node_of[tok] = node
+            ids.append(node)
+        return np.asarray(ids, dtype=np.int64)
 
 
 def build_term_network(corpus: Corpus,
@@ -30,14 +122,15 @@ def build_term_network(corpus: Corpus,
     terms").  Terms below ``min_count`` corpus frequency are skipped.
     """
     network = HeterogeneousNetwork(node_types=[TERM_TYPE])
-    counts = corpus.word_counts()
-    keep = {w for w, c in counts.items() if c >= min_count}
+    index = _TermIndex(corpus, network, min_count)
+    columns = _EdgeColumns()
     for doc in corpus:
-        terms = sorted({tok for tok in doc.tokens if tok in keep})
-        for tok_i, tok_j in combinations(terms, 2):
-            i = network.add_node(TERM_TYPE, corpus.vocabulary.word_of(tok_i))
-            j = network.add_node(TERM_TYPE, corpus.vocabulary.word_of(tok_j))
-            network.add_link(TERM_TYPE, i, TERM_TYPE, j, 1.0)
+        term_ids = index.doc_term_ids(doc.tokens)
+        if len(term_ids) >= 2:
+            iu, ju = _pair_template(len(term_ids))
+            columns.add_arrays(TERM_TYPE, term_ids[iu], TERM_TYPE,
+                               term_ids[ju])
+    columns.flush(network)
     return network
 
 
@@ -71,17 +164,18 @@ def build_collapsed_network(corpus: Corpus,
         node_types.append(TERM_TYPE)
     network = HeterogeneousNetwork(node_types=node_types)
 
-    counts = corpus.word_counts()
-    keep = {w for w, c in counts.items() if c >= min_count}
+    index = _TermIndex(corpus, network, min_count) if include_text else None
+    columns = _EdgeColumns()
+    empty = np.empty(0, dtype=np.int64)
 
     for doc in corpus:
-        terms = sorted({tok for tok in doc.tokens
-                        if tok in keep}) if include_text else []
-        term_ids = [network.add_node(TERM_TYPE, corpus.vocabulary.word_of(t))
-                    for t in terms]
+        term_ids = index.doc_term_ids(doc.tokens) \
+            if index is not None else empty
         # Term-term co-occurrence links.
-        for i, j in combinations(term_ids, 2):
-            network.add_link(TERM_TYPE, i, TERM_TYPE, j, 1.0)
+        if len(term_ids) >= 2:
+            iu, ju = _pair_template(len(term_ids))
+            columns.add_arrays(TERM_TYPE, term_ids[iu], TERM_TYPE,
+                               term_ids[ju])
 
         # Entity nodes linked to all terms of the document and to the other
         # entities of the document.
@@ -89,13 +183,16 @@ def build_collapsed_network(corpus: Corpus,
         for etype in entity_types:
             for name in doc.entity_list(etype):
                 doc_entities.append((etype, network.add_node(etype, name)))
-        for (etype, eid) in doc_entities:
-            for tid in term_ids:
-                network.add_link(etype, eid, TERM_TYPE, tid, 1.0)
+        if len(term_ids):
+            for (etype, eid) in doc_entities:
+                columns.add_arrays(
+                    etype, np.full(len(term_ids), eid, dtype=np.int64),
+                    TERM_TYPE, term_ids)
         for (type_a, id_a), (type_b, id_b) in combinations(doc_entities, 2):
             if type_a == type_b and id_a == id_b:
                 continue
-            network.add_link(type_a, id_a, type_b, id_b, 1.0)
+            columns.add_pair(type_a, id_a, type_b, id_b)
+    columns.flush(network)
     return network
 
 

@@ -56,6 +56,7 @@ from .registry import (MetricsRegistry, QuantileSketch, TimerStats,
                        reset_metrics, set_enabled, set_gauge, timed,
                        timed_function)
 from .report import (REPORT_SCHEMA, REPORT_SCHEMA_V1, build_run_report,
+                     cache_ratios,
                      get_report_path, set_report_path, upgrade_report,
                      validate_report, write_report)
 from .spans import (SpanHandle, clear_spans, current_span_id,
@@ -81,6 +82,7 @@ __all__ = [
     "apply_observability_state",
     "build_profile_report",
     "build_run_report",
+    "cache_ratios",
     "capture_telemetry",
     "clear_spans",
     "clear_traces",

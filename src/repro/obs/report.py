@@ -13,6 +13,8 @@ Schema (``repro.obs/run-report/v2``)::
       "config": {...},                      # sanitized, run-specific
       "metrics": {"counters": {}, "gauges": {}, "timers": {}},
       "phases": {"miner.hierarchy": {"count": 1, "total_s": ...}, ...},
+      "cache_ratios": {"topmine.merge_cache": {"hits": ..., "misses": ...,
+                       "hit_ratio": ...}, ...},
       "resources": {"peak_rss_bytes": ..., "cpu_time_s": ...},
       "top_spans": [{"name": ..., "count": ..., "total_s": ...,
                      "self_s": ..., "cpu_s": ...}, ...],   # top 10
@@ -24,6 +26,11 @@ Schema (``repro.obs/run-report/v2``)::
 
 ``phases`` mirrors ``metrics.timers`` (one entry per :func:`~repro.obs.timed`
 name) and exists so report consumers need no knowledge of the registry.
+``cache_ratios`` is derived: every counter pair ``<name>.hits`` /
+``<name>.misses`` becomes one entry with its hit ratio, so any cache
+that follows the naming convention (the ToPMine merge-significance LRU,
+serving query caches) reports effectiveness without report-layer code
+knowing it exists.
 v2 added ``resources`` and ``top_spans``; v1 reports (without them) are
 still accepted by :func:`validate_report` and upgraded in place by
 :func:`upgrade_report`, so stored ``BENCH_*.json`` history keeps loading.
@@ -45,6 +52,7 @@ __all__ = [
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
     "build_run_report",
+    "cache_ratios",
     "get_report_path",
     "set_report_path",
     "upgrade_report",
@@ -80,6 +88,33 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def cache_ratios(counters: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """Derive hit ratios from ``<name>.hits`` / ``<name>.misses`` pairs.
+
+    Any counter namespace following the hits/misses convention yields an
+    entry ``{hits, misses, hit_ratio}``; a namespace with only one of
+    the pair still appears (the missing side counts as zero) so a cache
+    that never misses — or never hits — is visible rather than dropped.
+    """
+    names = set()
+    for key in counters:
+        if key.endswith(".hits"):
+            names.add(key[:-len(".hits")])
+        elif key.endswith(".misses"):
+            names.add(key[:-len(".misses")])
+    ratios: Dict[str, Dict[str, float]] = {}
+    for name in sorted(names):
+        hits = float(counters.get(name + ".hits", 0))
+        misses = float(counters.get(name + ".misses", 0))
+        total = hits + misses
+        ratios[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / total if total else 0.0,
+        }
+    return ratios
+
+
 def build_run_report(config: Optional[Dict[str, Any]] = None,
                      ) -> Dict[str, Any]:
     """Aggregate the current metrics and traces into a report document.
@@ -99,6 +134,7 @@ def build_run_report(config: Optional[Dict[str, Any]] = None,
         "config": _jsonable(config or {}),
         "metrics": metrics,
         "phases": metrics["timers"],
+        "cache_ratios": cache_ratios(metrics["counters"]),
         "resources": {
             "peak_rss_bytes": peak_rss_bytes(),
             "cpu_time_s": cpu_time_s(),
@@ -135,6 +171,11 @@ def upgrade_report(data: Dict[str, Any]) -> Dict[str, Any]:
         data.setdefault("resources",
                         {"peak_rss_bytes": 0, "cpu_time_s": 0.0})
         data.setdefault("top_spans", [])
+    if data.get("schema") == REPORT_SCHEMA and "cache_ratios" not in data:
+        # Derived section added mid-v2; recompute from stored counters.
+        counters = data.get("metrics", {}).get("counters", {})
+        data["cache_ratios"] = cache_ratios(
+            counters if isinstance(counters, dict) else {})
     return data
 
 
@@ -170,6 +211,15 @@ def validate_report(data: Dict[str, Any]) -> None:
     for key in ("config", "metrics", "phases"):
         if not isinstance(data.get(key), dict):
             raise DataError(f"report field {key!r} must be an object")
+    ratios = data.get("cache_ratios")
+    if ratios is not None:
+        if not isinstance(ratios, dict):
+            raise DataError("report field 'cache_ratios' must be an object")
+        for name, entry in ratios.items():
+            if not isinstance(entry, dict) \
+                    or not isinstance(entry.get("hit_ratio"), (int, float)):
+                raise DataError(f"cache_ratios entry {name!r} must carry "
+                                "a numeric hit_ratio")
     metrics = data["metrics"]
     for key in ("counters", "gauges", "timers"):
         if not isinstance(metrics.get(key), dict):

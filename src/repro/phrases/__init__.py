@@ -13,7 +13,8 @@ from .ranking import (FlatTopicModel, document_phrase_instances,
                       term_model_from_hin, topical_frequencies)
 from .segmentation import (partition_is_valid, segment_chunk,
                            segment_corpus, segment_document)
-from .significance import merge_significance, phrase_significance
+from .significance import (MergeScorer, make_merge_scorer,
+                           merge_significance, phrase_significance)
 from .topmine import ToPMine, ToPMineConfig, ToPMineResult
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "segment_document",
     "segment_corpus",
     "partition_is_valid",
+    "MergeScorer",
+    "make_merge_scorer",
     "merge_significance",
     "phrase_significance",
     "attach_phrases",

@@ -84,7 +84,9 @@ class PhraseCounts:
 
 def mine_frequent_phrases(corpus: Corpus,
                           min_support: int = 5,
-                          max_length: int = 6) -> PhraseCounts:
+                          max_length: int = 6,
+                          merge_cache_capacity: int = MERGE_CACHE_CAPACITY,
+                          ) -> PhraseCounts:
     """Run Algorithm 1 over ``corpus``.
 
     Args:
@@ -93,6 +95,8 @@ def mine_frequent_phrases(corpus: Corpus,
         min_support: mu, the minimum frequency for a phrase to be kept.
         max_length: safety cap on phrase length (the algorithm terminates
             naturally well before this on real text).
+        merge_cache_capacity: LRU bound of the merge-significance memo
+            carried by the returned counts.
     """
     if min_support < 1:
         raise ConfigurationError("min_support must be >= 1")
@@ -100,20 +104,24 @@ def mine_frequent_phrases(corpus: Corpus,
                                for chunk in doc.chunks if chunk]
     return mine_frequent_phrases_from_chunks(
         chunks, min_support=min_support, max_length=max_length,
-        num_documents=len(corpus), num_tokens=corpus.num_tokens)
+        num_documents=len(corpus), num_tokens=corpus.num_tokens,
+        merge_cache_capacity=merge_cache_capacity)
 
 
 def mine_frequent_phrases_from_chunks(chunks: Sequence[Sequence[int]],
                                       min_support: int,
                                       max_length: int = 6,
                                       num_documents: int = 0,
-                                      num_tokens: int = 0) -> PhraseCounts:
+                                      num_tokens: int = 0,
+                                      merge_cache_capacity: int =
+                                      MERGE_CACHE_CAPACITY) -> PhraseCounts:
     """Algorithm 1 on raw token-id chunks (corpus-free entry point)."""
     with timed("topmine.frequent_mining"):
         counts = _mine_chunks(chunks, min_support, max_length)
     inc("topmine.frequent_phrases", len(counts))
     return PhraseCounts(counts=counts, min_support=min_support,
-                        num_documents=num_documents, num_tokens=num_tokens)
+                        num_documents=num_documents, num_tokens=num_tokens,
+                        merge_cache_capacity=merge_cache_capacity)
 
 
 def _mine_chunks(chunks: Sequence[Sequence[int]], min_support: int,

@@ -17,23 +17,31 @@ from ..corpus import Corpus, Document
 from ..obs import inc, timed
 from ..parallel import pmap
 from .frequent import PhraseCounts
-from .significance import NEVER, merge_significance
+from .significance import NEVER, MergeScorer, make_merge_scorer
 
 Phrase = Tuple[int, ...]
 
 
 def segment_chunk(chunk: Sequence[int],
                   counts: PhraseCounts,
-                  alpha: float = 2.0) -> List[Phrase]:
+                  alpha: float = 2.0,
+                  scorer: Optional[MergeScorer] = None) -> List[Phrase]:
     """Partition one token chunk into phrases (Algorithm 2).
 
     Uses a max-heap of candidate adjacent merges keyed by significance;
     stale entries are skipped via a version counter per slot, giving the
-    O(n log n)-per-chunk behaviour described in the paper.
+    O(n log n)-per-chunk behaviour described in the paper.  Pass a
+    pre-bound ``scorer`` (:func:`~repro.phrases.significance.
+    make_merge_scorer`) to amortize its binding cost and metric flushes
+    across many chunks; without one, a chunk-local scorer is created and
+    flushed before returning.
     """
     phrases: List[Phrase] = [(tok,) for tok in chunk]
     if len(phrases) < 2:
         return phrases
+    local_scorer = scorer is None
+    if scorer is None:
+        scorer = make_merge_scorer(counts)
 
     # Doubly linked list over slots; merging into the left slot.
     next_slot = list(range(1, len(phrases))) + [-1]
@@ -47,7 +55,7 @@ def segment_chunk(chunk: Sequence[int],
         nslot = next_slot[slot]
         if nslot == -1:
             return
-        sig = merge_significance(counts, phrases[slot], phrases[nslot])
+        sig = scorer(phrases[slot], phrases[nslot])
         if sig > NEVER:
             heapq.heappush(heap, (-sig, slot, version[slot]))
 
@@ -76,16 +84,25 @@ def segment_chunk(chunk: Sequence[int],
             version[pslot] += 1
             push(pslot)
 
+    if local_scorer:
+        scorer.flush()
     return [phrases[i] for i in range(len(phrases)) if alive[i]]
 
 
 def segment_document(doc: Document,
                      counts: PhraseCounts,
-                     alpha: float = 2.0) -> List[Phrase]:
+                     alpha: float = 2.0,
+                     scorer: Optional[MergeScorer] = None) -> List[Phrase]:
     """Segment every chunk of ``doc`` and concatenate the partitions."""
+    local_scorer = scorer is None
+    if scorer is None:
+        scorer = make_merge_scorer(counts)
     result: List[Phrase] = []
     for chunk in doc.chunks:
-        result.extend(segment_chunk(chunk, counts, alpha=alpha))
+        result.extend(segment_chunk(chunk, counts, alpha=alpha,
+                                    scorer=scorer))
+    if local_scorer:
+        scorer.flush()
     return result
 
 

@@ -11,13 +11,82 @@ as a single constituent is what defuses the "free-rider" problem.
 from __future__ import annotations
 
 from math import sqrt
-from typing import Sequence
+from typing import Sequence, Tuple
 
 from ..obs import inc
-from .frequent import PhraseCounts
+from .frequent import Phrase, PhraseCounts
 
 #: Significance assigned to merges whose result was never frequent.
 NEVER = float("-inf")
+
+
+class MergeScorer:
+    """Bound fast path for scoring many merges against one ``counts``.
+
+    :func:`merge_significance` pays per call for attribute lookups and
+    two metric increments; the segmentation inner loop scores thousands
+    of candidate merges per document, where those constants dominate.  A
+    scorer binds the count dict, token total, and LRU cache into locals,
+    tallies hits/misses in plain ints, and publishes them to the
+    ``topmine.merge_cache.{hits,misses}`` metrics in one :func:`inc`
+    pair on :meth:`flush`.  It shares the same cache (and therefore the
+    same results) as the un-bound function.
+    """
+
+    __slots__ = ("_freq", "_num_tokens", "_cache", "_capacity",
+                 "hits", "misses")
+
+    def __init__(self, counts: PhraseCounts) -> None:
+        self._freq = counts.counts
+        self._num_tokens = max(counts.num_tokens, 1)
+        self._cache = counts.merge_cache
+        self._capacity = counts.merge_cache_capacity
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, left: Phrase, right: Phrase) -> float:
+        """sig(P1, P2) of Eq. 4.7; ``left``/``right`` must be tuples."""
+        key = (left, right)
+        cache = self._cache
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                cache.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        freq = self._freq
+        observed = freq.get(left + right, 0)
+        if observed <= 0:
+            significance = NEVER
+        else:
+            # Bit-identical arithmetic to merge_significance (shared
+            # cache entries must not depend on which path filled them).
+            total_tokens = self._num_tokens
+            p_left = freq.get(left, 0) / total_tokens
+            p_right = freq.get(right, 0) / total_tokens
+            expected = total_tokens * p_left * p_right
+            significance = (observed - expected) / sqrt(observed)
+        if cache is not None:
+            cache[key] = significance
+            if len(cache) > self._capacity:
+                cache.popitem(last=False)
+        return significance
+
+    def flush(self) -> None:
+        """Publish accumulated hit/miss tallies to the metric registry."""
+        if self.hits:
+            inc("topmine.merge_cache.hits", self.hits)
+        if self.misses:
+            inc("topmine.merge_cache.misses", self.misses)
+        self.hits = 0
+        self.misses = 0
+
+
+def make_merge_scorer(counts: PhraseCounts) -> MergeScorer:
+    """A :class:`MergeScorer` bound to ``counts`` (call ``flush()`` when
+    done)."""
+    return MergeScorer(counts)
 
 
 def merge_significance(counts: PhraseCounts,
@@ -62,19 +131,24 @@ def merge_significance(counts: PhraseCounts,
 
 
 def phrase_significance(counts: PhraseCounts,
-                        phrase: Sequence[int]) -> float:
+                        phrase: Sequence[int],
+                        scorer: "MergeScorer | None" = None) -> float:
     """Significance of a whole phrase: its best binary split.
 
     Used by the final ToPMine ranking term ``p(P|t) * log sig(P)``
     (Section 4.3.3).  Unigrams have no split; they get significance 1 so
-    ``log sig`` contributes zero.
+    ``log sig`` contributes zero.  Pass a pre-bound ``scorer`` when
+    calling in a loop (the caller then owns its ``flush()``).
     """
     phrase = tuple(phrase)
     if len(phrase) < 2:
         return 1.0
     best = NEVER
     for cut in range(1, len(phrase)):
-        score = merge_significance(counts, phrase[:cut], phrase[cut:])
+        if scorer is not None:
+            score = scorer(phrase[:cut], phrase[cut:])
+        else:
+            score = merge_significance(counts, phrase[:cut], phrase[cut:])
         if score > best:
             best = score
     return best

@@ -21,10 +21,11 @@ from ..corpus import Corpus
 from ..errors import ConfigurationError
 from ..obs import span
 from ..utils import EPS, RandomState, ensure_rng
-from .frequent import Phrase, PhraseCounts, mine_frequent_phrases
+from .frequent import (MERGE_CACHE_CAPACITY, Phrase, PhraseCounts,
+                       mine_frequent_phrases)
 from .ranking import FlatTopicModel, render_phrase
 from .segmentation import segment_corpus
-from .significance import phrase_significance
+from .significance import make_merge_scorer, phrase_significance
 
 
 @dataclass
@@ -40,6 +41,9 @@ class ToPMineConfig:
         omega: weight of the significance term in the final ranking
             ``(1-omega) * r_t(P) + omega * p(P|t) * log sig(P)``.
         lda_alpha / lda_beta / lda_iterations: PhraseLDA hyperparameters.
+        merge_cache_capacity: LRU bound of the merge-significance memo
+            (``topmine.merge_cache.{hits,misses}`` metrics track its
+            effectiveness; run reports derive the hit ratio).
         workers: parallel workers for document segmentation; None defers
             to the process default / ``REPRO_WORKERS``
             (see :mod:`repro.parallel`).
@@ -53,6 +57,7 @@ class ToPMineConfig:
     lda_alpha: float = 0.1
     lda_beta: float = 0.01
     lda_iterations: int = 100
+    merge_cache_capacity: int = MERGE_CACHE_CAPACITY
     workers: Optional[int] = None
 
 
@@ -99,7 +104,8 @@ class ToPMine:
         """Stages 1-2 only: frequent phrases and document partitions."""
         counts = mine_frequent_phrases(
             corpus, min_support=self.config.min_support,
-            max_length=self.config.max_phrase_length)
+            max_length=self.config.max_phrase_length,
+            merge_cache_capacity=self.config.merge_cache_capacity)
         partitions = segment_corpus(
             corpus, counts, alpha=self.config.merge_threshold,
             workers=self.config.workers)
@@ -193,6 +199,7 @@ class ToPMine:
         column_totals = np.maximum(column_totals, EPS)
         overall_total = max(overall_total, EPS)
 
+        scorer = make_merge_scorer(counts)
         rankings: List[List[Tuple[Phrase, float]]] = []
         for t in range(k):
             scored = []
@@ -202,11 +209,12 @@ class ToPMine:
                 p_t = vec[t] / column_totals[t]
                 p_parent = vec.sum() / overall_total
                 r = p_t * float(np.log(max(p_t, EPS) / max(p_parent, EPS)))
-                sig = phrase_significance(counts, phrase)
+                sig = phrase_significance(counts, phrase, scorer=scorer)
                 sig_term = p_t * float(np.log(max(sig, 1.0)))
                 score = (1 - config.omega) * r + config.omega * sig_term
                 if score > 0:
                     scored.append((phrase, score))
             scored.sort(key=lambda pair: (-pair[1], pair[0]))
             rankings.append(scored)
+        scorer.flush()
         return rankings

@@ -1,18 +1,32 @@
 """Reference (pre-vectorization) solver kernels.
 
-These are the straightforward per-link / per-subtopic loop
-implementations that :mod:`repro.cathy.em` shipped with before the
-kernels were vectorized.  They define the ground-truth semantics: the
-equivalence tests assert the vectorized kernels match them to 1e-12,
-and ``benchmarks/bench_hotpaths.py`` times the vectorized kernels
-against them.
+These are the straightforward per-link / per-token / per-candidate loop
+implementations the solvers shipped with before their kernels were
+vectorized, blocked, or moved onto sparse storage.  They define the
+ground-truth semantics: the equivalence tests assert the fast kernels
+match them to 1e-12 (or bit-identically, for integer count state), and
+``benchmarks/bench_hotpaths.py`` times the fast kernels against them.
+
+Three families live here:
+
+* CATHY EM kernels (scatter, posterior split, expected weights) — from
+  PR 2's vectorization;
+* collapsed-Gibbs kernels: the semantic reference sweep/conditional
+  (log-space, shared batched-uniform draw contract) plus the *legacy*
+  sweep kept verbatim (``+ EPS`` inside the log, per-unit
+  ``Generator.choice``) for honest before/after benchmarking;
+* network bookkeeping (:class:`ReferenceDictNetwork`) and the
+  rescanning ToPMine merge (:func:`reference_segment_chunk`) — the
+  pre-CSR / pre-heap data paths.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+EPS = 1e-12
 
 
 def reference_scatter(expected: np.ndarray, i_idx: np.ndarray,
@@ -61,3 +75,159 @@ def reference_expected_link_weights(rho: np.ndarray, phi: np.ndarray,
             if expected > 0:
                 result[z][(i, j)] = expected
     return result
+
+
+# --------------------------------------------------------------------- Gibbs
+def reference_gibbs_conditional(n_dk_row: np.ndarray, n_kw: np.ndarray,
+                                n_k: np.ndarray, unit: Sequence[int],
+                                alpha: float, beta: float,
+                                beta_sum: float) -> np.ndarray:
+    """Normalized p(z | rest) for one sampling unit, log-space.
+
+    The semantic ground truth of the collapsed conditional — the
+    document factor once, one topic-word factor per token with the
+    denominator offset by token position — that both the blocked fast
+    sweep and the in-library reference sweep must reproduce to 1e-12.
+    """
+    log_p = np.log(n_dk_row + alpha)
+    denom = n_k + beta_sum
+    for offset, w in enumerate(unit):
+        log_p = log_p + np.log(n_kw[:, w] + beta) - np.log(denom + offset)
+    log_p -= log_p.max()
+    p = np.exp(log_p)
+    return p / p.sum()
+
+
+def legacy_gibbs_sweep(units, assignments, n_dk, n_kw, n_k, alpha: float,
+                       beta: float, beta_sum: float,
+                       rng: np.random.Generator) -> None:
+    """The pre-PR-7 Gibbs inner loop, verbatim (for benchmarking).
+
+    Per-unit numpy log-space arithmetic with the historical ``+ EPS``
+    smoothing inside the log and one ``Generator.choice`` call per unit.
+    Numerically *close to* but not exactly the current conditional (EPS
+    shifts it at the ~1e-10 level), and a different RNG consumption
+    pattern — which is why this is the timing baseline, not the
+    equivalence baseline.
+    """
+    k = len(n_k)
+    for d, doc_units in enumerate(units):
+        labels = assignments[d]
+        for u, unit in enumerate(doc_units):
+            z_old = labels[u]
+            size = len(unit)
+            n_dk[d, z_old] -= size
+            n_k[z_old] -= size
+            for w in unit:
+                n_kw[z_old, w] -= 1
+
+            log_p = np.log(n_dk[d] + alpha)
+            denom = n_k + beta_sum
+            for offset, w in enumerate(unit):
+                log_p = log_p + np.log(
+                    n_kw[:, w] + beta + EPS) - np.log(denom + offset)
+            log_p -= log_p.max()
+            p = np.exp(log_p)
+            p /= p.sum()
+            z_new = int(rng.choice(k, p=p))
+
+            labels[u] = z_new
+            n_dk[d, z_new] += size
+            n_k[z_new] += size
+            for w in unit:
+                n_kw[z_new, w] += 1
+
+
+def reference_log_likelihood(units, assignments, phi) -> float:
+    """The original ``LDAGibbs._log_likelihood`` triple loop, verbatim."""
+    ll = 0.0
+    for doc_units, labels in zip(units, assignments):
+        for unit, z in zip(doc_units, labels):
+            for w in unit:
+                ll += float(np.log(max(phi[z, w], EPS)))
+    return ll
+
+
+# ------------------------------------------------------------------- network
+class ReferenceDictNetwork:
+    """Verbatim pre-CSR link bookkeeping: one dict insert per edge.
+
+    Reproduces the old ``HeterogeneousNetwork`` storage semantics —
+    canonical link-type ordering, (i, j) key swap for same-type links,
+    weight accumulation on duplicates — without any of the typed-node
+    API, so property tests can compare the CSR backbone against it on
+    random typed graphs.
+    """
+
+    def __init__(self) -> None:
+        self.links: Dict[Tuple[str, str],
+                         Dict[Tuple[int, int], float]] = {}
+
+    def add_link(self, type_x: str, i: int, type_y: str, j: int,
+                 weight: float = 1.0) -> None:
+        if (type_y, type_x) < (type_x, type_y):
+            type_x, type_y, i, j = type_y, type_x, j, i
+        if type_x == type_y and i > j:
+            i, j = j, i
+        bucket = self.links.setdefault((type_x, type_y), {})
+        key = (i, j)
+        bucket[key] = bucket.get(key, 0.0) + weight
+
+    def total_weight(self, link_type: Tuple[str, str]) -> float:
+        return sum(self.links.get(link_type, {}).values())
+
+    def degree(self, node_type: str, index: int) -> float:
+        total = 0.0
+        for (type_x, type_y), bucket in self.links.items():
+            for (i, j), weight in bucket.items():
+                counted = False
+                if type_x == node_type and i == index:
+                    total += weight
+                    counted = True
+                if type_y == node_type and j == index \
+                        and not (counted and type_x == type_y and i == j):
+                    total += weight
+        return total
+
+    def subnetwork_links(self, link_weights: Dict[Tuple[str, str],
+                                                  Dict[Tuple[int, int],
+                                                       float]],
+                         min_weight: float) -> Dict[Tuple[str, str],
+                                                    Dict[Tuple[int, int],
+                                                         float]]:
+        """The kept-link sets of an Eq. 3.23 split, per link type."""
+        kept: Dict[Tuple[str, str], Dict[Tuple[int, int], float]] = {}
+        for link_type, bucket in link_weights.items():
+            rows = {key: w for key, w in bucket.items() if w >= min_weight}
+            if rows:
+                kept[link_type] = rows
+        return kept
+
+
+# ------------------------------------------------------------------- ToPMine
+def reference_segment_chunk(chunk: Sequence[int], counts,
+                            alpha: float = 2.0) -> List[Tuple[int, ...]]:
+    """Algorithm 2 by full rescan: the pre-heap bottom-up merge.
+
+    Every round scans *all* adjacent phrase pairs for the highest
+    significance (ties to the earliest pair, matching the heap's
+    ``(-sig, slot)`` ordering), merges the winner, and repeats until the
+    best merge falls below ``alpha`` — O(n^2) per chunk versus the
+    heap's O(n log n).
+    """
+    from repro.phrases.significance import NEVER, merge_significance
+
+    phrases: List[Tuple[int, ...]] = [(tok,) for tok in chunk]
+    while len(phrases) >= 2:
+        best_sig = NEVER
+        best_at = -1
+        for at in range(len(phrases) - 1):
+            sig = merge_significance(counts, phrases[at], phrases[at + 1])
+            if sig > best_sig:
+                best_sig = sig
+                best_at = at
+        if best_at < 0 or best_sig < alpha:
+            break
+        phrases[best_at:best_at + 2] = [phrases[best_at]
+                                        + phrases[best_at + 1]]
+    return phrases

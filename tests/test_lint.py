@@ -96,6 +96,22 @@ class TestNoGlobalRng:
         """
         assert hits("src/repro/parallel/seeding.py", src, "RL001")
 
+    def test_flags_bit_generator_outside_seeding_modules(self):
+        # A blocked kernel must not mint its own bit generator for
+        # batched draws; the Generator arrives via the seeding layer.
+        src = """
+        import numpy as np
+        rng = np.random.Generator(np.random.PCG64(7))
+        """
+        assert hits(SOLVER_PATH, src, "RL001")
+
+    def test_allows_bit_generator_in_seeding_modules(self):
+        src = """
+        import numpy as np
+        rng = np.random.Generator(np.random.PCG64(7))
+        """
+        assert not hits("src/repro/parallel/seeding.py", src, "RL001")
+
     def test_generator_method_calls_pass(self):
         src = """
         from repro.utils import ensure_rng

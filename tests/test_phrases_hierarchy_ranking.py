@@ -19,7 +19,7 @@ def decorated():
     # repro.parallel (worker-count-invariant streams).
     builder = HierarchyBuilder(
         BuilderConfig(num_children=[6, 3], max_depth=2,
-                      weight_mode="learn", max_iter=60), seed=2)
+                      weight_mode="learn", max_iter=60), seed=1)
     hierarchy = builder.build(network)
     counts = attach_phrases(hierarchy, dataset.corpus)
     attach_entity_rankings(hierarchy)
