@@ -11,9 +11,14 @@ Commands:
   the predictions (with accuracy when ground truth is available).
 * ``strod`` — run moment-based topic discovery and print topic words.
 * ``export-model`` — fit the full pipeline and persist the result as a
-  versioned ``repro.serve/model/v1`` artifact.
+  versioned model artifact (``--format v1`` canonical JSON or
+  ``--format v2`` zero-copy mmap binary).
+* ``migrate-model`` — re-encode an existing artifact in another format,
+  losslessly (the manifest fingerprints carry over).
 * ``serve`` — answer topic / phrase / entity queries over HTTP from an
-  exported model artifact (see :mod:`repro.serve`).
+  exported model artifact (see :mod:`repro.serve`); ``--backend async``
+  serves from an asyncio event loop with concurrent batch and sharded
+  search fan-out (``--shards N``).
 * ``trace-export`` — convert a ``--trace`` span stream (JSON lines) to
   Chrome ``trace_event`` JSON loadable in ``chrome://tracing``.
 
@@ -142,28 +147,48 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
 
 def _cmd_export_model(args: argparse.Namespace) -> int:
     miner, _, result = _fit_pipeline(args)
-    manifest = miner.save_model(result, args.output)
+    manifest = miner.save_model(result, args.output, format=args.format)
     print(f"exported {manifest['num_topics']} topics "
           f"({manifest['vocab_size']} terms, repro "
-          f"{manifest['repro_version']}) -> {args.output}")
+          f"{manifest['repro_version']}, format {args.format}) "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_migrate_model(args: argparse.Namespace) -> int:
+    from .serve import migrate_model
+
+    manifest = migrate_model(args.model, args.output, format=args.to)
+    print(f"migrated {args.model} -> {args.output} "
+          f"({manifest['schema']}, {manifest['num_topics']} topics, "
+          f"payload crc {manifest['payload_crc32']})")
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time as _time
 
-    from .serve import ModelQueryEngine, ModelServer, load_model
+    from .serve import (ModelAsyncServer, ModelQueryEngine, ModelServer,
+                        load_model)
 
     start = _time.perf_counter()
     model = load_model(args.model)
-    engine = ModelQueryEngine(model, cache_size=args.cache_size)
+    engine = ModelQueryEngine(model, cache_size=args.cache_size,
+                              phrase_shards=args.shards)
     cold_load_s = _time.perf_counter() - start
-    server = ModelServer(engine, host=args.host, port=args.port,
-                         request_timeout=args.request_timeout)
+    if args.backend == "async":
+        server = ModelAsyncServer(engine, host=args.host, port=args.port,
+                                  request_timeout=args.request_timeout,
+                                  max_body_bytes=args.max_body_bytes)
+    else:
+        server = ModelServer(engine, host=args.host, port=args.port,
+                             request_timeout=args.request_timeout,
+                             max_body_bytes=args.max_body_bytes)
     server.install_signal_handlers()
     print(f"repro serve: model {args.model} "
           f"({model.manifest['num_topics']} topics, loaded in "
-          f"{cold_load_s * 1e3:.1f} ms) on "
+          f"{cold_load_s * 1e3:.1f} ms, backend {args.backend}, "
+          f"{args.shards} shard(s)) on "
           f"http://{server.host}:{server.port}", file=sys.stderr)
     try:
         server.serve_forever()
@@ -337,14 +362,31 @@ def build_parser() -> argparse.ArgumentParser:
         parents=obs_parent)
     _add_dataset_argument(export)
     export.add_argument("--output", "-o", required=True, metavar="PATH",
-                        help="where to write the repro.serve/model/v1 "
-                             "artifact (atomic write)")
+                        help="where to write the model artifact "
+                             "(atomic write)")
     export.add_argument("--children", default="6,3",
                         help="children per level, comma separated")
     export.add_argument("--weights", default="learn",
                         choices=["equal", "norm", "learn"])
     export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--format", default="v1", choices=["v1", "v2"],
+                        help="artifact format: v1 (canonical JSON) or "
+                             "v2 (zero-copy mmap binary sections)")
     export.set_defaults(func=_cmd_export_model)
+
+    migrate = sub.add_parser(
+        "migrate-model",
+        help="re-encode a model artifact in another format (lossless)")
+    migrate.add_argument("model", help="source artifact (v1 or v2, "
+                                       "sniffed)")
+    migrate.add_argument("--output", "-o", required=True, metavar="PATH",
+                         help="where to write the re-encoded artifact")
+    migrate.add_argument("--to", default="v2", choices=["v1", "v2"],
+                         help="destination format (default: v2)")
+    # Pure file transformation: default the shared run flags away.
+    migrate.set_defaults(func=_cmd_migrate_model, workers=None,
+                         report=None, trace=None, profile=None,
+                         log_level=None, log_json=False)
 
     serve = sub.add_parser(
         "serve", help="serve an exported model over HTTP",
@@ -359,6 +401,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        metavar="SECONDS",
                        help="per-connection read timeout")
+    serve.add_argument("--backend", default="threaded",
+                       choices=["threaded", "async"],
+                       help="threaded (stdlib http.server) or async "
+                            "(asyncio, concurrent batch/search fan-out)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="phrase-index hash shards (async search "
+                            "fans out across them; answers identical)")
+    serve.add_argument("--max-body-bytes", type=int, default=1 << 20,
+                       help="hard POST body cap (413 above it)")
     serve.set_defaults(func=_cmd_serve)
 
     export_trace = sub.add_parser(

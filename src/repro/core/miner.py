@@ -162,18 +162,22 @@ class LatentEntityMiner:
                             report=report)
 
     # ------------------------------------------------------------ artifacts
-    def save_model(self, result: MiningResult, path: str) -> Dict[str, object]:
-        """Export ``result`` as a versioned ``repro.serve/model/v1`` artifact.
+    def save_model(self, result: MiningResult, path: str,
+                   format: str = "v1") -> Dict[str, object]:
+        """Export ``result`` as a versioned model artifact.
 
         The artifact carries everything the read path needs — the topic
         tree, phrase rankings, and entity role tables — plus a manifest
         fingerprinting this miner's configuration and the corpus
         vocabulary, so :meth:`load_model` can reject mismatched or
-        corrupted files.  The write is atomic.  Returns the manifest.
+        corrupted files.  ``format`` picks the on-disk representation:
+        ``"v1"`` (canonical JSON) or ``"v2"`` (zero-copy memory-mappable
+        binary sections).  The write is atomic.  Returns the manifest.
         """
         from ..serve import save_model as _save_model
 
-        return _save_model(result, path, config=self._artifact_config())
+        return _save_model(result, path, config=self._artifact_config(),
+                           format=format)
 
     @staticmethod
     def load_model(path: str):

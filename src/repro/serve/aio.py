@@ -1,0 +1,456 @@
+"""Asyncio serving frontend: concurrent fan-out over the same contract.
+
+:class:`ModelAsyncServer` answers exactly the endpoint contract of the
+threaded :class:`~repro.serve.http.ModelServer` (both route through
+:mod:`repro.serve.router`), but handles connections on one asyncio event
+loop, which changes what happens *inside* a request:
+
+* ``POST /v1/batch`` fans the batch's ops out concurrently — each op
+  runs in a worker thread via :func:`asyncio.to_thread`, bounded by a
+  semaphore of ``batch_concurrency`` slots so one huge batch cannot
+  monopolize the pool — and the results come back in request order,
+  per-op errors in-band, byte-identical to the sequential answer;
+* ``GET /v1/search`` against an engine with ``phrase_shards > 1`` scans
+  the hash shards concurrently (one worker thread per shard, each
+  span-traced and timed as ``serve.search.shard.<i>.latency`` by the
+  engine) and merges, again byte-identical to the sequential answer and
+  cached under the same key;
+* every other endpoint runs in a single worker thread, so the event
+  loop only ever parses HTTP and moves bytes — a stalled client costs a
+  connection, never a worker.
+
+POST bodies are hard-limited exactly as in the threaded server: absent
+Content-Length gives 411, a malformed one 400, one past
+``max_body_bytes`` 413 with a typed payload — checked before a single
+body byte is read.
+
+Because many requests interleave on the loop thread, the per-request
+trace ID is installed inside each worker thread (trace IDs are
+thread-local), so engine spans still attribute to the right request;
+the client still gets the ID back as ``X-Request-Id``.
+
+Lifecycle mirrors the threaded server — ``start()`` (background thread
+running the loop, as the tests use), ``serve_forever()`` (blocking, as
+the CLI uses), ``install_signal_handlers()`` for graceful SIGTERM /
+SIGINT (in-flight requests finish, the listening socket closes), and
+context-manager support.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from http.client import responses as _http_reasons
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import ConfigurationError, DataError
+from ..obs import (PROMETHEUS_CONTENT_TYPE, MetricsRegistry, get_logger,
+                   set_trace_id, span)
+from .engine import _SEARCH_MODES, ModelQueryEngine
+from .router import (DEFAULT_MAX_BODY_BYTES, PrometheusText,
+                     RequestRejected, ServerStateMixin, parse_json_body,
+                     route_request, validate_content_length)
+
+__all__ = ["ModelAsyncServer"]
+
+logger = get_logger("serve.aio")
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_LINES = 100
+
+
+class _AioState(ServerStateMixin):
+    """The mixin as a standalone object (no socketserver underneath)."""
+
+    def __init__(self, engine: ModelQueryEngine) -> None:
+        self._init_server_state(engine)
+
+
+class ModelAsyncServer:
+    """Asyncio HTTP server over a :class:`ModelQueryEngine`.
+
+    Args:
+        engine: the query engine (build it with ``phrase_shards > 1``
+            to get concurrent sharded search).
+        host / port: bind address (``port=0`` for an ephemeral port).
+        request_timeout: per-read client timeout, seconds.
+        max_body_bytes: hard POST body cap (411 / 413 below / above).
+        batch_concurrency: concurrent worker slots per batch request.
+    """
+
+    def __init__(self, engine: ModelQueryEngine, host: str = "127.0.0.1",
+                 port: int = 8080, request_timeout: float = 30.0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 batch_concurrency: int = 8) -> None:
+        if request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive")
+        if max_body_bytes <= 0:
+            raise ConfigurationError("max_body_bytes must be positive")
+        if batch_concurrency < 1:
+            raise ConfigurationError("batch_concurrency must be >= 1")
+        self.state = _AioState(engine)
+        self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
+        self.batch_concurrency = batch_concurrency
+        self._requested_address = (host, port)
+        self._bound_address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._previous_handlers: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def engine(self) -> ModelQueryEngine:
+        return self.state.engine
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The server-local metrics registry backing ``/metrics``."""
+        return self.state.registry
+
+    @property
+    def host(self) -> str:
+        address = self._bound_address or self._requested_address
+        return address[0]
+
+    @property
+    def port(self) -> int:
+        address = self._bound_address or self._requested_address
+        return address[1]
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ModelAsyncServer":
+        """Run the event loop in a background thread (returns bound)."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="repro-serve-aio", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self._startup_error = None
+            raise error
+        if not self._ready.is_set():
+            raise ConfigurationError(
+                "async server failed to start within 30s")
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking; CLI entry point)."""
+        self.start()
+        logger.info("serving model (asyncio) on %s:%d", self.host,
+                    self.port)
+        thread = self._thread
+        assert thread is not None
+        while thread.is_alive():
+            # join() with a timeout keeps the main thread receptive to
+            # signals (a bare join blocks them on some platforms).
+            thread.join(timeout=0.2)
+
+    def shutdown(self) -> None:
+        """Graceful stop: drain in-flight requests, close the socket."""
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._ready.clear()
+
+    def close(self) -> None:
+        """Restore signal handlers (the loop owns the socket)."""
+        self.restore_signal_handlers()
+
+    def install_signal_handlers(self,
+                                signals: Tuple[int, ...] = (signal.SIGTERM,
+                                                            signal.SIGINT),
+                                ) -> None:
+        """Trigger a graceful shutdown when one of ``signals`` arrives."""
+        def _handler(signum, frame):  # noqa: ARG001 - signal signature
+            logger.info("signal %d: shutting down gracefully", signum)
+            threading.Thread(target=self.shutdown,
+                             name="repro-serve-aio-shutdown",
+                             daemon=True).start()
+
+        for signum in signals:
+            self._previous_handlers[signum] = signal.signal(signum, _handler)
+
+    def restore_signal_handlers(self) -> None:
+        """Reinstate handlers replaced by :meth:`install_signal_handlers`."""
+        while self._previous_handlers:
+            signum, handler = self._previous_handlers.popitem()
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # not on the main thread
+                pass
+
+    def __enter__(self) -> "ModelAsyncServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.shutdown()
+        finally:
+            self.close()
+
+    # ------------------------------------------------------------ event loop
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._batch_slots = asyncio.Semaphore(self.batch_concurrency)
+        self._connections: set = set()
+        host, port = self._requested_address
+        server = await asyncio.start_server(self._handle_client, host,
+                                            port)
+        sockname = server.sockets[0].getsockname()
+        self._bound_address = (sockname[0], sockname[1])
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            if self._connections:
+                await asyncio.wait(list(self._connections), timeout=5.0)
+            self._loop = None
+
+    # ---------------------------------------------------------- connections
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.TimeoutError, asyncio.IncompleteReadError):
+            pass  # client went away or stalled; the connection just ends
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        while not self._stop_event.is_set():
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=self.request_timeout)
+            if not request_line:
+                return
+            if len(request_line) > _MAX_REQUEST_LINE:
+                await self._reply(writer, 414, {
+                    "error": "request line too long",
+                    "code": "uri_too_long"}, "req-overlong", False)
+                return
+            parts = request_line.decode("latin-1").rstrip("\r\n").split()
+            if len(parts) != 3:
+                await self._reply(writer, 400, {
+                    "error": "malformed request line",
+                    "code": "bad_request_line"}, "req-malformed", False)
+                return
+            method, target, version = parts
+            headers = await self._read_headers(reader)
+            if headers is None:
+                await self._reply(writer, 400, {
+                    "error": "malformed or oversized request headers",
+                    "code": "bad_headers"}, "req-badheaders", False)
+                return
+            keep_alive = (version == "HTTP/1.1"
+                          and headers.get("connection", "").lower()
+                          != "close")
+            status, payload, request_id, must_close = \
+                await self._answer(method, target, headers, reader)
+            keep_alive = keep_alive and not must_close
+            await self._reply(writer, status, payload, request_id,
+                              keep_alive)
+            if not keep_alive:
+                return
+
+    async def _read_headers(self, reader: asyncio.StreamReader,
+                            ) -> Optional[Dict[str, str]]:
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await asyncio.wait_for(reader.readline(),
+                                          timeout=self.request_timeout)
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            if b":" not in line:
+                return None
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return None
+
+    async def _reply(self, writer: asyncio.StreamWriter, status: int,
+                     payload: Any, request_id: str,
+                     keep_alive: bool) -> None:
+        if isinstance(payload, PrometheusText):
+            body = payload.text.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        reason = _http_reasons.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Server: repro-serve-aio/1\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"X-Request-Id: {request_id}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -------------------------------------------------------------- requests
+    async def _answer(self, method: str, target: str,
+                      headers: Dict[str, str],
+                      reader: asyncio.StreamReader,
+                      ) -> Tuple[int, Any, str, bool]:
+        state = self.state
+        request_id = state.next_request_id()
+        start = time.perf_counter()
+        endpoint = "unknown"
+        must_close = False
+        try:
+            if method not in ("GET", "POST"):
+                raise RequestRejected(
+                    501, "method_not_implemented",
+                    f"method {method!r} is not supported")
+            body: Any = None
+            if method == "POST":
+                length = validate_content_length(
+                    headers.get("content-length"), self.max_body_bytes)
+                raw = await asyncio.wait_for(
+                    reader.readexactly(length),
+                    timeout=self.request_timeout)
+                body = parse_json_body(raw)
+            status, payload, endpoint = await self._route_async(
+                request_id, method, target,
+                headers.get("accept", ""), body)
+        except RequestRejected as exc:
+            status, payload = exc.status, exc.payload
+            # An unread body would be parsed as the next request on
+            # this keep-alive connection; drop the connection instead.
+            must_close = True
+        except asyncio.IncompleteReadError as exc:
+            status, payload = 400, {
+                "error": f"request body truncated ({len(exc.partial)} "
+                         f"bytes received)", "code": "body_truncated"}
+            must_close = True
+        except DataError as exc:
+            status, payload = 404, {"error": str(exc)}
+        except (ConfigurationError, ValueError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except asyncio.TimeoutError:
+            raise  # mid-body stall: connection-level, no answer owed
+        except Exception as exc:  # noqa: BLE001 - must answer
+            logger.error("unhandled error serving %s: %r", target, exc)
+            status, payload = 500, {"error": f"internal error: {exc!r}"}
+        state.record_request(endpoint, status,
+                             time.perf_counter() - start)
+        return status, payload, request_id, must_close
+
+    async def _route_async(self, request_id: str, method: str,
+                           target: str, accept: str, body: Any,
+                           ) -> Tuple[int, Any, str]:
+        """Route with concurrency where the endpoint supports it.
+
+        Batch and sharded search fan out across worker threads; every
+        other endpoint runs in one worker thread.  All engine work goes
+        through :meth:`_in_worker`, which installs the request's trace
+        ID in the worker (trace IDs are thread-local), so engine spans
+        attribute to this request even though many requests share the
+        event loop.
+        """
+        engine = self.state.engine
+        parsed = urlparse(target)
+        path = parsed.path.rstrip("/")
+        if method == "POST" and path == "/v1/batch":
+            return 200, await self._batch_async(request_id, body), "batch"
+        if method == "GET" and path == "/v1/search" \
+                and engine.num_shards > 1:
+            params = parse_qs(parsed.query, keep_blank_values=True)
+            query = params.get("q")
+            if query is not None:
+                answer = await self._search_async(request_id, query[0],
+                                                  params)
+                return 200, answer, "search"
+        return await self._in_worker(
+            request_id, route_request, self.state, method, target,
+            accept, lambda: body)
+
+    async def _batch_async(self, request_id: str,
+                           requests: Any) -> Dict[str, Any]:
+        """Concurrent, bounded, order-preserving batch execution."""
+        if not isinstance(requests, list):
+            raise ConfigurationError("batch payload must be an array")
+        engine = self.state.engine
+
+        async def run_op(request: Any) -> Dict[str, Any]:
+            async with self._batch_slots:
+                return await self._in_worker(request_id, engine.batch_op,
+                                             request)
+
+        results = await asyncio.gather(*[run_op(r) for r in requests])
+        return {"results": list(results)}
+
+    async def _search_async(self, request_id: str, query: str,
+                            params: Dict[str, list]) -> Dict[str, Any]:
+        """Concurrent sharded search, cached under the engine's key."""
+        engine = self.state.engine
+        mode = params.get("mode", ["prefix"])[0]
+        if mode not in _SEARCH_MODES:
+            raise ConfigurationError(
+                f"unsupported search mode {mode!r} (one of "
+                f"{_SEARCH_MODES})")
+        raw_limit = params.get("limit", [""])[0]
+        try:
+            limit = int(raw_limit) if raw_limit != "" else 10
+        except ValueError:
+            raise ConfigurationError(
+                f"query parameter 'limit' must be an integer: "
+                f"{raw_limit!r}") from None
+        key = ("search_phrases", query, mode, limit)
+        hit, value = engine.cache_get(key)
+        if hit:
+            return value
+        match_lists = await asyncio.gather(*[
+            self._in_worker(request_id, engine.search_shard, index,
+                            query, mode)
+            for index in range(engine.num_shards)])
+        return engine.cache_put(
+            key, engine.merge_shard_matches(list(match_lists), query,
+                                            mode, limit))
+
+    async def _in_worker(self, request_id: str, fn: Callable, *args,
+                         ) -> Any:
+        """Run ``fn`` in a worker thread under this request's trace ID."""
+        def traced() -> Any:
+            set_trace_id(request_id)
+            try:
+                with span("serve.http.request", request_id=request_id):
+                    return fn(*args)
+            finally:
+                set_trace_id(None)
+
+        return await asyncio.to_thread(traced)

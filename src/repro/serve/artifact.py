@@ -29,7 +29,18 @@ or a manifest grafted onto the wrong model is rejected with a typed
 The canonical JSON form (sorted keys, no whitespace) makes the CRC
 stable across save/load cycles: Python's shortest-repr float encoding
 round-trips exactly, so re-encoding a parsed payload reproduces the
-bytes that were hashed at save time.
+bytes that were hashed at save time.  Canonical encoding is strict
+(``allow_nan=False``): a model containing a NaN or infinite weight is
+rejected with a typed :class:`~repro.errors.DataError` at *save* time —
+the non-standard ``NaN``/``Infinity`` tokens Python would otherwise
+emit cannot be re-parsed by a conforming JSON parser, so such an
+artifact's CRC could never be re-verified.
+
+``save_model`` / ``load_model`` additionally speak the
+``repro.serve/model/v2`` zero-copy binary format (``format="v2"``; see
+:mod:`repro.serve.artifact_v2`): saves dispatch on the ``format``
+argument and loads sniff the file, so a v2 artifact loads through the
+same entry point with full v1 read compatibility.
 """
 
 from __future__ import annotations
@@ -41,21 +52,27 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from ..errors import DataError
+from ..errors import ConfigurationError, DataError
 from ..hierarchy import Topic, TopicalHierarchy
 from ..obs import get_logger, timed
 from ..resilience import atomic_write_json, config_fingerprint
 
 __all__ = [
+    "ARTIFACT_FORMATS",
     "MODEL_SCHEMA",
     "ServedModel",
     "build_model_document",
     "load_model",
+    "migrate_model",
     "save_model",
+    "save_model_document",
     "vocabulary_hash",
 ]
 
 MODEL_SCHEMA = "repro.serve/model/v1"
+
+#: On-disk formats ``save_model`` / ``repro export-model`` can emit.
+ARTIFACT_FORMATS = ("v1", "v2")
 
 #: Manifest fields whose absence makes an artifact unusable.
 _REQUIRED_MANIFEST = ("schema", "created_unix", "repro_version", "config",
@@ -79,9 +96,21 @@ def vocabulary_hash(words: Iterable[str]) -> str:
 
 
 def _canonical_payload(model: Dict[str, Any]) -> bytes:
-    """The byte form of the model object that ``payload_crc32`` covers."""
-    return json.dumps(model, sort_keys=True,
-                      separators=(",", ":")).encode("utf-8")
+    """The byte form of the model object that ``payload_crc32`` covers.
+
+    Strict floats only: Python's default encoder would emit the
+    non-standard ``NaN``/``Infinity`` tokens for non-finite weights,
+    producing an artifact no conforming JSON parser can re-verify — so
+    a model carrying one is rejected with a typed error instead.
+    """
+    try:
+        return json.dumps(model, sort_keys=True, allow_nan=False,
+                          separators=(",", ":")).encode("utf-8")
+    except ValueError as exc:
+        raise DataError(
+            f"model payload contains a non-finite float (NaN/Infinity), "
+            f"which has no canonical JSON form and would make the "
+            f"artifact CRC unverifiable: {exc}") from exc
 
 
 def _topic_record(topic: Topic) -> Dict[str, Any]:
@@ -200,19 +229,76 @@ class ServedModel:
         return cls(manifest=document["manifest"], model=document["model"])
 
 
-def save_model(result, path: str,
-               config: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """Persist a fitted result as a ``repro.serve/model/v1`` artifact.
+def save_model_document(document: Dict[str, Any], path: str,
+                        format: str = "v1") -> Dict[str, Any]:
+    """Write an already-built model document in the requested format.
 
-    The write is atomic (temp file + rename): a crash mid-export leaves
-    any previous artifact at ``path`` intact.  Returns the manifest.
+    ``document`` is the object :func:`build_model_document` returns.
+    ``format="v1"`` writes the canonical JSON artifact; ``format="v2"``
+    writes the zero-copy binary artifact
+    (:mod:`repro.serve.artifact_v2`).  Both writes are atomic (temp
+    file + rename): a crash mid-export leaves any previous artifact at
+    ``path`` intact.  Returns the manifest as written.
+    """
+    if format not in ARTIFACT_FORMATS:
+        raise ConfigurationError(
+            f"unsupported artifact format {format!r} "
+            f"(one of {ARTIFACT_FORMATS})")
+    if format == "v2":
+        from .artifact_v2 import save_model_document_v2
+
+        return save_model_document_v2(document, path)
+    atomic_write_json(path, document, indent=2, trailing_newline=True)
+    return document["manifest"]
+
+
+def save_model(result, path: str, config: Optional[Dict[str, Any]] = None,
+               format: str = "v1") -> Dict[str, Any]:
+    """Persist a fitted result as a versioned model artifact.
+
+    ``format`` selects the on-disk representation: ``"v1"`` (canonical
+    JSON, the default) or ``"v2"`` (memory-mappable packed binary
+    sections behind the same manifest/CRC contract).  The write is
+    atomic either way.  Returns the manifest.
     """
     with timed("serve.export"):
         document = build_model_document(result, config=config)
-        atomic_write_json(path, document, indent=2, trailing_newline=True)
-    logger.info("exported model artifact (%d topics) -> %s",
-                document["manifest"]["num_topics"], path)
-    return document["manifest"]
+        manifest = save_model_document(document, path, format=format)
+    logger.info("exported model artifact (%d topics, format %s) -> %s",
+                manifest["num_topics"], format, path)
+    return manifest
+
+
+def migrate_model(source: str, destination: str,
+                  format: str = "v2") -> Dict[str, Any]:
+    """Re-encode an existing artifact in another format, losslessly.
+
+    The source format is sniffed (v1 JSON or v2 binary); the full model
+    document is materialized and re-written as ``format``.  The
+    manifest's ``payload_crc32`` / ``vocab_hash`` fingerprints carry
+    over unchanged — they cover the canonical v1 payload in both
+    formats — so the migration is verifiable: loading the destination
+    re-checks the same checksums the source was saved under, and a v2
+    write additionally self-checks that its sections reconstruct the
+    payload bit for bit.  Returns the destination manifest.
+    """
+    from .artifact_v2 import MappedModel, model_document_from_mapped
+
+    with timed("serve.migrate"):
+        model = load_model(source)
+        if isinstance(model, MappedModel):
+            try:
+                document = model_document_from_mapped(model)
+            finally:
+                model.close()
+        else:
+            document = {"schema": MODEL_SCHEMA, "manifest": model.manifest,
+                        "model": model.model}
+        manifest = save_model_document(document, destination,
+                                       format=format)
+    logger.info("migrated model artifact %s -> %s (format %s)", source,
+                destination, format)
+    return manifest
 
 
 def _validate_manifest(manifest: Any, path: str) -> Dict[str, Any]:
@@ -227,8 +313,15 @@ def _validate_manifest(manifest: Any, path: str) -> Dict[str, Any]:
     return manifest
 
 
-def load_model(path: str) -> ServedModel:
+def load_model(path: str, verify_sections: bool = True):
     """Read and verify a model artifact written by :func:`save_model`.
+
+    The format is sniffed from the file: a ``repro.serve/model/v2``
+    binary artifact is memory-mapped (returning a
+    :class:`~repro.serve.artifact_v2.MappedModel`; ``verify_sections``
+    controls its CRC sweep), anything else is parsed as the v1 JSON
+    artifact (returning a :class:`ServedModel`).  Both answer queries
+    identically through :class:`~repro.serve.ModelQueryEngine`.
 
     Raises:
         DataError: when the file is not a model artifact, is truncated or
@@ -237,6 +330,12 @@ def load_model(path: str) -> ServedModel:
             vocabulary hash does not match the stored vocabulary.
         OSError: when the file cannot be read at all.
     """
+    from .artifact_v2 import _MAGIC, load_model_v2
+
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+    if magic == _MAGIC:
+        return load_model_v2(path, verify_sections=verify_sections)
     with timed("serve.model_load"):
         with open(path, "rb") as handle:
             blob = handle.read()

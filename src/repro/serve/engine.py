@@ -2,34 +2,53 @@
 
 :class:`ModelQueryEngine` answers the paper's end-user queries — browse
 the topic tree (§3), ranked topical phrases (§4), entity topical roles
-(§5) — from precomputed indexes built once at load time:
+(§5) — from read-optimized indexes, behind an LRU result cache whose
+hit / miss counts are kept locally (always, for the ``/metrics``
+endpoint) and mirrored into the :mod:`repro.obs` metrics registry (when
+enabled) as ``serve.cache.hits`` / ``serve.cache.misses``.
 
-* ``topic id -> topic record`` (and parent / children maps),
-* ``phrase -> [(topic, score)]`` inverted index plus a sorted phrase
-  list for binary-search prefix matching,
-* ``entity type -> entity -> {topic: frequency}`` role tables.
+The engine is backend-polymorphic over the two artifact formats:
 
-Every public query runs through an LRU result cache whose hit / miss
-counts are kept locally (always, for the ``/metrics`` endpoint) and
-mirrored into the :mod:`repro.obs` metrics registry (when enabled) as
-``serve.cache.hits`` / ``serve.cache.misses``.
+* a **dict backend** over the v1 JSON payload (or an in-memory
+  :class:`~repro.core.MiningResult`): indexes are built once at
+  construction by walking the hierarchy, exactly as PR 4 shipped it;
+* a **mapped backend** over a v2 artifact
+  (:class:`~repro.serve.artifact_v2.MappedModel`): the topic skeleton
+  and string tables come from the artifact header and the numeric data
+  stays in the memory-mapped sections — construction touches none of
+  the topic-word matrices, so engine cold start is ~O(mmap).
 
-All answers are plain JSON data.  An engine built directly from an
-in-memory :class:`~repro.core.MiningResult` returns byte-identical
-answers to one built from the same model saved to disk and loaded back —
-the round-trip invariant the serve test suite property-checks.
+Both backends answer every query byte-identically — to each other and
+to an engine built from the in-memory fit — the round-trip invariant
+the serve test suite property-checks.
+
+**Sharded phrase search**: with ``phrase_shards=N`` the phrase index is
+hash-partitioned (CRC32 of the phrase, stable across processes) into N
+sorted sub-lists.  :meth:`search_phrases` fans out across the shards
+and merges the per-shard top-k by ``(-best score, phrase)``; each
+shard's scan is wrapped in a ``serve.search.shard`` span and timed into
+``serve.search.shard.<i>.latency``, so per-shard latency attribution
+flows through :mod:`repro.obs` like every other phase.  Shard results
+merge to exactly the unsharded answer.  The per-shard entry points
+(:meth:`search_shard` / :meth:`merge_shard_matches`) are public so the
+asyncio server can run the fan-out concurrently.
+
+All answers are plain JSON data.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+import zlib
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, DataError
-from ..obs import inc, timed
+from ..obs import get_logger, inc, observe, span, timed
 from .artifact import ServedModel
+from .artifact_v2 import MappedModel, _row
 
 __all__ = ["ModelQueryEngine"]
 
@@ -39,18 +58,213 @@ _BATCH_OPS = ("model_info", "topic", "children", "top_phrases",
 
 _SEARCH_MODES = ("prefix", "substring")
 
+logger = get_logger("serve.engine")
+
+
+def _shard_of(phrase: str, shards: int) -> int:
+    """Stable shard assignment (CRC32, identical in every process)."""
+    return zlib.crc32(phrase.encode("utf-8")) % shards
+
+
+class _DictBackend:
+    """Heavy-data access over the v1 JSON payload (walk-once indexes)."""
+
+    def __init__(self, model: ServedModel) -> None:
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._meta: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        phrase_topics: Dict[str, List[Tuple[str, float]]] = {}
+
+        def walk(record: Dict[str, Any], parent: Optional[str]) -> None:
+            notation = record["notation"]
+            self._records[notation] = record
+            self._meta[notation] = {
+                "path": record["path"],
+                "rho": record["rho"],
+                "parent": parent,
+                "children": [child["notation"]
+                             for child in record["children"]],
+            }
+            for phrase, score in record["phrases"]:
+                phrase_topics.setdefault(phrase, []).append(
+                    (notation, score))
+            for child in record["children"]:
+                walk(child, notation)
+
+        walk(model.model["hierarchy"], None)
+        for entries in phrase_topics.values():
+            entries.sort(key=lambda pair: (-pair[1], pair[0]))
+        self._phrase_topics = phrase_topics
+        self.phrase_list = sorted(phrase_topics)
+        self._entity_roles = model.entity_roles
+
+    def meta(self, notation: str) -> Optional[Dict[str, Any]]:
+        return self._meta.get(notation)
+
+    def phrases(self, notation: str) -> List[List[Any]]:
+        return self._records[notation]["phrases"]
+
+    def top_terms(self, notation: str) -> List[Tuple[str, float]]:
+        terms = self._records[notation]["phi"].get("term", {})
+        return sorted(terms.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def entity_ranks(self, notation: str) -> Dict[str, List[List[Any]]]:
+        return self._records[notation]["entity_ranks"]
+
+    def label(self, notation: str) -> str:
+        record = self._records[notation]
+        if record["phrases"]:
+            return record["phrases"][0][0]
+        top = self.top_terms(notation)
+        return top[0][0] if top else ""
+
+    def phrase_topics(self, phrase: str) -> List[List[Any]]:
+        return [[notation, score]
+                for notation, score in self._phrase_topics[phrase]]
+
+    def best_phrase_score(self, phrase: str) -> float:
+        return self._phrase_topics[phrase][0][1]
+
+    def role_types(self) -> List[str]:
+        return sorted(self._entity_roles)
+
+    def has_role_type(self, entity_type: str) -> bool:
+        return entity_type in self._entity_roles
+
+    def num_entities(self, entity_type: str) -> int:
+        return len(self._entity_roles[entity_type])
+
+    def frequencies(self, entity_type: str,
+                    name: str) -> Optional[Dict[str, float]]:
+        return self._entity_roles[entity_type].get(name)
+
+
+class _MappedBackend:
+    """Heavy-data access over a memory-mapped v2 artifact.
+
+    Construction reads only the header string tables (already parsed at
+    load); every numeric value is materialized lazily, per query, from
+    the mapped sections — so building an engine never faults in the
+    topic-word matrices.
+    """
+
+    def __init__(self, model: MappedModel) -> None:
+        self._model = model
+        strings = model.strings
+        self._topics = strings["topics"]
+        self._index = {meta["notation"]: i
+                       for i, meta in enumerate(self._topics)}
+        self.phrase_list: List[str] = strings["phrases"]
+        self._entities: Dict[str, List[str]] = strings["entities"]
+        self._role_keys: List[str] = strings["role_keys"]
+        self._phi_names: Dict[str, List[str]] = strings.get("phi_names", {})
+        self._rank_names: Dict[str, List[str]] = strings.get(
+            "rank_names", {})
+
+    def meta(self, notation: str) -> Optional[Dict[str, Any]]:
+        index = self._index.get(notation)
+        if index is None:
+            return None
+        meta = self._topics[index]
+        return {
+            "path": meta["path"],
+            "rho": meta["rho"],
+            "parent": (None if meta["parent"] is None
+                       else self._topics[meta["parent"]]["notation"]),
+            "children": [self._topics[c]["notation"]
+                         for c in meta["children"]],
+        }
+
+    def phrases(self, notation: str) -> List[List[Any]]:
+        ids, scores = _row(self._model, "phrases", self._index[notation],
+                           "scores")
+        table = self.phrase_list
+        return [[table[int(i)], float(s)] for i, s in zip(ids, scores)]
+
+    def top_terms(self, notation: str) -> List[Tuple[str, float]]:
+        meta = self._topics[self._index[notation]]
+        if "term" not in meta["phi_types"]:
+            return []
+        names = self._phi_names["term"]
+        ids, values = _row(self._model, "phi.term", self._index[notation])
+        terms = [(names[int(i)], float(v)) for i, v in zip(ids, values)]
+        terms.sort(key=lambda kv: (-kv[1], kv[0]))
+        return terms
+
+    def entity_ranks(self, notation: str) -> Dict[str, List[List[Any]]]:
+        index = self._index[notation]
+        meta = self._topics[index]
+        ranks: Dict[str, List[List[Any]]] = {}
+        for etype in meta["rank_types"]:
+            names = self._rank_names[etype]
+            ids, scores = _row(self._model, f"entity_ranks.{etype}",
+                               index, "scores")
+            ranks[etype] = [[names[int(i)], float(s)]
+                            for i, s in zip(ids, scores)]
+        return ranks
+
+    def label(self, notation: str) -> str:
+        phrases = self.phrases(notation)
+        if phrases:
+            return phrases[0][0]
+        top = self.top_terms(notation)
+        return top[0][0] if top else ""
+
+    def _phrase_index(self, phrase: str) -> int:
+        index = bisect_left(self.phrase_list, phrase)
+        if index >= len(self.phrase_list) \
+                or self.phrase_list[index] != phrase:
+            raise DataError(f"no phrase {phrase!r} in model")
+        return index
+
+    def phrase_topics(self, phrase: str) -> List[List[Any]]:
+        ids, scores = _row(self._model, "inverted",
+                           self._phrase_index(phrase), "scores")
+        return [[self._topics[int(i)]["notation"], float(s)]
+                for i, s in zip(ids, scores)]
+
+    def best_phrase_score(self, phrase: str) -> float:
+        scores = _row(self._model, "inverted",
+                      self._phrase_index(phrase), "scores")[1]
+        return float(scores[0])
+
+    def role_types(self) -> List[str]:
+        return sorted(self._entities)
+
+    def has_role_type(self, entity_type: str) -> bool:
+        return entity_type in self._entities
+
+    def num_entities(self, entity_type: str) -> int:
+        return len(self._entities[entity_type])
+
+    def frequencies(self, entity_type: str,
+                    name: str) -> Optional[Dict[str, float]]:
+        names = self._entities[entity_type]
+        index = bisect_left(names, name)
+        if index >= len(names) or names[index] != name:
+            return None
+        ids, values = _row(self._model, f"roles.{entity_type}", index)
+        table = self._role_keys
+        return {table[int(i)]: float(v) for i, v in zip(ids, values)}
+
 
 class ModelQueryEngine:
     """Cached queries over one served model.
 
     Args:
-        model: the artifact to serve (see :class:`ServedModel`).
+        model: the artifact to serve — a :class:`ServedModel` (v1 /
+            in-memory) or a :class:`~repro.serve.artifact_v2.MappedModel`
+            (v2, zero-copy).
         cache_size: LRU result-cache capacity (0 disables caching).
+        phrase_shards: number of hash shards for the phrase index
+            (1 = unsharded; answers are identical for every value).
     """
 
-    def __init__(self, model: ServedModel, cache_size: int = 1024) -> None:
+    def __init__(self, model, cache_size: int = 1024,
+                 phrase_shards: int = 1) -> None:
         if cache_size < 0:
             raise ConfigurationError("cache_size must be >= 0")
+        if phrase_shards < 1:
+            raise ConfigurationError("phrase_shards must be >= 1")
         self.model = model
         self._cache_capacity = cache_size
         self._cache: "OrderedDict[Tuple, Any]" = OrderedDict()
@@ -58,52 +272,74 @@ class ModelQueryEngine:
         self._hits = 0
         self._misses = 0
         with timed("serve.index_build"):
-            self._build_indexes()
+            if isinstance(model, MappedModel):
+                self._backend = _MappedBackend(model)
+            elif isinstance(model, ServedModel):
+                self._backend = _DictBackend(model)
+            else:
+                raise ConfigurationError(
+                    f"model must be a ServedModel or MappedModel, "
+                    f"got {type(model).__name__}")
+            self._build_topic_maps()
+            self._build_shards(phrase_shards)
 
     @classmethod
     def from_result(cls, result, config: Optional[Dict[str, Any]] = None,
-                    cache_size: int = 1024) -> "ModelQueryEngine":
+                    cache_size: int = 1024,
+                    phrase_shards: int = 1) -> "ModelQueryEngine":
         """An engine over a fitted result, without touching the disk."""
         return cls(ServedModel.from_result(result, config=config),
-                   cache_size=cache_size)
+                   cache_size=cache_size, phrase_shards=phrase_shards)
 
     # -------------------------------------------------------------- indexes
-    def _build_indexes(self) -> None:
-        self._topics: Dict[str, Dict[str, Any]] = {}
-        self._children: Dict[str, List[str]] = {}
-        self._parent: Dict[str, Optional[str]] = {}
-        phrase_topics: Dict[str, List[Tuple[str, float]]] = {}
+    def _build_topic_maps(self) -> None:
+        """Notation -> light metadata (path/rho/parent/children)."""
+        backend = self._backend
+        if isinstance(backend, _DictBackend):
+            self._meta = dict(backend._meta)
+        else:
+            self._meta = {}
+            for topic_meta in backend._topics:
+                notation = topic_meta["notation"]
+                meta = backend.meta(notation)
+                assert meta is not None
+                self._meta[notation] = meta
 
-        def walk(record: Dict[str, Any], parent: Optional[str]) -> None:
-            notation = record["notation"]
-            self._topics[notation] = record
-            self._parent[notation] = parent
-            self._children[notation] = [child["notation"]
-                                        for child in record["children"]]
-            for phrase, score in record["phrases"]:
-                phrase_topics.setdefault(phrase, []).append(
-                    (notation, score))
-            for child in record["children"]:
-                walk(child, notation)
-
-        walk(self.model.model["hierarchy"], None)
-        for entries in phrase_topics.values():
-            entries.sort(key=lambda pair: (-pair[1], pair[0]))
-        self._phrase_topics = phrase_topics
-        self._phrase_list = sorted(phrase_topics)
-        self._entity_roles = self.model.entity_roles
+    def _build_shards(self, phrase_shards: int) -> None:
+        phrase_list = self._backend.phrase_list
+        self.num_shards = phrase_shards
+        if phrase_shards == 1:
+            self._shards = [phrase_list]
+        else:
+            shards: List[List[str]] = [[] for _ in range(phrase_shards)]
+            for phrase in phrase_list:  # sorted input -> sorted shards
+                shards[_shard_of(phrase, phrase_shards)].append(phrase)
+            self._shards = shards
 
     # -------------------------------------------------------------- caching
-    def _cached(self, key: Tuple, compute) -> Any:
+    def cache_get(self, key: Tuple) -> Tuple[bool, Any]:
+        """``(True, value)`` on a cache hit for ``key``, else
+        ``(False, None)`` — counting the hit, never the miss (the miss
+        is counted when the computed value is stored).
+
+        Public so an async frontend can wrap its own fan-out in the
+        same cache: peek with ``cache_get``, compute concurrently,
+        store with :meth:`cache_put`.
+        """
         if self._cache_capacity == 0:
-            return compute()
+            return False, None
         with self._cache_lock:
             if key in self._cache:
                 self._cache.move_to_end(key)
                 self._hits += 1
                 inc("serve.cache.hits")
-                return self._cache[key]
-        value = compute()
+                return True, self._cache[key]
+        return False, None
+
+    def cache_put(self, key: Tuple, value: Any) -> Any:
+        """Store a freshly computed ``value`` (counts the miss)."""
+        if self._cache_capacity == 0:
+            return value
         with self._cache_lock:
             self._misses += 1
             inc("serve.cache.misses")
@@ -113,6 +349,12 @@ class ModelQueryEngine:
                 self._cache.popitem(last=False)
         return value
 
+    def _cached(self, key: Tuple, compute) -> Any:
+        hit, value = self.cache_get(key)
+        if hit:
+            return value
+        return self.cache_put(key, compute())
+
     def cache_info(self) -> Dict[str, int]:
         """Hit / miss / occupancy counters of the LRU result cache."""
         with self._cache_lock:
@@ -121,29 +363,30 @@ class ModelQueryEngine:
                     "capacity": self._cache_capacity}
 
     # -------------------------------------------------------------- queries
-    def _record(self, topic_id: str) -> Dict[str, Any]:
-        record = self._topics.get(topic_id)
-        if record is None:
+    def _meta_of(self, topic_id: str) -> Dict[str, Any]:
+        meta = self._meta.get(topic_id)
+        if meta is None:
             raise DataError(f"no topic with id {topic_id!r}")
-        return record
+        return meta
 
     def model_info(self) -> Dict[str, Any]:
         """Manifest plus tree-shape statistics."""
         return self._cached(("model_info",), self._compute_model_info)
 
     def _compute_model_info(self) -> Dict[str, Any]:
-        depths = [len(r["path"]) for r in self._topics.values()]
+        depths = [len(m["path"]) for m in self._meta.values()]
+        backend = self._backend
         return {
             "manifest": self.model.manifest,
             "stats": {
-                "num_topics": len(self._topics),
+                "num_topics": len(self._meta),
                 "height": max(depths) if depths else 0,
-                "width": max((len(c) for c in self._children.values()),
-                             default=0),
-                "num_phrases": len(self._phrase_list),
-                "entity_types": sorted(self._entity_roles),
-                "num_entities": {etype: len(entities) for etype, entities
-                                 in sorted(self._entity_roles.items())},
+                "width": max((len(m["children"])
+                              for m in self._meta.values()), default=0),
+                "num_phrases": len(backend.phrase_list),
+                "entity_types": backend.role_types(),
+                "num_entities": {etype: backend.num_entities(etype)
+                                 for etype in backend.role_types()},
             },
         }
 
@@ -156,22 +399,23 @@ class ModelQueryEngine:
 
     def _compute_topic(self, topic_id: str, max_phrases: int,
                        max_entities: int, max_terms: int) -> Dict[str, Any]:
-        record = self._record(topic_id)
-        terms = record["phi"].get("term", {})
-        top_terms = sorted(terms.items(), key=lambda kv: (-kv[1], kv[0]))
+        meta = self._meta_of(topic_id)
+        phrases = self._backend.phrases(topic_id)
+        top_terms = self._backend.top_terms(topic_id)
         return {
-            "topic": record["notation"],
-            "level": len(record["path"]),
-            "rho": record["rho"],
-            "parent": self._parent[record["notation"]],
-            "children": self._children[record["notation"]],
-            "phrases": record["phrases"][:max(max_phrases, 0)],
-            "num_phrases": len(record["phrases"]),
+            "topic": topic_id,
+            "level": len(meta["path"]),
+            "rho": meta["rho"],
+            "parent": meta["parent"],
+            "children": meta["children"],
+            "phrases": phrases[:max(max_phrases, 0)],
+            "num_phrases": len(phrases),
             "top_terms": [[name, p] for name, p
                           in top_terms[:max(max_terms, 0)]],
             "entity_ranks": {
                 etype: ranks[:max(max_entities, 0)]
-                for etype, ranks in record["entity_ranks"].items()},
+                for etype, ranks
+                in self._backend.entity_ranks(topic_id).items()},
         }
 
     def children(self, topic_id: str) -> Dict[str, Any]:
@@ -180,17 +424,13 @@ class ModelQueryEngine:
                             lambda: self._compute_children(topic_id))
 
     def _compute_children(self, topic_id: str) -> Dict[str, Any]:
-        record = self._record(topic_id)
+        meta = self._meta_of(topic_id)
         summaries = []
-        for child in record["children"]:
-            label = child["phrases"][0][0] if child["phrases"] else None
-            if label is None:
-                terms = child["phi"].get("term", {})
-                label = min(terms, key=lambda name: (-terms[name], name)) \
-                    if terms else ""
-            summaries.append({"topic": child["notation"],
-                              "rho": child["rho"], "label": label})
-        return {"topic": record["notation"], "children": summaries}
+        for child in meta["children"]:
+            summaries.append({"topic": child,
+                              "rho": self._meta[child]["rho"],
+                              "label": self._backend.label(child)})
+        return {"topic": topic_id, "children": summaries}
 
     def top_phrases(self, topic_id: str, k: int = 10) -> Dict[str, Any]:
         """The ``k`` best ranked phrases of one topic."""
@@ -198,17 +438,20 @@ class ModelQueryEngine:
                             lambda: self._compute_top_phrases(topic_id, k))
 
     def _compute_top_phrases(self, topic_id: str, k: int) -> Dict[str, Any]:
-        record = self._record(topic_id)
-        return {"topic": record["notation"],
-                "phrases": record["phrases"][:max(k, 0)]}
+        self._meta_of(topic_id)
+        return {"topic": topic_id,
+                "phrases": self._backend.phrases(topic_id)[:max(k, 0)]}
 
+    # --------------------------------------------------------------- search
     def search_phrases(self, query: str, mode: str = "prefix",
                        limit: int = 10) -> Dict[str, Any]:
         """Phrases matching ``query``, each with its ranked topics.
 
-        ``mode="prefix"`` binary-searches the sorted phrase list;
-        ``mode="substring"`` scans it.  Matches are ordered by their best
-        topic score, then alphabetically.
+        ``mode="prefix"`` binary-searches the sorted phrase list(s);
+        ``mode="substring"`` scans.  With ``phrase_shards > 1`` the
+        search fans out across the hash shards and merges — matches are
+        ordered by their best topic score, then alphabetically, exactly
+        as in the unsharded case.
         """
         if mode not in _SEARCH_MODES:
             raise ConfigurationError(
@@ -219,27 +462,58 @@ class ModelQueryEngine:
 
     def _compute_search(self, query: str, mode: str,
                         limit: int) -> Dict[str, Any]:
+        match_lists = [self.search_shard(index, query, mode)
+                       for index in range(self.num_shards)]
+        return self.merge_shard_matches(match_lists, query, mode, limit)
+
+    def search_shard(self, shard: int, query: str,
+                     mode: str) -> List[str]:
+        """Matching phrases from one hash shard (span- and metric-timed).
+
+        Public so an async front can run the per-shard scans
+        concurrently; ``merge_shard_matches`` folds the results back
+        into the canonical answer.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range (engine has "
+                f"{self.num_shards})")
+        start_s = time.perf_counter()
+        with span("serve.search.shard", shard=shard, mode=mode):
+            phrases = self._shards[shard]
+            if mode == "prefix":
+                start = bisect_left(phrases, query)
+                matches = []
+                for phrase in phrases[start:]:
+                    if not phrase.startswith(query):
+                        break
+                    matches.append(phrase)
+            else:
+                matches = [p for p in phrases if query in p]
+        observe(f"serve.search.shard.{shard}.latency",
+                time.perf_counter() - start_s)
+        inc(f"serve.search.shard.{shard}.queries")
+        return matches
+
+    def merge_shard_matches(self, match_lists: List[List[str]],
+                            query: str, mode: str,
+                            limit: int) -> Dict[str, Any]:
+        """Fold per-shard match lists into the canonical search answer."""
         limit = max(limit, 0)
-        if mode == "prefix":
-            start = bisect_left(self._phrase_list, query)
-            matches = []
-            for phrase in self._phrase_list[start:]:
-                if not phrase.startswith(query):
-                    break
-                matches.append(phrase)
-        else:
-            matches = [p for p in self._phrase_list if query in p]
-        matches.sort(key=lambda p: (-self._phrase_topics[p][0][1], p))
+        matches = [phrase for shard_matches in match_lists
+                   for phrase in shard_matches]
+        matches.sort(
+            key=lambda p: (-self._backend.best_phrase_score(p), p))
         return {
             "query": query,
             "mode": mode,
             "num_matches": len(matches),
             "matches": [{"phrase": phrase,
-                         "topics": [[notation, score] for notation, score
-                                    in self._phrase_topics[phrase]]}
+                         "topics": self._backend.phrase_topics(phrase)}
                         for phrase in matches[:limit]],
         }
 
+    # -------------------------------------------------------------- entities
     def entity_roles(self, name: str, entity_type: Optional[str] = None,
                      topic: str = "o") -> Dict[str, Any]:
         """An entity's topical roles: frequencies plus the normalized
@@ -251,20 +525,21 @@ class ModelQueryEngine:
 
     def _compute_entity_roles(self, name: str, entity_type: Optional[str],
                               topic: str) -> Dict[str, Any]:
-        node = self._record(topic)
+        meta = self._meta_of(topic)
+        backend = self._backend
         if entity_type is not None:
-            if entity_type not in self._entity_roles:
+            if not backend.has_role_type(entity_type):
                 raise DataError(f"no entity type {entity_type!r} in model")
             types = [entity_type]
         else:
-            types = sorted(self._entity_roles)
+            types = backend.role_types()
         roles = {}
         for etype in types:
-            frequencies = self._entity_roles[etype].get(name)
+            frequencies = backend.frequencies(etype, name)
             if frequencies is None:
                 continue
             shares = {child: frequencies.get(child, 0.0)
-                      for child in self._children[node["notation"]]}
+                      for child in meta["children"]}
             total = sum(shares.values())
             distribution = ({c: v / total for c, v in shares.items()}
                             if total > 0 else {c: 0.0 for c in shares})
@@ -277,35 +552,54 @@ class ModelQueryEngine:
             raise DataError(f"no entity named {name!r} in model"
                             + (f" under type {entity_type!r}"
                                if entity_type else ""))
-        return {"entity": name, "topic": node["notation"], "roles": roles}
+        return {"entity": name, "topic": topic, "roles": roles}
 
     # ---------------------------------------------------------------- batch
+    def batch_op(self, request: Any) -> Dict[str, Any]:
+        """Execute one batch entry, never letting its failure escape.
+
+        Every malformed entry — a non-object request, an unknown
+        ``op``, a non-object ``args`` — and every per-op exception maps
+        to an in-band error record, so one bad entry can never turn the
+        whole batch into a 500.
+        """
+        if not isinstance(request, dict):
+            return {"ok": False, "status": 400,
+                    "error": f"batch entry must be an object, got: "
+                             f"{request!r}"}
+        op = request.get("op")
+        if op not in _BATCH_OPS:
+            return {"ok": False, "status": 400,
+                    "error": f"unsupported batch op: {op!r}"}
+        args = request.get("args")
+        if args is None:
+            args = {}
+        if not isinstance(args, dict) \
+                or not all(isinstance(key, str) for key in args):
+            return {"ok": False, "status": 400,
+                    "error": f"batch op {op!r} args must be an object "
+                             f"with string keys, got: {args!r}"}
+        try:
+            result = getattr(self, op)(**args)
+        except DataError as exc:
+            return {"ok": False, "status": 404, "error": str(exc)}
+        except (ConfigurationError, TypeError, ValueError) as exc:
+            return {"ok": False, "status": 400, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - in-band per-op error
+            logger.error("batch op %r failed unexpectedly: %r", op, exc)
+            return {"ok": False, "status": 500,
+                    "error": f"internal error in batch op {op!r}: "
+                             f"{exc!r}"}
+        return {"ok": True, "result": result}
+
     def batch(self, requests: List[Dict[str, Any]]) -> Dict[str, Any]:
         """Execute many queries in one call.
 
         Each request is ``{"op": <name>, "args": {...}}``; per-request
-        failures are reported in-band so one bad lookup cannot fail the
-        whole batch.
+        failures are reported in-band, in order, so one bad entry keeps
+        neither valid results nor their ordering from the client.
         """
         if not isinstance(requests, list):
             raise ConfigurationError("batch payload must be an array")
-        results = []
-        for request in requests:
-            if not isinstance(request, dict) \
-                    or request.get("op") not in _BATCH_OPS:
-                results.append({"ok": False, "status": 400,
-                                "error": f"unsupported batch op: "
-                                         f"{request.get('op') if isinstance(request, dict) else request!r}"})
-                continue
-            args = request.get("args") or {}
-            try:
-                result = getattr(self, request["op"])(**args)
-            except DataError as exc:
-                results.append({"ok": False, "status": 404,
-                                "error": str(exc)})
-            except (ConfigurationError, TypeError) as exc:
-                results.append({"ok": False, "status": 400,
-                                "error": str(exc)})
-            else:
-                results.append({"ok": True, "result": result})
-        return {"results": results}
+        return {"results": [self.batch_op(request)
+                            for request in requests]}

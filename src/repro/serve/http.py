@@ -1,4 +1,4 @@
-"""Stdlib HTTP serving layer for mined hierarchies.
+"""Stdlib threaded HTTP serving layer for mined hierarchies.
 
 :class:`ModelServer` wraps a :class:`~repro.serve.engine.ModelQueryEngine`
 in a :class:`http.server.ThreadingHTTPServer` (no third-party
@@ -19,7 +19,9 @@ dependencies) and exposes the query API as JSON endpoints:
 ``POST /v1/batch``      JSON array of ``{"op": ..., "args": {...}}``
 =====================  ======================================================
 
-Operational behavior:
+Routing itself lives in :mod:`repro.serve.router`, shared with the
+asyncio frontend (:mod:`repro.serve.aio`), so the two servers cannot
+drift apart.  Operational behavior:
 
 * every request is timed and counted in the server's own
   :class:`~repro.obs.MetricsRegistry` (``serve.http.*``) — always on, so
@@ -31,6 +33,9 @@ Operational behavior:
   request's spans are one trace in the exported Chrome timeline;
 * a per-connection read timeout drops clients that stall mid-request
   instead of pinning a handler thread forever;
+* POST bodies are hard-limited: no Content-Length gives 411, a
+  malformed one gives 400, one past ``max_body_bytes`` gives 413 with a
+  typed error payload — all before a single body byte is buffered;
 * :meth:`ModelServer.install_signal_handlers` arranges a graceful
   shutdown on SIGTERM (and SIGINT): in-flight requests finish, the
   listening socket closes, and ``serve_forever`` returns.
@@ -44,45 +49,24 @@ connection.
 
 from __future__ import annotations
 
-import itertools
 import json
-import os
 import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
-from urllib.parse import parse_qs, unquote, urlparse
 
 from ..errors import ConfigurationError, DataError
 from ..obs import (PROMETHEUS_CONTENT_TYPE, MetricsRegistry, get_logger,
-                   inc, observe, render_prometheus, set_trace_id, span)
+                   set_trace_id, span)
 from .engine import ModelQueryEngine
+from .router import (DEFAULT_MAX_BODY_BYTES, PrometheusText,
+                     RequestRejected, ServerStateMixin, parse_json_body,
+                     route_request, validate_content_length)
 
 __all__ = ["ModelServer"]
 
 logger = get_logger("serve.http")
-
-
-def _int_param(params: Dict[str, list], name: str, default: int) -> int:
-    values = params.get(name)
-    if not values or values[0] == "":
-        return default
-    try:
-        return int(values[0])
-    except ValueError:
-        raise ConfigurationError(
-            f"query parameter {name!r} must be an integer: "
-            f"{values[0]!r}") from None
-
-
-class _PrometheusText:
-    """Marker wrapping a text-exposition body through ``_route``."""
-
-    __slots__ = ("text",)
-
-    def __init__(self, text: str) -> None:
-        self.text = text
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -112,6 +96,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._request_id is not None:
             self.send_header("X-Request-Id", self._request_id)
+        if self.close_connection:
+            # Advertise the close (e.g. after a rejected body we never
+            # read) so clients don't try to reuse the connection.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -139,7 +127,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
             with span("serve.http.request", method=method,
                       request_id=self._request_id):
                 try:
-                    status, payload, endpoint = self._route(method)
+                    status, payload, endpoint = route_request(
+                        server, method, self.path,
+                        accept=self.headers.get("Accept", ""),
+                        read_body=self._read_json_body)
+                except RequestRejected as exc:
+                    status, payload = exc.status, exc.payload
+                    # An unread body would be parsed as the next request
+                    # on this keep-alive connection; drop it instead.
+                    self.close_connection = True
                 except DataError as exc:
                     status, payload = 404, {"error": str(exc)}
                 except (ConfigurationError, ValueError) as exc:
@@ -153,7 +149,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     status, payload = 500, {
                         "error": f"internal error: {exc!r}"}
                 try:
-                    if isinstance(payload, _PrometheusText):
+                    if isinstance(payload, PrometheusText):
                         self._send_body(status,
                                         payload.text.encode("utf-8"),
                                         PROMETHEUS_CONTENT_TYPE)
@@ -168,138 +164,36 @@ class _RequestHandler(BaseHTTPRequestHandler):
         finally:
             set_trace_id(None)
 
-    # ------------------------------------------------------------- routing
-    def _route(self, method: str) -> Tuple[int, Any, str]:
-        server: "_EngineServer" = self.server
-        engine = server.engine
-        parsed = urlparse(self.path)
-        parts = [unquote(part) for part in parsed.path.strip("/").split("/")
-                 if part != ""]
-        # keep_blank_values: "?q=" is an explicit (match-all) query, not
-        # a missing parameter.
-        params = parse_qs(parsed.query, keep_blank_values=True)
-
-        if parts == ["healthz"]:
-            return 200, {"status": "ok",
-                         "uptime_s": time.time() - server.started_unix,
-                         "num_topics":
-                             engine.model.manifest["num_topics"]}, "healthz"
-        if parts == ["metrics"]:
-            # Content negotiation: JSON stays the default; Prometheus
-            # text exposition via ?format=prometheus or an Accept header
-            # preferring text/plain over JSON.
-            fmt = params.get("format", [None])[0]
-            accept = self.headers.get("Accept", "")
-            wants_text = fmt == "prometheus" or (
-                fmt is None and "text/plain" in accept
-                and "application/json" not in accept)
-            if wants_text:
-                return (200, _PrometheusText(server.prometheus_payload()),
-                        "metrics")
-            return 200, server.metrics_payload(), "metrics"
-        if len(parts) >= 1 and parts[0] == "v1":
-            if method == "POST":
-                if parts == ["v1", "batch"]:
-                    return 200, engine.batch(self._read_json_body()), "batch"
-                raise DataError(f"no POST endpoint at {parsed.path!r}")
-            if parts == ["v1", "model"]:
-                return 200, engine.model_info(), "model"
-            if len(parts) >= 3 and parts[1] == "topics":
-                notation = "/".join(parts[2:])
-                return 200, engine.topic(
-                    notation,
-                    max_phrases=_int_param(params, "phrases", 10),
-                    max_entities=_int_param(params, "entities", 5),
-                    max_terms=_int_param(params, "terms", 10)), "topics"
-            if parts == ["v1", "search"]:
-                query = params.get("q")
-                if not query:
-                    raise ConfigurationError(
-                        "search requires a 'q' query parameter")
-                mode = params.get("mode", ["prefix"])[0]
-                return 200, engine.search_phrases(
-                    query[0], mode=mode,
-                    limit=_int_param(params, "limit", 10)), "search"
-            if len(parts) >= 3 and parts[1] == "entities":
-                name = "/".join(parts[2:])
-                entity_type = params.get("type", [None])[0]
-                topic = params.get("topic", ["o"])[0]
-                return 200, engine.entity_roles(
-                    name, entity_type=entity_type, topic=topic), "entities"
-        raise DataError(f"no endpoint at {parsed.path!r}")
-
     def _read_json_body(self) -> Any:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        if length <= 0:
-            raise ConfigurationError("request body required")
+        """Read and parse the POST body under the hardening contract.
+
+        Raises :class:`RequestRejected` (411 / 400 / 413, typed payload)
+        before reading a byte when the framing is absent, malformed, or
+        over ``max_body_bytes``; a short read or bad JSON gives 400.
+        """
+        length = validate_content_length(
+            self.headers.get("Content-Length"),
+            self.server.max_body_bytes)
         body = self.rfile.read(length)
-        try:
-            return json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        if len(body) < length:
             raise ConfigurationError(
-                f"request body is not valid JSON: {exc}") from exc
+                f"request body truncated ({len(body)} of {length} "
+                f"bytes received)")
+        return parse_json_body(body)
 
 
-class _EngineServer(ThreadingHTTPServer):
+class _EngineServer(ThreadingHTTPServer, ServerStateMixin):
     """ThreadingHTTPServer carrying the engine and per-server metrics."""
 
     daemon_threads = True
     allow_reuse_address = True
 
     def __init__(self, address: Tuple[str, int], engine: ModelQueryEngine,
-                 request_timeout: float) -> None:
+                 request_timeout: float, max_body_bytes: int) -> None:
         super().__init__(address, _RequestHandler)
-        self.engine = engine
+        self._init_server_state(engine)
         self.request_timeout = request_timeout
-        self.registry = MetricsRegistry()
-        self.started_unix = time.time()
-        self._request_serial = itertools.count(1)
-
-    def next_request_id(self) -> str:
-        """A process-unique request / trace ID (no RNG involved)."""
-        return f"req-{os.getpid():x}-{next(self._request_serial):x}"
-
-    def record_request(self, endpoint: str, status: int,
-                       elapsed: float) -> None:
-        self.registry.inc("serve.http.requests")
-        self.registry.inc(f"serve.http.status.{status}")
-        self.registry.observe("serve.http.latency", elapsed)
-        self.registry.observe(f"serve.http.{endpoint}.latency", elapsed)
-        # Mirror into the global registry for run reports (no-op unless
-        # observability is configured).
-        inc("serve.http.requests")
-        inc(f"serve.http.status.{status}")
-        observe("serve.http.latency", elapsed)
-
-    def _combined_snapshot(self) -> Dict[str, Any]:
-        """Server registry snapshot plus cache counters, one code path.
-
-        Both ``/metrics`` formats are views of this snapshot, so the
-        JSON and Prometheus answers always agree; timer entries carry
-        p50/p90/p99 from the quantile sketches.
-        """
-        snapshot = self.registry.snapshot()
-        cache = self.engine.cache_info()
-        snapshot["counters"]["serve.cache.hits"] = float(cache["hits"])
-        snapshot["counters"]["serve.cache.misses"] = float(cache["misses"])
-        snapshot["gauges"]["serve.cache.size"] = float(cache["size"])
-        snapshot["gauges"]["serve.cache.capacity"] = float(
-            cache["capacity"])
-        snapshot["gauges"]["serve.uptime_s"] = \
-            time.time() - self.started_unix
-        return snapshot
-
-    def metrics_payload(self) -> Dict[str, Any]:
-        return {
-            "uptime_s": time.time() - self.started_unix,
-            "server": self.registry.snapshot(),
-            "combined": self._combined_snapshot(),
-            "cache": self.engine.cache_info(),
-        }
-
-    def prometheus_payload(self) -> str:
-        """The combined snapshot in Prometheus 0.0.4 text exposition."""
-        return render_prometheus(self._combined_snapshot())
+        self.max_body_bytes = max_body_bytes
 
 
 class ModelServer:
@@ -319,10 +213,14 @@ class ModelServer:
     """
 
     def __init__(self, engine: ModelQueryEngine, host: str = "127.0.0.1",
-                 port: int = 8080, request_timeout: float = 30.0) -> None:
+                 port: int = 8080, request_timeout: float = 30.0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES) -> None:
         if request_timeout <= 0:
             raise ConfigurationError("request_timeout must be positive")
-        self._httpd = _EngineServer((host, port), engine, request_timeout)
+        if max_body_bytes <= 0:
+            raise ConfigurationError("max_body_bytes must be positive")
+        self._httpd = _EngineServer((host, port), engine, request_timeout,
+                                    max_body_bytes)
         self._thread: Optional[threading.Thread] = None
         self._previous_handlers: Dict[int, Any] = {}
         self._started = False

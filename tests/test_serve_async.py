@@ -1,0 +1,462 @@
+"""Async serving layer: parity, concurrency, hardening, shutdown.
+
+Three contracts under test:
+
+* **parity** — the asyncio server answers byte-identically to the
+  threaded server and to the engine called directly, including sharded
+  search fan-out (property-tested over query parameters);
+* **robustness** — malformed batch entries degrade to in-band per-op
+  error records; missing / bad / oversized ``Content-Length`` map to
+  411 / 400 / 413 with typed JSON payloads on BOTH server stacks
+  (regression tests for the serve-layer hardening fixes);
+* **lifecycle** — keep-alive, bounded concurrent batches that preserve
+  order, and graceful SIGTERM shutdown.
+"""
+
+import concurrent.futures
+import json
+import os
+import signal
+import socket
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.serve import ModelAsyncServer, ModelQueryEngine, ModelServer
+
+from .test_serve_artifact import fitted  # noqa: F401 - shared fixture
+
+_TEST_BODY_LIMIT = 8192
+
+
+@pytest.fixture(scope="module")
+def async_server(fitted):  # noqa: F811 - pytest fixture injection
+    miner, result = fitted
+    engine = ModelQueryEngine.from_result(
+        result, config=miner._artifact_config(), phrase_shards=3)
+    with ModelAsyncServer(engine, port=0,
+                          max_body_bytes=_TEST_BODY_LIMIT) as srv:
+        srv.start()
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def threaded_server(fitted):  # noqa: F811 - pytest fixture injection
+    miner, result = fitted
+    engine = ModelQueryEngine.from_result(result,
+                                          config=miner._artifact_config())
+    with ModelServer(engine, port=0,
+                     max_body_bytes=_TEST_BODY_LIMIT) as srv:
+        srv.start()
+        yield srv
+
+
+@pytest.fixture(params=["async", "threaded"])
+def either_server(request, async_server, threaded_server):
+    """Hardening regressions must hold on both server stacks."""
+    return async_server if request.param == "async" else threaded_server
+
+
+def _get(server, path, expect_status=200):
+    url = f"http://{server.host}:{server.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        assert exc.status == expect_status, exc.read()
+        return exc.status, json.loads(exc.read())
+
+
+def _post(server, path, payload, expect_status=200):
+    url = f"http://{server.host}:{server.port}{path}"
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        assert exc.status == expect_status
+        return exc.status, json.loads(exc.read())
+
+
+def _read_response(stream):
+    """Parse one HTTP/1.1 response off a socket file: (status, headers, body)."""
+    status_line = stream.readline()
+    assert status_line, "connection closed before a status line"
+    headers = {}
+    while True:
+        line = stream.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    body = stream.read(int(headers.get("content-length", 0)))
+    return int(status_line.split()[1]), headers, body
+
+
+def _raw_request(server, data):
+    """Send raw bytes, return the first parsed response."""
+    with socket.create_connection((server.host, server.port),
+                                  timeout=10) as sock:
+        sock.sendall(data)
+        with sock.makefile("rb") as stream:
+            return _read_response(stream)
+
+
+class TestParity:
+    """Async answers == threaded answers == direct engine answers."""
+
+    ENDPOINTS = [
+        "/healthz",
+        "/v1/model",
+        "/v1/topics/o",
+        "/v1/topics/o/1?phrases=3&terms=2&entities=2",
+        "/v1/search?q=d&mode=prefix&limit=5",
+        "/v1/search?q=a&mode=substring",
+        "/v1/entities/alice",
+        "/v1/entities/alice?type=author",
+    ]
+
+    @pytest.mark.parametrize("path", ENDPOINTS)
+    def test_get_endpoints_match_threaded(self, async_server,
+                                          threaded_server, path):
+        a_status, a_payload = _get(async_server, path)
+        t_status, t_payload = _get(threaded_server, path)
+        assert a_status == t_status == 200
+        if path == "/healthz":   # uptime differs; compare shape only
+            assert a_payload.keys() == t_payload.keys()
+        elif path == "/v1/model":  # creation timestamps differ
+            a_manifest = dict(a_payload["manifest"])
+            t_manifest = dict(t_payload["manifest"])
+            a_manifest.pop("created_unix")
+            t_manifest.pop("created_unix")
+            assert a_manifest == t_manifest
+        else:
+            assert json.dumps(a_payload, sort_keys=True) == \
+                json.dumps(t_payload, sort_keys=True)
+
+    def test_unknown_path_is_404(self, async_server):
+        status, payload = _get(async_server, "/v1/nope", expect_status=404)
+        assert status == 404
+        assert payload["error"]
+
+    def test_unknown_topic_is_404(self, async_server):
+        status, payload = _get(async_server, "/v1/topics/zzz",
+                               expect_status=404)
+        assert status == 404
+
+    def test_bad_query_parameter_is_400(self, async_server):
+        status, payload = _get(async_server, "/v1/topics/o?phrases=x",
+                               expect_status=400)
+        assert status == 400
+
+    def test_prometheus_negotiation(self, async_server):
+        url = (f"http://{async_server.host}:{async_server.port}/metrics")
+        request = urllib.request.Request(
+            url, headers={"Accept": "text/plain"})
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
+            text = response.read().decode()
+        assert "serve_requests_total" in text or "repro" in text
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(phrases=st.integers(min_value=0, max_value=20),
+           terms=st.integers(min_value=0, max_value=15))
+    def test_topic_property_parity(self, async_server, fitted,  # noqa: F811
+                                   phrases, terms):
+        miner, result = fitted
+        engine = ModelQueryEngine.from_result(
+            result, config=miner._artifact_config())
+        _, payload = _get(async_server,
+                          f"/v1/topics/o/1?phrases={phrases}&terms={terms}")
+        direct = engine.topic("o/1", max_phrases=phrases, max_terms=terms)
+        assert json.dumps(payload, sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(query=st.text(alphabet="abcdefgstuv ", min_size=0, max_size=8),
+           mode=st.sampled_from(["prefix", "substring"]),
+           limit=st.integers(min_value=1, max_value=20))
+    def test_sharded_search_parity(self, async_server, fitted,  # noqa: F811
+                                   query, mode, limit):
+        """Fan-out over 3 shards merges to the unsharded answer."""
+        miner, result = fitted
+        unsharded = ModelQueryEngine.from_result(
+            result, config=miner._artifact_config())
+        encoded = urllib.parse.quote(query)
+        _, payload = _get(async_server,
+                          f"/v1/search?q={encoded}&mode={mode}"
+                          f"&limit={limit}")
+        direct = unsharded.search_phrases(query, mode=mode, limit=limit)
+        assert json.dumps(payload, sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+
+    def test_search_bad_mode_is_400(self, async_server):
+        status, _ = _get(async_server, "/v1/search?q=d&mode=regex",
+                         expect_status=400)
+        assert status == 400
+
+    def test_search_bad_limit_is_400(self, async_server):
+        status, _ = _get(async_server, "/v1/search?q=d&limit=banana",
+                         expect_status=400)
+        assert status == 400
+
+
+class TestBatch:
+    def test_batch_matches_engine(self, async_server):
+        requests = [
+            {"op": "topic", "args": {"topic_id": "o"}},
+            {"op": "search_phrases", "args": {"query": "d"}},
+            {"op": "top_phrases", "args": {"topic_id": "o/1", "k": 3}},
+        ]
+        status, payload = _post(async_server, "/v1/batch", requests)
+        assert status == 200
+        direct = async_server.engine.batch(requests)
+        assert json.dumps(payload, sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+
+    def test_malformed_ops_fail_in_band_per_op(self, either_server):
+        """Regression: one bad entry must not 500 the whole batch."""
+        requests = [
+            {"op": "topic", "args": {"topic_id": "o"}},
+            {"op": "launch_missiles", "args": {}},       # unknown op
+            "just a string",                             # non-dict entry
+            {"op": "topic", "args": ["not", "a", "dict"]},  # bad args
+            {"op": "topic", "args": {"topic_id": "o/1"}},
+        ]
+        status, payload = _post(either_server, "/v1/batch", requests)
+        assert status == 200
+        results = payload["results"]
+        assert len(results) == 5
+        assert results[0]["ok"] is True
+        assert results[4]["ok"] is True
+        for bad in results[1:4]:
+            assert bad["ok"] is False
+            assert bad["status"] == 400
+            assert bad["error"]
+        # Order is positional: result i answers request i.
+        assert results[0]["result"]["topic"] == "o"
+        assert results[4]["result"]["topic"] == "o/1"
+
+    def test_non_list_payload_is_400(self, either_server):
+        status, payload = _post(either_server, "/v1/batch",
+                                {"not": "a list"}, expect_status=400)
+        assert status == 400
+
+    def test_invalid_json_body_is_400(self, either_server):
+        body = b"{not json"
+        request = (
+            f"POST /v1/batch HTTP/1.1\r\n"
+            f"Host: x\r\nContent-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode() + body
+        status, _, raw = _raw_request(either_server, request)
+        assert status == 400
+        assert json.loads(raw)["error"]
+
+    def test_concurrent_batches_preserve_order(self, async_server):
+        """Many interleaved batches: each reply ordered like its request."""
+        topics = ["o", "o/1", "o/2", "o"]
+        requests = [{"op": "top_phrases",
+                     "args": {"topic_id": t, "k": 2}} for t in topics]
+        expected = async_server.engine.batch(requests)
+
+        def one_round(_):
+            return _post(async_server, "/v1/batch", requests)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(one_round, range(24)))
+        for status, payload in outcomes:
+            assert status == 200
+            assert json.dumps(payload, sort_keys=True) == \
+                json.dumps(expected, sort_keys=True)
+
+
+class TestBodyHardening:
+    """Regressions for the Content-Length fixes, on both stacks."""
+
+    def test_post_without_content_length_is_411(self, either_server):
+        request = (b"POST /v1/batch HTTP/1.1\r\n"
+                   b"Host: x\r\n\r\n")
+        status, _, raw = _raw_request(either_server, request)
+        assert status == 411
+        payload = json.loads(raw)
+        assert payload["code"] == "length_required"
+
+    def test_non_integer_content_length_is_400(self, either_server):
+        request = (b"POST /v1/batch HTTP/1.1\r\n"
+                   b"Host: x\r\nContent-Length: banana\r\n\r\n")
+        status, _, raw = _raw_request(either_server, request)
+        assert status == 400
+        assert json.loads(raw)["code"] == "bad_content_length"
+
+    def test_negative_content_length_is_400(self, either_server):
+        request = (b"POST /v1/batch HTTP/1.1\r\n"
+                   b"Host: x\r\nContent-Length: -5\r\n\r\n")
+        status, _, raw = _raw_request(either_server, request)
+        assert status == 400
+        assert json.loads(raw)["code"] == "bad_content_length"
+
+    def test_oversized_body_is_413_with_context(self, either_server):
+        declared = _TEST_BODY_LIMIT + 1
+        request = (f"POST /v1/batch HTTP/1.1\r\n"
+                   f"Host: x\r\nContent-Length: {declared}\r\n"
+                   f"\r\n").encode()
+        status, headers, raw = _raw_request(either_server, request)
+        assert status == 413
+        payload = json.loads(raw)
+        assert payload["code"] == "body_too_large"
+        assert payload["content_length"] == declared
+        assert payload["max_body_bytes"] == _TEST_BODY_LIMIT
+        # The unread body forces the connection closed.
+        assert headers.get("connection") == "close"
+
+    def test_body_at_limit_is_accepted(self, either_server):
+        # Pad the batch with a junk string entry (answered in-band as a
+        # 400 record) until the body sits exactly at the limit.
+        head = [{"op": "topic", "args": {"topic_id": "o"}}]
+        pad = _TEST_BODY_LIMIT - len(json.dumps(head + [""]).encode())
+        body = json.dumps(head + ["x" * pad]).encode()
+        assert len(body) == _TEST_BODY_LIMIT
+        request = (f"POST /v1/batch HTTP/1.1\r\n"
+                   f"Host: x\r\nContent-Length: {len(body)}\r\n"
+                   f"Connection: close\r\n\r\n").encode() + body
+        status, _, raw = _raw_request(either_server, request)
+        assert status == 200
+        assert json.loads(raw)["results"][0]["ok"] is True
+
+    def test_truncated_body_is_400_on_async(self, async_server):
+        body = b'{"requests": []}'
+        request = (f"POST /v1/batch HTTP/1.1\r\n"
+                   f"Host: x\r\nContent-Length: {len(body) + 50}\r\n"
+                   f"\r\n").encode() + body
+        with socket.create_connection(
+                (async_server.host, async_server.port), timeout=10) as sock:
+            sock.sendall(request)
+            sock.shutdown(socket.SHUT_WR)  # EOF mid-body
+            with sock.makefile("rb") as stream:
+                status, _, raw = _read_response(stream)
+        assert status == 400
+        assert json.loads(raw)["code"] == "body_truncated"
+
+
+class TestProtocol:
+    def test_keep_alive_serves_two_requests(self, async_server):
+        request = (b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        with socket.create_connection(
+                (async_server.host, async_server.port), timeout=10) as sock:
+            with sock.makefile("rb") as stream:
+                sock.sendall(request)
+                first, headers, _ = _read_response(stream)
+                assert first == 200
+                assert headers.get("connection") == "keep-alive"
+                sock.sendall(request)
+                second, _, _ = _read_response(stream)
+                assert second == 200
+
+    def test_http10_connection_closes(self, async_server):
+        request = (b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+        status, headers, _ = _raw_request(async_server, request)
+        assert status == 200
+        assert headers.get("connection") == "close"
+
+    def test_bad_request_line_is_400(self, async_server):
+        status, _, raw = _raw_request(async_server, b"NONSENSE\r\n\r\n")
+        assert status == 400
+        assert json.loads(raw)["code"] == "bad_request_line"
+
+    def test_overlong_request_line_is_414(self, async_server):
+        request = b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n"
+        status, _, _ = _raw_request(async_server, request)
+        assert status == 414
+
+    def test_unsupported_method_is_501(self, async_server):
+        request = (b"DELETE /v1/model HTTP/1.1\r\nHost: x\r\n\r\n")
+        status, _, _ = _raw_request(async_server, request)
+        assert status == 501
+
+    def test_responses_carry_request_ids(self, async_server):
+        url = (f"http://{async_server.host}:{async_server.port}/healthz")
+        with urllib.request.urlopen(url, timeout=10) as response:
+            first = response.headers["X-Request-Id"]
+        with urllib.request.urlopen(url, timeout=10) as response:
+            second = response.headers["X-Request-Id"]
+        assert first and second and first != second
+
+
+class TestLifecycle:
+    def test_invalid_timeout_rejected(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result)
+        with pytest.raises(ConfigurationError):
+            ModelAsyncServer(engine, request_timeout=0)
+
+    def test_invalid_body_limit_rejected(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result)
+        with pytest.raises(ConfigurationError):
+            ModelAsyncServer(engine, max_body_bytes=0)
+
+    def test_invalid_batch_concurrency_rejected(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result)
+        with pytest.raises(ConfigurationError):
+            ModelAsyncServer(engine, batch_concurrency=0)
+
+    def test_shutdown_before_start_is_noop(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result)
+        server = ModelAsyncServer(engine, port=0)
+        server.shutdown()  # must not deadlock
+        server.close()
+
+    def test_start_shutdown_releases_port(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result)
+        with ModelAsyncServer(engine, port=0) as first:
+            first.start()
+            port = first.port
+            status, _ = _get(first, "/healthz")
+            assert status == 200
+        with ModelAsyncServer(engine, port=port) as second:
+            second.start()
+            status, _ = _get(second, "/healthz")
+            assert status == 200
+
+    def test_sigterm_triggers_graceful_shutdown(self, fitted):  # noqa: F811
+        _, result = fitted
+        engine = ModelQueryEngine.from_result(result)
+        server = ModelAsyncServer(engine, port=0)
+        server.install_signal_handlers(signals=(signal.SIGTERM,))
+        try:
+            stopped = threading.Event()
+
+            def run():
+                server.serve_forever()
+                stopped.set()
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            deadline = threading.Event()
+            for _ in range(100):
+                try:
+                    status, _ = _get(server, "/healthz")
+                    break
+                except (urllib.error.URLError, OSError):
+                    deadline.wait(0.05)
+            assert status == 200
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert stopped.wait(timeout=10), \
+                "serve_forever did not return after SIGTERM"
+            thread.join(timeout=5)
+        finally:
+            server.close()  # also restores the original signal handlers
