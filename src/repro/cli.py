@@ -15,10 +15,16 @@ Commands:
   ``--format v2`` zero-copy mmap binary).
 * ``migrate-model`` — re-encode an existing artifact in another format,
   losslessly (the manifest fingerprints carry over).
+* ``ingest`` — append a JSONL batch of raw documents to a streaming
+  shard store, fold it into the incremental moment sketch, and (per
+  ``--refit-policy``) re-infer and export a fresh artifact (see
+  :mod:`repro.stream`); repeated invocations against the same
+  ``--shard-dir`` accumulate one stream.
 * ``serve`` — answer topic / phrase / entity queries over HTTP from an
   exported model artifact (see :mod:`repro.serve`); ``--backend async``
   serves from an asyncio event loop with concurrent batch and sharded
-  search fan-out (``--shards N``).
+  search fan-out (``--shards N``); ``POST /v1/admin/reload`` (or
+  SIGHUP) hot-swaps to the latest artifact with zero dropped requests.
 * ``trace-export`` — convert a ``--trace`` span stream (JSON lines) to
   Chrome ``trace_event`` JSON loadable in ``chrome://tracing``.
 
@@ -165,16 +171,64 @@ def _cmd_migrate_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+    import os as _os
+
+    from .stream import (DriftConfig, IngestConfig, IngestPipeline,
+                         ShardStore)
+    from .strod.hierarchy import STRODTreeConfig
+
+    documents = []
+    with open(args.batch, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                documents.append(_json.loads(line))
+            except _json.JSONDecodeError as exc:
+                print(f"repro: error: {args.batch}:{line_no} is not "
+                      f"valid JSON: {exc}", file=sys.stderr)
+                return 2
+    config = IngestConfig(
+        refit_policy=args.refit_policy,
+        drift=DriftConfig(moment_delta=args.drift_moment,
+                          vocab_growth=args.drift_vocab,
+                          doc_count=args.drift_docs),
+        tree=STRODTreeConfig(num_children=args.children,
+                             max_depth=args.depth,
+                             min_documents=args.min_documents),
+        seed=args.seed,
+        dirty_threshold=args.dirty_threshold,
+        export_path=args.export,
+        export_format=args.format)
+    store = ShardStore(args.shard_dir)
+    # The pipeline checkpoint lives inside the shard dir, so repeated
+    # `repro ingest` invocations accumulate onto one stream.
+    pipeline = IngestPipeline(
+        store, config,
+        checkpoint_dir=_os.path.join(args.shard_dir, "pipeline"),
+        workers=args.workers)
+    report = pipeline.ingest_batch(documents)
+    print(_json.dumps(report.to_dict(), indent=2))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time as _time
 
     from .serve import (ModelAsyncServer, ModelQueryEngine, ModelServer,
                         load_model)
 
+    def build_engine() -> ModelQueryEngine:
+        return ModelQueryEngine(load_model(args.model),
+                                cache_size=args.cache_size,
+                                phrase_shards=args.shards)
+
     start = _time.perf_counter()
-    model = load_model(args.model)
-    engine = ModelQueryEngine(model, cache_size=args.cache_size,
-                              phrase_shards=args.shards)
+    engine = build_engine()
+    model = engine.model
     cold_load_s = _time.perf_counter() - start
     if args.backend == "async":
         server = ModelAsyncServer(engine, host=args.host, port=args.port,
@@ -184,6 +238,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = ModelServer(engine, host=args.host, port=args.port,
                              request_timeout=args.request_timeout,
                              max_body_bytes=args.max_body_bytes)
+    # Hot reload: POST /v1/admin/reload (or SIGHUP) re-reads the
+    # artifact path and swaps the engine with zero dropped requests.
+    server.set_reloader(build_engine)
     server.install_signal_handlers()
     print(f"repro serve: model {args.model} "
           f"({model.manifest['num_topics']} topics, loaded in "
@@ -387,6 +444,46 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.set_defaults(func=_cmd_migrate_model, workers=None,
                          report=None, trace=None, profile=None,
                          log_level=None, log_json=False)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="append a JSONL batch to a stream shard store, update the "
+             "moment sketch, and (policy permitting) re-infer + export",
+        parents=obs_parent)
+    ingest.add_argument("--shard-dir", required=True, metavar="DIR",
+                        help="the append-only shard store (created on "
+                             "first use; the pipeline checkpoint lives "
+                             "inside it, so invocations accumulate)")
+    ingest.add_argument("--batch", required=True, metavar="JSONL",
+                        help="one raw document per line: objects with "
+                             "'text' or 'chunks', plus optional "
+                             "'entities'/'year'/'label'")
+    ingest.add_argument("--refit-policy", default="drift",
+                        choices=["drift", "always", "never"],
+                        help="when to re-infer: on drift (default), on "
+                             "every batch, or never (sketch-only)")
+    ingest.add_argument("--export", "-o", default=None, metavar="PATH",
+                        help="model artifact rewritten after every "
+                             "refit (the file 'repro serve' hot-reloads)")
+    ingest.add_argument("--format", default="v2", choices=["v1", "v2"],
+                        help="export artifact format (default: v2)")
+    ingest.add_argument("--children", type=int, default=4,
+                        help="subtopics per tree node")
+    ingest.add_argument("--depth", type=int, default=2,
+                        help="maximum tree depth")
+    ingest.add_argument("--min-documents", type=int, default=50,
+                        help="fewest documents a node needs to split")
+    ingest.add_argument("--dirty-threshold", type=float, default=0.25,
+                        help="fractional subset change at which a tree "
+                             "node re-solves (0 = full re-solve)")
+    ingest.add_argument("--drift-moment", type=float, default=0.05,
+                        help="relative L1 first-moment change trigger")
+    ingest.add_argument("--drift-vocab", type=float, default=0.10,
+                        help="vocabulary growth fraction trigger")
+    ingest.add_argument("--drift-docs", type=int, default=0,
+                        help="new-document count trigger (0 disables)")
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.set_defaults(func=_cmd_ingest)
 
     serve = sub.add_parser(
         "serve", help="serve an exported model over HTTP",

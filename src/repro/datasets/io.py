@@ -8,6 +8,7 @@ generator (or compared across library versions).
 from __future__ import annotations
 
 import json
+import os
 from typing import Optional
 
 from ..corpus import Corpus
@@ -114,7 +115,23 @@ def save_dataset(dataset: SyntheticDataset, path: str,
 
     The write is atomic (temp file + rename): a crash mid-write leaves
     any existing file at ``path`` untouched instead of truncated.
+
+    Raises:
+        DataError: when ``path`` is a streaming shard directory
+            (``repro.stream.ShardStore``) — a one-shot dataset file
+            must not clobber an append-only log; append a batch with
+            ``repro ingest`` instead.
     """
+    if os.path.isdir(path):
+        from ..stream.shards import is_shard_dir
+
+        if is_shard_dir(path):
+            raise DataError(
+                f"{path} is a streaming shard store; refusing to "
+                f"overwrite it with a one-shot dataset file (use "
+                f"'repro ingest --shard-dir {path}' to append to the "
+                f"stream instead)")
+        raise DataError(f"{path} is a directory, not a dataset file")
     atomic_write_json(path, dataset_to_dict(dataset), indent=indent)
 
 

@@ -27,7 +27,8 @@ pass a ``config=`` fingerprint so resumes are guarded.
 
 from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
 from .checkpoint import (CHECKPOINT_SCHEMA, CheckpointWriter, checkpoint_in,
-                         config_fingerprint, load_checkpoint, save_checkpoint)
+                         config_fingerprint, load_checkpoint, load_framed,
+                         save_checkpoint, save_framed)
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -38,5 +39,7 @@ __all__ = [
     "checkpoint_in",
     "config_fingerprint",
     "load_checkpoint",
+    "load_framed",
     "save_checkpoint",
+    "save_framed",
 ]

@@ -52,7 +52,9 @@ __all__ = [
     "checkpoint_in",
     "config_fingerprint",
     "load_checkpoint",
+    "load_framed",
     "save_checkpoint",
+    "save_framed",
 ]
 
 CHECKPOINT_SCHEMA = "repro.resilience/checkpoint/v1"
@@ -83,6 +85,57 @@ def config_fingerprint(value: Any) -> Any:
 _plain = config_fingerprint
 
 
+def save_framed(path: str, document: Dict[str, Any],
+                magic: bytes = _MAGIC,
+                metric: str = "resilience.framed_write") -> None:
+    """Atomically persist a pickled document behind magic + CRC framing.
+
+    The file layout is ``magic | crc32 (4 bytes BE) | length (8 bytes BE)
+    | payload`` — the checkpoint protocol's framing, reusable under any
+    ``magic`` (stream corpus shards share it), so every framed artifact
+    in the library rejects truncation and bit rot the same way.
+    """
+    payload = pickle.dumps(document, protocol=pickle.HIGHEST_PROTOCOL)
+    header = magic + _HEADER.pack(zlib.crc32(payload) & 0xFFFFFFFF,
+                                  len(payload))
+    with timed(metric):
+        atomic_write_bytes(path, header + payload)
+
+
+def load_framed(path: str, magic: bytes = _MAGIC,
+                kind: str = "checkpoint") -> Dict[str, Any]:
+    """Read and validate a file written by :func:`save_framed`.
+
+    Raises:
+        DataError: wrong magic (``kind`` names the artifact in the
+            message), truncated header or payload, CRC mismatch, or an
+            unreadable pickle payload.
+        OSError: when the file cannot be read at all.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    prefix = len(magic) + _HEADER.size
+    if not blob.startswith(magic):
+        raise DataError(f"{path} is not a repro {kind} file")
+    if len(blob) < prefix:
+        raise DataError(f"{path} is truncated (incomplete header)")
+    crc, length = _HEADER.unpack(blob[len(magic):prefix])
+    payload = blob[prefix:]
+    if len(payload) != length:
+        raise DataError(f"{path} is truncated ({len(payload)} of {length} "
+                        f"payload bytes)")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise DataError(f"{path} is corrupted (checksum mismatch)")
+    try:
+        document = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise DataError(f"{path} holds an unreadable {kind} payload: "
+                        f"{exc!r}") from exc
+    if not isinstance(document, dict):
+        raise DataError(f"{path} does not hold a {kind} document")
+    return document
+
+
 def save_checkpoint(path: str, document: Dict[str, Any]) -> None:
     """Atomically persist a checkpoint document (framed, CRC-protected)."""
     payload = pickle.dumps(document, protocol=pickle.HIGHEST_PROTOCOL)
@@ -101,29 +154,10 @@ def load_checkpoint(path: str) -> Dict[str, Any]:
             corrupted (CRC mismatch), or carries an unsupported schema.
         OSError: when the file cannot be read at all.
     """
-    with open(path, "rb") as handle:
-        blob = handle.read()
-    prefix = len(_MAGIC) + _HEADER.size
-    if not blob.startswith(_MAGIC):
-        raise DataError(f"{path} is not a repro checkpoint file")
-    if len(blob) < prefix:
-        raise DataError(f"{path} is truncated (incomplete header)")
-    crc, length = _HEADER.unpack(blob[len(_MAGIC):prefix])
-    payload = blob[prefix:]
-    if len(payload) != length:
-        raise DataError(f"{path} is truncated ({len(payload)} of {length} "
-                        f"payload bytes)")
-    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-        raise DataError(f"{path} is corrupted (checksum mismatch)")
-    try:
-        document = pickle.loads(payload)
-    except Exception as exc:  # pickle raises a zoo of exception types
-        raise DataError(f"{path} holds an unreadable checkpoint payload: "
-                        f"{exc!r}") from exc
-    if not isinstance(document, dict) \
-            or document.get("schema") != CHECKPOINT_SCHEMA:
+    document = load_framed(path, _MAGIC, kind="checkpoint")
+    if document.get("schema") != CHECKPOINT_SCHEMA:
         raise DataError(f"{path} carries an unsupported checkpoint schema: "
-                        f"{document.get('schema') if isinstance(document, dict) else None!r}")
+                        f"{document.get('schema')!r}")
     return document
 
 

@@ -125,6 +125,19 @@ class ModelAsyncServer:
         address = self._bound_address or self._requested_address
         return address[1]
 
+    # ------------------------------------------------------------- hot swap
+    def set_reloader(self, reloader) -> None:
+        """Install the engine factory ``reload()`` / SIGHUP will call."""
+        self.state.set_reloader(reloader)
+
+    def swap_engine(self, engine: ModelQueryEngine) -> ModelQueryEngine:
+        """Hot-swap to ``engine``; in-flight requests drain on the old."""
+        return self.state.swap_engine(engine)
+
+    def reload(self) -> Dict[str, Any]:
+        """Rebuild via the reloader and swap (same as POST /v1/admin/reload)."""
+        return self.state.reload_engine()
+
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ModelAsyncServer":
         """Run the event loop in a background thread (returns bound)."""
@@ -184,6 +197,21 @@ class ModelAsyncServer:
 
         for signum in signals:
             self._previous_handlers[signum] = signal.signal(signum, _handler)
+        if hasattr(signal, "SIGHUP"):
+            def _reload(signum, frame):  # noqa: ARG001 - signal signature
+                logger.info("signal %d: hot-reloading the model", signum)
+                threading.Thread(target=self._reload_quietly,
+                                 name="repro-serve-aio-reload",
+                                 daemon=True).start()
+
+            self._previous_handlers[signal.SIGHUP] = \
+                signal.signal(signal.SIGHUP, _reload)
+
+    def _reload_quietly(self) -> None:
+        try:
+            self.reload()
+        except Exception as exc:  # noqa: BLE001 - signal ctx, must not die
+            logger.error("hot reload failed: %r", exc)
 
     def restore_signal_handlers(self) -> None:
         """Reinstate handlers replaced by :meth:`install_signal_handlers`."""
@@ -331,6 +359,9 @@ class ModelAsyncServer:
         start = time.perf_counter()
         endpoint = "unknown"
         must_close = False
+        # Lease the engine for the whole request (hot-swap drain: see
+        # router.EngineHandle) — released in the finally below.
+        handle = state.acquire_engine()
         try:
             if method not in ("GET", "POST"):
                 raise RequestRejected(
@@ -346,7 +377,7 @@ class ModelAsyncServer:
                 body = parse_json_body(raw)
             status, payload, endpoint = await self._route_async(
                 request_id, method, target,
-                headers.get("accept", ""), body)
+                headers.get("accept", ""), body, handle.engine)
         except RequestRejected as exc:
             status, payload = exc.status, exc.payload
             # An unread body would be parsed as the next request on
@@ -366,12 +397,15 @@ class ModelAsyncServer:
         except Exception as exc:  # noqa: BLE001 - must answer
             logger.error("unhandled error serving %s: %r", target, exc)
             status, payload = 500, {"error": f"internal error: {exc!r}"}
+        finally:
+            handle.release()
         state.record_request(endpoint, status,
                              time.perf_counter() - start)
         return status, payload, request_id, must_close
 
     async def _route_async(self, request_id: str, method: str,
                            target: str, accept: str, body: Any,
+                           engine: ModelQueryEngine,
                            ) -> Tuple[int, Any, str]:
         """Route with concurrency where the endpoint supports it.
 
@@ -382,29 +416,28 @@ class ModelAsyncServer:
         attribute to this request even though many requests share the
         event loop.
         """
-        engine = self.state.engine
         parsed = urlparse(target)
         path = parsed.path.rstrip("/")
         if method == "POST" and path == "/v1/batch":
-            return 200, await self._batch_async(request_id, body), "batch"
+            return 200, await self._batch_async(request_id, body,
+                                                engine), "batch"
         if method == "GET" and path == "/v1/search" \
                 and engine.num_shards > 1:
             params = parse_qs(parsed.query, keep_blank_values=True)
             query = params.get("q")
             if query is not None:
                 answer = await self._search_async(request_id, query[0],
-                                                  params)
+                                                  params, engine)
                 return 200, answer, "search"
         return await self._in_worker(
             request_id, route_request, self.state, method, target,
-            accept, lambda: body)
+            accept, lambda: body, engine)
 
-    async def _batch_async(self, request_id: str,
-                           requests: Any) -> Dict[str, Any]:
+    async def _batch_async(self, request_id: str, requests: Any,
+                           engine: ModelQueryEngine) -> Dict[str, Any]:
         """Concurrent, bounded, order-preserving batch execution."""
         if not isinstance(requests, list):
             raise ConfigurationError("batch payload must be an array")
-        engine = self.state.engine
 
         async def run_op(request: Any) -> Dict[str, Any]:
             async with self._batch_slots:
@@ -415,9 +448,9 @@ class ModelAsyncServer:
         return {"results": list(results)}
 
     async def _search_async(self, request_id: str, query: str,
-                            params: Dict[str, list]) -> Dict[str, Any]:
+                            params: Dict[str, list],
+                            engine: ModelQueryEngine) -> Dict[str, Any]:
         """Concurrent sharded search, cached under the engine's key."""
-        engine = self.state.engine
         mode = params.get("mode", ["prefix"])[0]
         if mode not in _SEARCH_MODES:
             raise ConfigurationError(

@@ -61,6 +61,7 @@ __all__ = [
     "ARTIFACT_FORMATS",
     "MODEL_SCHEMA",
     "ServedModel",
+    "build_document_from_parts",
     "build_model_document",
     "load_model",
     "migrate_model",
@@ -144,14 +145,20 @@ def _topic_from_record(record: Dict[str, Any]) -> Topic:
     return topic
 
 
-def build_model_document(result, config: Optional[Dict[str, Any]] = None,
-                         ) -> Dict[str, Any]:
-    """Serialize a fitted :class:`~repro.core.MiningResult` to an artifact.
+def build_document_from_parts(
+        vocabulary: List[str],
+        hierarchy: TopicalHierarchy,
+        entity_roles: Dict[str, Dict[str, Dict[str, float]]],
+        num_documents: int,
+        config: Optional[Dict[str, Any]] = None,
+        extra_manifest: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble a model document from its already-computed pieces.
 
-    Args:
-        result: the fitted mining result to persist.
-        config: plain-data fingerprint of the configuration that produced
-            it (stored in the manifest for traceability).
+    The incremental path (:mod:`repro.stream`) produces a hierarchy and
+    role table without ever holding a :class:`~repro.core.MiningResult`,
+    so the document builder has to accept the parts directly.
+    ``extra_manifest`` entries (e.g. a ``model_version`` counter) are
+    merged into the manifest; they may not shadow the required fields.
 
     The returned document is fully JSON-normalized (every tuple already a
     list), so building a query engine from it gives byte-identical
@@ -159,18 +166,20 @@ def build_model_document(result, config: Optional[Dict[str, Any]] = None,
     """
     from .. import get_version
 
-    corpus = result.corpus
-    entity_types = corpus.entity_types()
-    entity_roles = {
-        etype: {name: dict(frequencies)
-                for name, frequencies
-                in result.roles.entity_topic_frequencies(etype).items()}
-        for etype in entity_types
-    }
+    extra = dict(extra_manifest or {})
+    shadowed = set(extra) & set(_REQUIRED_MANIFEST)
+    if shadowed:
+        raise ConfigurationError(
+            f"extra_manifest may not override required manifest "
+            f"fields: {sorted(shadowed)}")
     model = {
-        "vocabulary": list(corpus.vocabulary),
-        "hierarchy": _topic_record(result.hierarchy.root),
-        "entity_roles": entity_roles,
+        "vocabulary": list(vocabulary),
+        "hierarchy": _topic_record(hierarchy.root),
+        "entity_roles": {
+            etype: {name: dict(frequencies)
+                    for name, frequencies in roles.items()}
+            for etype, roles in entity_roles.items()
+        },
     }
     # Round-trip through the canonical encoding so the in-memory document
     # is indistinguishable from one parsed back from disk.
@@ -183,11 +192,38 @@ def build_model_document(result, config: Optional[Dict[str, Any]] = None,
         "vocab_hash": vocabulary_hash(model["vocabulary"]),
         "payload_crc32": zlib.crc32(_canonical_payload(model)) & 0xFFFFFFFF,
         "vocab_size": len(model["vocabulary"]),
-        "num_documents": len(corpus),
-        "num_topics": result.hierarchy.num_topics,
-        "entity_types": entity_types,
+        "num_documents": num_documents,
+        "num_topics": hierarchy.num_topics,
+        "entity_types": sorted(model["entity_roles"]),
     }
+    manifest.update(extra)
     return {"schema": MODEL_SCHEMA, "manifest": manifest, "model": model}
+
+
+def build_model_document(result, config: Optional[Dict[str, Any]] = None,
+                         ) -> Dict[str, Any]:
+    """Serialize a fitted :class:`~repro.core.MiningResult` to an artifact.
+
+    Args:
+        result: the fitted mining result to persist.
+        config: plain-data fingerprint of the configuration that produced
+            it (stored in the manifest for traceability).
+
+    Thin wrapper over :func:`build_document_from_parts`.
+    """
+    corpus = result.corpus
+    entity_roles = {
+        etype: {name: dict(frequencies)
+                for name, frequencies
+                in result.roles.entity_topic_frequencies(etype).items()}
+        for etype in corpus.entity_types()
+    }
+    return build_document_from_parts(
+        vocabulary=list(corpus.vocabulary),
+        hierarchy=result.hierarchy,
+        entity_roles=entity_roles,
+        num_documents=len(corpus),
+        config=config)
 
 
 @dataclass

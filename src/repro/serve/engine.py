@@ -362,6 +362,21 @@ class ModelQueryEngine:
                     "size": len(self._cache),
                     "capacity": self._cache_capacity}
 
+    @property
+    def artifact_format(self) -> str:
+        """``"v2"`` over a memory-mapped artifact, else ``"v1"``."""
+        return "v2" if isinstance(self.model, MappedModel) else "v1"
+
+    def close(self) -> None:
+        """Release the model's resources (unmap a v2 artifact).
+
+        Idempotent; called by the servers once a hot-swapped-out engine
+        has drained its last in-flight request.
+        """
+        close = getattr(self.model, "close", None)
+        if callable(close):
+            close()
+
     # -------------------------------------------------------------- queries
     def _meta_of(self, topic_id: str) -> Dict[str, Any]:
         meta = self._meta.get(topic_id)
@@ -370,14 +385,19 @@ class ModelQueryEngine:
         return meta
 
     def model_info(self) -> Dict[str, Any]:
-        """Manifest plus tree-shape statistics."""
+        """Manifest plus provenance and tree-shape statistics."""
         return self._cached(("model_info",), self._compute_model_info)
 
     def _compute_model_info(self) -> Dict[str, Any]:
         depths = [len(m["path"]) for m in self._meta.values()]
         backend = self._backend
+        manifest = self.model.manifest
         return {
-            "manifest": self.model.manifest,
+            "manifest": manifest,
+            "repro_version": manifest.get("repro_version"),
+            "artifact_format": self.artifact_format,
+            "config_fingerprint": manifest.get("config"),
+            "model_version": int(manifest.get("model_version", 0)),
             "stats": {
                 "num_topics": len(self._meta),
                 "height": max(depths) if depths else 0,

@@ -17,6 +17,9 @@ dependencies) and exposes the query API as JSON endpoints:
 ``GET /v1/search``      ``?q=...&mode=prefix|substring&limit=N``
 ``GET /v1/entities/X``  entity roles (``?type=`` and ``?topic=`` refine)
 ``POST /v1/batch``      JSON array of ``{"op": ..., "args": {...}}``
+``POST /v1/admin/reload``  hot-swap to a freshly loaded artifact (400
+                        without a configured reloader); SIGHUP does the
+                        same where the platform has it
 =====================  ======================================================
 
 Routing itself lives in :mod:`repro.serve.router`, shared with the
@@ -123,6 +126,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
         set_trace_id(self._request_id)
         start = time.perf_counter()
         endpoint = "unknown"
+        # Lease the engine for the whole request: a hot swap landing
+        # mid-request retires the old engine but this request keeps
+        # answering from it; the engine closes after the last release.
+        handle = server.acquire_engine()
         try:
             with span("serve.http.request", method=method,
                       request_id=self._request_id):
@@ -130,7 +137,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     status, payload, endpoint = route_request(
                         server, method, self.path,
                         accept=self.headers.get("Accept", ""),
-                        read_body=self._read_json_body)
+                        read_body=self._read_json_body,
+                        engine=handle.engine)
                 except RequestRejected as exc:
                     status, payload = exc.status, exc.payload
                     # An unread body would be parsed as the next request
@@ -162,6 +170,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     elapsed = time.perf_counter() - start
                     server.record_request(endpoint, status, elapsed)
         finally:
+            handle.release()
             set_trace_id(None)
 
     def _read_json_body(self) -> Any:
@@ -243,6 +252,19 @@ class ModelServer:
         """The server-local metrics registry backing ``/metrics``."""
         return self._httpd.registry
 
+    # ------------------------------------------------------------- hot swap
+    def set_reloader(self, reloader) -> None:
+        """Install the engine factory ``reload()`` / SIGHUP will call."""
+        self._httpd.set_reloader(reloader)
+
+    def swap_engine(self, engine: ModelQueryEngine) -> ModelQueryEngine:
+        """Hot-swap to ``engine``; in-flight requests drain on the old."""
+        return self._httpd.swap_engine(engine)
+
+    def reload(self) -> Dict[str, Any]:
+        """Rebuild via the reloader and swap (same as POST /v1/admin/reload)."""
+        return self._httpd.reload_engine()
+
     # ------------------------------------------------------------ lifecycle
     def serve_forever(self) -> None:
         """Serve until :meth:`shutdown` is called (blocking)."""
@@ -299,6 +321,27 @@ class ModelServer:
 
         for signum in signals:
             self._previous_handlers[signum] = signal.signal(signum, _handler)
+        self._install_reload_handler()
+
+    def _install_reload_handler(self) -> None:
+        """SIGHUP -> hot reload, where the platform has SIGHUP."""
+        if not hasattr(signal, "SIGHUP"):
+            return
+
+        def _reload(signum, frame):  # noqa: ARG001 - signal signature
+            logger.info("signal %d: hot-reloading the model", signum)
+            threading.Thread(target=self._reload_quietly,
+                             name="repro-serve-reload",
+                             daemon=True).start()
+
+        self._previous_handlers[signal.SIGHUP] = \
+            signal.signal(signal.SIGHUP, _reload)
+
+    def _reload_quietly(self) -> None:
+        try:
+            self.reload()
+        except Exception as exc:  # noqa: BLE001 - signal ctx, must not die
+            logger.error("hot reload failed: %r", exc)
 
     def restore_signal_handlers(self) -> None:
         """Reinstate the handlers replaced by :meth:`install_signal_handlers`."""

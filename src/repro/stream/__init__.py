@@ -1,0 +1,68 @@
+"""Streaming ingestion for the STROD pipeline.
+
+``repro.stream`` turns the one-shot batch pipeline into a
+train-while-serving loop:
+
+* :class:`ShardStore` — an append-only corpus log: CRC-framed shard
+  files plus a versioned vocab-delta log, committed atomically through
+  the manifest;
+* :func:`build_shard_sketches` / :class:`~repro.strod.MomentSketch` —
+  per-shard moment sketches whose merge is exactly associative, so the
+  running sketch always equals a one-pass sketch of the whole log;
+* :func:`detect_drift` — configurable detectors (first-moment delta,
+  vocab growth, document count) that decide when the stream has moved
+  enough to warrant re-inference;
+* :class:`StreamRefitter` — drift-triggered re-inference that re-solves
+  only dirty subtrees of the recursive STROD hierarchy;
+* :class:`IngestPipeline` — the loop that ties them together, with a
+  fingerprint-guarded checkpoint and exactly-once batch commits, and
+  exports fresh artifacts for the servers to hot-swap.
+
+See DESIGN.md §5.6 for the formats and protocols, and
+``repro ingest --help`` for the CLI front-end.
+"""
+
+from .drift import DriftConfig, DriftReport, baseline_from_sketch, detect_drift
+from .ingest import (
+    PIPELINE_SOLVER,
+    REFIT_POLICIES,
+    IngestConfig,
+    IngestPipeline,
+    IngestReport,
+    batch_key,
+)
+from .refit import RefitStats, StreamRefitter, entity_role_counts
+from .shards import (
+    SHARD_DIR_SCHEMA,
+    SHARD_MAGIC,
+    SHARD_SCHEMA,
+    VOCAB_DELTA_SCHEMA,
+    ShardStore,
+    is_shard_dir,
+)
+from .sketch import build_shard_sketches, merge_sketches, sketch_fingerprint
+
+__all__ = [
+    "SHARD_DIR_SCHEMA",
+    "SHARD_MAGIC",
+    "SHARD_SCHEMA",
+    "VOCAB_DELTA_SCHEMA",
+    "PIPELINE_SOLVER",
+    "REFIT_POLICIES",
+    "DriftConfig",
+    "DriftReport",
+    "IngestConfig",
+    "IngestPipeline",
+    "IngestReport",
+    "RefitStats",
+    "ShardStore",
+    "StreamRefitter",
+    "baseline_from_sketch",
+    "batch_key",
+    "build_shard_sketches",
+    "detect_drift",
+    "entity_role_counts",
+    "is_shard_dir",
+    "merge_sketches",
+    "sketch_fingerprint",
+]

@@ -1,8 +1,9 @@
 """STROD: scalable and robust moment-based topic discovery (Chapter 7)."""
 
 from .hierarchy import STRODHierarchyBuilder, STRODTreeConfig
-from .moments import (compute_whitener, first_moment, second_moment,
-                      whitened_third_moment, word_count_rows)
+from .moments import (MOMENT_SKETCH_SCHEMA, MomentSketch, compute_whitener,
+                      first_moment, second_moment, whitened_third_moment,
+                      word_count_rows)
 from .sparse import compute_whitener_sparse, sparse_pair_moment
 from .strod import STROD, STRODModel
 from .tensor_power import (TensorEigenpair, power_iteration,
@@ -15,6 +16,8 @@ __all__ = [
     "STRODModel",
     "STRODHierarchyBuilder",
     "STRODTreeConfig",
+    "MOMENT_SKETCH_SCHEMA",
+    "MomentSketch",
     "first_moment",
     "second_moment",
     "whitened_third_moment",

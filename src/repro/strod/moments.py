@@ -17,11 +17,12 @@ Section 7.3.2 (per-document cost O(nnz * k + k^3)).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import zlib
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import ConfigurationError, DataError
 
 
 def word_count_rows(docs: Sequence[Sequence[int]], vocab_size: int,
@@ -42,6 +43,163 @@ def word_count_rows(docs: Sequence[Sequence[int]], vocab_size: int,
         ids, counts = np.unique(doc, return_counts=True)
         rows.append((ids, counts.astype(float)))
     return rows
+
+
+MOMENT_SKETCH_SCHEMA = "repro.strod/moment-sketch/v1"
+
+
+class MomentSketch:
+    """Mergeable, exactly-associative sketch of the STROD word moments.
+
+    The M1/M2/M3 estimators are *averages over documents*, so the only
+    state a shard needs to contribute is its per-document count rows.
+    Floating-point addition is not associative, which rules out carrying
+    partial moment sums if merges must be exact; instead the sketch
+    stores the rows themselves (in arrival order) and evaluates moments
+    lazily.  Merging is then row concatenation — exactly associative,
+    and a sketch built over the whole corpus is bit-identical to the
+    in-order merge of per-shard sketches (mirroring the
+    ``repro.obs.QuantileSketch`` merge contract from PR 6).
+
+    Row storage is O(total distinct words per doc); the dense moments
+    are only materialized on demand, so shard partials stay cheap to
+    build in workers, pickle, and checkpoint.
+    """
+
+    def __init__(self, vocab_size: int, min_length: int = 3) -> None:
+        if vocab_size <= 0:
+            raise ConfigurationError("vocab_size must be positive")
+        if min_length < 3:
+            raise ConfigurationError(
+                "min_length must be >= 3: the third-moment estimator "
+                "needs three distinct word draws per document")
+        self.vocab_size = int(vocab_size)
+        self.min_length = int(min_length)
+        self.num_skipped = 0
+        self._rows: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_docs(cls, docs: Sequence[Sequence[int]], vocab_size: int,
+                  min_length: int = 3) -> "MomentSketch":
+        sketch = cls(vocab_size, min_length=min_length)
+        sketch.update(docs)
+        return sketch
+
+    def update(self, docs: Sequence[Sequence[int]]) -> int:
+        """Absorb a batch of encoded documents; returns rows added."""
+        added = 0
+        for doc in docs:
+            arr = np.asarray(doc, dtype=np.int64)
+            if len(arr) < self.min_length:
+                self.num_skipped += 1
+                continue
+            if arr.min() < 0 or arr.max() >= self.vocab_size:
+                raise DataError("token id outside vocabulary")
+            ids, counts = np.unique(arr, return_counts=True)
+            self._rows.append((ids, counts.astype(float)))
+            added += 1
+        return added
+
+    def expand_vocab(self, vocab_size: int) -> None:
+        """Grow the vocabulary (streams only ever append new words)."""
+        if vocab_size < self.vocab_size:
+            raise ConfigurationError(
+                "cannot shrink a moment sketch vocabulary "
+                f"({self.vocab_size} -> {vocab_size})")
+        self.vocab_size = int(vocab_size)
+
+    # -- merge (the associativity contract) -----------------------------
+
+    def merge(self, other: "MomentSketch") -> "MomentSketch":
+        """Pure merge: row concatenation, so exactly associative.
+
+        Neither input is mutated.  Vocabularies may differ (a later
+        shard sees a grown vocab); the result takes the larger one.
+        """
+        if other.min_length != self.min_length:
+            raise ConfigurationError(
+                "cannot merge moment sketches with different min_length")
+        merged = MomentSketch(max(self.vocab_size, other.vocab_size),
+                              min_length=self.min_length)
+        merged._rows = self._rows + other._rows
+        merged.num_skipped = self.num_skipped + other.num_skipped
+        return merged
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def num_docs(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """The per-document count rows, in arrival order (do not mutate)."""
+        return self._rows
+
+    # -- moments --------------------------------------------------------
+
+    def first_moment(self) -> np.ndarray:
+        return first_moment(self._rows, self.vocab_size)
+
+    def second_moment(self, alpha0: float) -> np.ndarray:
+        return second_moment(self._rows, self.vocab_size, alpha0)
+
+    def whitened_third_moment(self, whitener: np.ndarray,
+                              alpha0: float) -> np.ndarray:
+        return whitened_third_moment(self._rows, whitener,
+                                     self.first_moment(), alpha0)
+
+    # -- persistence ----------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """Flat-array snapshot for checkpointing (see repro.stream)."""
+        if self._rows:
+            ids = np.concatenate([ids for ids, _ in self._rows])
+            counts = np.concatenate([counts for _, counts in self._rows])
+            lengths = [len(row_ids) for row_ids, _ in self._rows]
+        else:
+            ids = np.zeros(0, dtype=np.int64)
+            counts = np.zeros(0)
+            lengths = []
+        offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return {
+            "schema": MOMENT_SKETCH_SCHEMA,
+            "vocab_size": self.vocab_size,
+            "min_length": self.min_length,
+            "num_skipped": self.num_skipped,
+            "row_ids": ids,
+            "row_counts": counts,
+            "row_offsets": offsets,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MomentSketch":
+        if state.get("schema") != MOMENT_SKETCH_SCHEMA:
+            raise DataError(
+                "state does not hold a moment-sketch document "
+                f"(schema={state.get('schema')!r})")
+        sketch = cls(int(state["vocab_size"]),
+                     min_length=int(state["min_length"]))
+        sketch.num_skipped = int(state["num_skipped"])
+        ids = np.asarray(state["row_ids"], dtype=np.int64)
+        counts = np.asarray(state["row_counts"], dtype=float)
+        offsets = np.asarray(state["row_offsets"], dtype=np.int64)
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            sketch._rows.append((ids[start:stop].copy(),
+                                 counts[start:stop].copy()))
+        return sketch
+
+    def fingerprint(self) -> str:
+        """Content hash tying derived artifacts to this exact sketch."""
+        state = self.to_state()
+        crc = 0
+        for key in ("row_ids", "row_counts", "row_offsets"):
+            crc = zlib.crc32(np.ascontiguousarray(state[key]).tobytes(), crc)
+        return (f"v{self.vocab_size}-d{self.num_docs}"
+                f"-s{self.num_skipped}-{crc & 0xFFFFFFFF:08x}")
 
 
 def first_moment(rows: Sequence[Tuple[np.ndarray, np.ndarray]],

@@ -1,0 +1,276 @@
+"""IngestPipeline: drift arithmetic, refit policies, crash-resume.
+
+The acceptance bar for the streaming subsystem (ISSUE 9): a corpus
+ingested in k batches must yield a served model equal to the one-shot
+batch fit (bit-for-bit at ``dirty_threshold=0.0``), and a killed-and-
+resumed ingest must land in exactly the state an uninterrupted run
+reaches.  Both are pinned here, along with the pure arithmetic of the
+drift detectors and the three refit policies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus import Corpus
+from repro.errors import ConfigurationError, DataError
+from repro.serve import ModelQueryEngine, load_model
+from repro.stream import (DriftConfig, IngestConfig, IngestPipeline,
+                          ShardStore, StreamRefitter, baseline_from_sketch,
+                          batch_key, detect_drift)
+from repro.strod import MomentSketch
+from repro.strod.hierarchy import STRODHierarchyBuilder, STRODTreeConfig
+
+TOPIC_A = ["spectral", "tensor", "moment", "whitening",
+           "decomposition", "power", "iteration", "eigenvalue"]
+TOPIC_B = ["entity", "hierarchy", "mining", "network",
+           "latent", "structure", "role", "linkage"]
+
+
+def _make_batches(num_batches=3, docs_per_batch=8, seed=7):
+    rng = np.random.default_rng(seed)
+    batches = []
+    for b in range(num_batches):
+        batch = []
+        for d in range(docs_per_batch):
+            pool = TOPIC_A if d % 2 == 0 else TOPIC_B
+            words = [pool[i] for i in rng.integers(0, len(pool), size=6)]
+            batch.append({"text": " ".join(words) + ".",
+                          "entities": {"author": [f"a{b}-{d % 3}"]},
+                          "year": 2013 + b})
+        batches.append(batch)
+    return batches
+
+
+BATCHES = _make_batches()
+
+TREE = STRODTreeConfig(num_children=2, max_depth=1, min_documents=5,
+                       num_restarts=2, num_iterations=5)
+
+
+def _config(**overrides):
+    kwargs = dict(refit_policy="always", tree=TREE, seed=3,
+                  dirty_threshold=0.0)
+    kwargs.update(overrides)
+    return IngestConfig(**kwargs)
+
+
+def _flatten(hierarchy):
+    return {t.notation: (t.rho, t.phi) for t in hierarchy.topics()}
+
+
+def _deep_equal(a, b):
+    """`==` with bit-exact ndarray support (sketch states hold arrays)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(_deep_equal(a[k], b[k]) for k in a))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return (len(a) == len(b)
+                and all(_deep_equal(x, y) for x, y in zip(a, b)))
+    return a == b
+
+
+class TestDriftArithmetic:
+    def test_missing_baseline_always_triggers(self):
+        sketch = MomentSketch.from_docs([[0, 1, 2]], 4)
+        report = detect_drift(None, sketch, DriftConfig())
+        assert report.triggered
+        assert report.reasons == ["no baseline model"]
+        assert report.metrics["moment_delta"] == float("inf")
+
+    def test_moment_delta_is_relative_l1(self):
+        base = MomentSketch.from_docs([[0, 0, 0]], 4)
+        baseline = baseline_from_sketch(base)
+        grown = base.merge(MomentSketch.from_docs([[1, 1, 1]], 4))
+        # m1 goes [1,0,0,0] -> [.5,.5,0,0]: |delta|_1 / |base|_1 = 1.0
+        report = detect_drift(baseline, grown,
+                              DriftConfig(moment_delta=1.0,
+                                          vocab_growth=float("inf")))
+        assert report.metrics["moment_delta"] == pytest.approx(1.0)
+        assert report.triggered  # fires on >=
+        calm = detect_drift(baseline, grown,
+                            DriftConfig(moment_delta=1.01,
+                                        vocab_growth=float("inf")))
+        assert not calm.triggered
+
+    def test_vocab_growth_pads_old_moment(self):
+        base = MomentSketch.from_docs([[0, 1, 2]], 4)
+        baseline = baseline_from_sketch(base)
+        grown = base.merge(MomentSketch.from_docs([[4, 5, 5]], 6))
+        report = detect_drift(baseline, grown,
+                              DriftConfig(moment_delta=float("inf"),
+                                          vocab_growth=0.5))
+        assert report.metrics["vocab_growth"] == pytest.approx(0.5)
+        assert report.triggered
+        assert "vocab growth" in report.reasons[0]
+
+    def test_doc_count_detector_disabled_at_zero(self):
+        base = MomentSketch.from_docs([[0, 1, 2]], 4)
+        baseline = baseline_from_sketch(base)
+        grown = base.merge(MomentSketch.from_docs(
+            [[0, 1, 2]] * 10, 4))
+        quiet = DriftConfig(moment_delta=float("inf"),
+                            vocab_growth=float("inf"), doc_count=0)
+        assert not detect_drift(baseline, grown, quiet).triggered
+        armed = DriftConfig(moment_delta=float("inf"),
+                            vocab_growth=float("inf"), doc_count=10)
+        report = detect_drift(baseline, grown, armed)
+        assert report.triggered
+        assert report.metrics["new_docs"] == 10.0
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftConfig(moment_delta=-0.1)
+        with pytest.raises(ConfigurationError):
+            DriftConfig(vocab_growth=-0.1)
+
+
+class TestRefitPolicies:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="refit policy"):
+            IngestConfig(refit_policy="sometimes")
+
+    def test_never_policy_sketches_without_solving(self, tmp_path):
+        pipeline = IngestPipeline(ShardStore(str(tmp_path / "log")),
+                                  _config(refit_policy="never"))
+        report = pipeline.ingest_batch(BATCHES[0])
+        assert not report.refit_ran
+        assert pipeline.model_version == 0
+        assert pipeline.sketch.num_docs == len(BATCHES[0])
+
+    def test_always_policy_bumps_every_batch(self, tmp_path):
+        pipeline = IngestPipeline(ShardStore(str(tmp_path / "log")),
+                                  _config(refit_policy="always"))
+        for expected, batch in enumerate(BATCHES, start=1):
+            report = pipeline.ingest_batch(batch)
+            assert report.refit_ran
+            assert report.model_version == expected
+
+    def test_drift_policy_first_batch_then_quiet(self, tmp_path):
+        config = _config(
+            refit_policy="drift",
+            drift=DriftConfig(moment_delta=float("inf"),
+                              vocab_growth=float("inf"), doc_count=0))
+        pipeline = IngestPipeline(ShardStore(str(tmp_path / "log")),
+                                  config)
+        first = pipeline.ingest_batch(BATCHES[0])
+        assert first.refit_ran  # no baseline: must solve once
+        second = pipeline.ingest_batch(BATCHES[1])
+        assert not second.refit_ran
+        assert pipeline.model_version == 1
+
+    def test_duplicate_batch_is_a_no_op(self, tmp_path):
+        pipeline = IngestPipeline(ShardStore(str(tmp_path / "log")),
+                                  _config())
+        pipeline.ingest_batch(BATCHES[0])
+        report = pipeline.ingest_batch(BATCHES[0])
+        assert report.deduplicated
+        assert not report.refit_ran
+        assert pipeline.model_version == 1
+        assert pipeline.store.num_shards == 1
+
+
+class TestCrashResume:
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        config = _config(refit_policy="drift", dirty_threshold=0.25)
+        a = IngestPipeline(ShardStore(str(tmp_path / "a")), config,
+                           checkpoint_dir=str(tmp_path / "a-ckpt"))
+        for batch in BATCHES:
+            a.ingest_batch(batch)
+
+        # Interrupted run: batch 1 lands in the store but the process
+        # dies before the pipeline sketches it or checkpoints.
+        b_dir, b_ckpt = str(tmp_path / "b"), str(tmp_path / "b-ckpt")
+        interrupted = IngestPipeline(ShardStore(b_dir), config,
+                                     checkpoint_dir=b_ckpt)
+        interrupted.ingest_batch(BATCHES[0])
+        ShardStore(b_dir).append_batch(BATCHES[1],
+                                       batch_key=batch_key(BATCHES[1]))
+        resumed = IngestPipeline(ShardStore(b_dir), config,
+                                 checkpoint_dir=b_ckpt)
+        assert resumed.synced_shards == 2  # replayed the orphan shard
+        resumed.ingest_batch(BATCHES[2])
+
+        assert resumed.model_version == a.model_version
+        assert resumed.sketch.fingerprint() == a.sketch.fingerprint()
+        assert _deep_equal(resumed._state(), a._state())
+
+    def test_retrying_the_crashed_batch_also_converges(self, tmp_path):
+        """The CLI path: the killed `repro ingest` is simply re-run."""
+        config = _config()
+        a = IngestPipeline(ShardStore(str(tmp_path / "a")), config,
+                           checkpoint_dir=str(tmp_path / "a-ckpt"))
+        for batch in BATCHES[:2]:
+            a.ingest_batch(batch)
+
+        b_dir, b_ckpt = str(tmp_path / "b"), str(tmp_path / "b-ckpt")
+        IngestPipeline(ShardStore(b_dir), config,
+                       checkpoint_dir=b_ckpt).ingest_batch(BATCHES[0])
+        ShardStore(b_dir).append_batch(BATCHES[1],
+                                       batch_key=batch_key(BATCHES[1]))
+        retried = IngestPipeline(ShardStore(b_dir), config,
+                                 checkpoint_dir=b_ckpt)
+        report = retried.ingest_batch(BATCHES[1])  # dedup + already synced
+        assert report.deduplicated
+        assert _deep_equal(retried._state(), a._state())
+
+    def test_checkpoint_ahead_of_store_rejected(self, tmp_path):
+        config = _config()
+        ckpt = str(tmp_path / "ckpt")
+        pipeline = IngestPipeline(ShardStore(str(tmp_path / "a")),
+                                  config, checkpoint_dir=ckpt)
+        pipeline.ingest_batch(BATCHES[0])
+        with pytest.raises(DataError, match="ahead of the shard store"):
+            IngestPipeline(ShardStore(str(tmp_path / "other")), config,
+                           checkpoint_dir=ckpt)
+
+
+class TestStreamEqualsBatch:
+    def test_full_solve_refit_matches_batch_builder(self):
+        corpus = Corpus.from_texts(
+            [doc["text"] for batch in BATCHES for doc in batch])
+        refitter = StreamRefitter(TREE, seed=3, dirty_threshold=0.0)
+        streamed, _, _, stats = refitter.refit(corpus, None)
+        batch = STRODHierarchyBuilder(TREE, seed=3).build(corpus)
+        assert _flatten(streamed) == _flatten(batch)
+        assert stats.nodes_solved >= 1
+        assert stats.nodes_reused == 0
+
+    def test_k_batch_ingest_equals_one_shot_fit(self, tmp_path):
+        """ISSUE 9 end-to-end invariant: k-shard ingest == one-shot fit
+        (exactly, at dirty_threshold=0.0), down to the served artifact."""
+        streamed_model = str(tmp_path / "streamed.rmv2")
+        streamed = IngestPipeline(
+            ShardStore(str(tmp_path / "streamed")),
+            _config(export_path=streamed_model))
+        for batch in BATCHES:
+            streamed.ingest_batch(batch)
+
+        oneshot_model = str(tmp_path / "oneshot.rmv2")
+        oneshot = IngestPipeline(
+            ShardStore(str(tmp_path / "oneshot")),
+            _config(export_path=oneshot_model))
+        oneshot.ingest_batch([doc for batch in BATCHES for doc in batch])
+
+        assert streamed._state()["tree_state"] \
+            == oneshot._state()["tree_state"]
+
+        left = ModelQueryEngine(load_model(streamed_model))
+        right = ModelQueryEngine(load_model(oneshot_model))
+        info_l, info_r = left.model_info(), right.model_info()
+        assert info_l["stats"] == info_r["stats"]
+        assert info_l["config_fingerprint"] == info_r["config_fingerprint"]
+        assert "stream" in left.model.manifest  # sketch fingerprint tag
+        assert info_l["model_version"] == 3
+        assert info_r["model_version"] == 1
+
+    def test_incremental_refit_reuses_clean_nodes(self, tmp_path):
+        pipeline = IngestPipeline(
+            ShardStore(str(tmp_path / "log")),
+            _config(dirty_threshold=5.0))  # nothing ever re-dirties
+        first = pipeline.ingest_batch(BATCHES[0])
+        assert first.refit_stats["nodes_solved"] >= 1
+        second = pipeline.ingest_batch(BATCHES[1])
+        assert second.refit_stats["nodes_solved"] == 0
+        assert second.refit_stats["nodes_reused"] >= 1

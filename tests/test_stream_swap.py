@@ -1,0 +1,213 @@
+"""Zero-downtime hot model swap, on both serving frontends.
+
+The serving half of the streaming story (ISSUE 9): while `repro ingest`
+rewrites the artifact, a running server must atomically route new
+requests to the new model — via ``POST /v1/admin/reload`` or SIGHUP —
+with requests already in flight draining on the engine they started
+with.  Pinned here: the lease/retire drain protocol, zero non-200s
+under concurrent load across a reload, and the version bump showing up
+in ``/v1/model``, ``/healthz``, and both ``/metrics`` formats.
+"""
+
+import json
+import os
+import shutil
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (ModelAsyncServer, ModelQueryEngine, ModelServer,
+                         load_model)
+from repro.serve.router import EngineHandle
+from repro.stream import IngestPipeline, ShardStore
+
+from .test_stream_ingest import BATCHES, _config
+
+
+@pytest.fixture(scope="module")
+def model_paths(tmp_path_factory):
+    """Two artifacts off one stream: model_version 1 and model_version 3."""
+    root = tmp_path_factory.mktemp("stream-models")
+    live = str(root / "model.rmv2")
+    pipeline = IngestPipeline(ShardStore(str(root / "log")),
+                              _config(export_path=live))
+    pipeline.ingest_batch(BATCHES[0])
+    v1 = str(root / "model-v1.rmv2")
+    shutil.copy(live, v1)
+    for batch in BATCHES[1:]:
+        pipeline.ingest_batch(batch)
+    return v1, live
+
+
+def _engine(path):
+    return ModelQueryEngine(load_model(path))
+
+
+@pytest.fixture(params=["threaded", "async"])
+def server(request, model_paths):
+    cls = ModelServer if request.param == "threaded" else ModelAsyncServer
+    with cls(_engine(model_paths[0]), port=0) as srv:
+        srv.start()
+        yield srv
+
+
+def _get(server, path, expect_status=200):
+    url = f"http://{server.host}:{server.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        assert exc.status == expect_status, exc.read()
+        return exc.status, json.loads(exc.read())
+
+
+def _post(server, path, expect_status=200):
+    url = f"http://{server.host}:{server.port}{path}"
+    request = urllib.request.Request(
+        url, data=b"{}", headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        assert exc.status == expect_status, exc.read()
+        return exc.status, json.loads(exc.read())
+
+
+class TestEngineHandle:
+    class _Stub:
+        def __init__(self):
+            self.closed = 0
+            self.model = None
+
+        def close(self):
+            self.closed += 1
+
+    def test_closes_only_after_retire_and_last_release(self):
+        stub = self._Stub()
+        handle = EngineHandle(stub)
+        handle.acquire()
+        handle.acquire()
+        handle.retire()
+        assert stub.closed == 0  # two requests still draining
+        handle.release()
+        assert stub.closed == 0
+        handle.release()
+        assert stub.closed == 1
+
+    def test_retire_with_no_leases_closes_immediately(self):
+        stub = self._Stub()
+        EngineHandle(stub).retire()
+        assert stub.closed == 1
+
+    def test_release_without_retire_keeps_engine_open(self):
+        stub = self._Stub()
+        handle = EngineHandle(stub)
+        handle.acquire()
+        handle.release()
+        assert stub.closed == 0
+
+    def test_close_errors_are_swallowed(self):
+        class _Explosive:
+            def close(self):
+                raise RuntimeError("boom")
+
+        EngineHandle(_Explosive()).retire()  # must not raise
+
+    def test_v2_engine_stays_mapped_until_drained(self, model_paths):
+        engine = _engine(model_paths[0])
+        assert engine.artifact_format == "v2"
+        handle = EngineHandle(engine).acquire()
+        handle.retire()
+        assert engine.model._mmap is not None  # lease out: still mapped
+        assert engine.model_info()["model_version"] == 1
+        handle.release()
+        assert engine.model._mmap is None  # last lease gone: unmapped
+
+
+class TestHotSwap:
+    def test_reload_without_reloader_is_400(self, server):
+        status, payload = _post(server, "/v1/admin/reload",
+                                expect_status=400)
+        assert status == 400
+        assert "no reloader configured" in payload["error"]
+
+    def test_reload_under_concurrent_load(self, server, model_paths):
+        v1, v3 = model_paths
+        server.set_reloader(lambda: _engine(v3))
+        failures, stop = [], threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                url = (f"http://{server.host}:{server.port}"
+                       f"/v1/model")
+                try:
+                    with urllib.request.urlopen(url, timeout=10) as resp:
+                        if resp.status != 200:
+                            failures.append(resp.status)
+                        json.loads(resp.read())
+                except Exception as exc:  # noqa: BLE001 - tallied below
+                    failures.append(repr(exc))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            time.sleep(0.2)
+            for _ in range(2):
+                status, payload = _post(server, "/v1/admin/reload")
+                assert status == 200
+                assert payload["status"] == "reloaded"
+                assert payload["model_version"] == 3
+                assert payload["artifact_format"] == "v2"
+                time.sleep(0.2)
+            assert payload["swaps"] == 2
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not failures  # the acceptance bar: zero dropped requests
+
+        _, model = _get(server, "/v1/model")
+        assert model["model_version"] == 3
+        assert model["artifact_format"] == "v2"
+        assert model["repro_version"]
+        assert model["config_fingerprint"]
+        _, health = _get(server, "/healthz")
+        assert health["model_version"] == 3
+        _, metrics = _get(server, "/metrics")
+        assert metrics["model"]["version"] == 3
+        assert metrics["model"]["swaps"] == 2
+        combined = metrics["combined"]
+        assert combined["gauges"]["serve.model.version"] == 3.0
+        assert combined["counters"]["serve.engine.swaps"] == 2.0
+        url = (f"http://{server.host}:{server.port}"
+               f"/metrics?format=prometheus")
+        with urllib.request.urlopen(url, timeout=10) as response:
+            text = response.read().decode("utf-8")
+        assert "repro_serve_model_version 3.0" in text
+        assert "repro_serve_engine_swaps_total 2.0" in text
+
+    def test_model_endpoint_before_any_swap(self, server):
+        _, model = _get(server, "/v1/model")
+        assert model["model_version"] == 1
+        _, metrics = _get(server, "/metrics")
+        assert metrics["model"]["swaps"] == 0
+        assert metrics["combined"]["counters"]["serve.engine.swaps"] == 0.0
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGHUP"),
+                        reason="platform has no SIGHUP")
+    def test_sighup_hot_reloads(self, server, model_paths):
+        server.set_reloader(lambda: _engine(model_paths[1]))
+        server.install_signal_handlers(signals=())
+        os.kill(os.getpid(), signal.SIGHUP)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            _, health = _get(server, "/healthz")
+            if health["model_version"] == 3:
+                return
+            time.sleep(0.05)
+        pytest.fail("SIGHUP did not hot-swap the model within 10s")
