@@ -22,7 +22,7 @@ through the subpackages:
 from .errors import (ConfigurationError, ConvergenceError, DataError,
                      NotFittedError, ReproError)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ReproError",

@@ -1,5 +1,12 @@
 """Command-line front end: ``repro lint`` / ``python -m repro.lint``.
 
+Since PR 10 the default invocation is the *whole-program* pass: per-file
+rules plus the import-graph layering, schema-registry, and obs-namespace
+families, with an optional content-hash cache (``--cache``) that makes
+warm re-runs incremental.  ``--per-file`` restores the PR 5 single-file
+mode (no graph, no program rules) for editor integrations that lint one
+buffer at a time.
+
 Exit status: 0 when the tree is clean, 1 when violations survive
 suppression, 2 on a usage error (unknown path, bad flag) — mirroring
 the wider CLI's "2 means you, not the code" convention.
@@ -8,13 +15,14 @@ the wider CLI's "2 means you, not the code" convention.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..errors import ReproError
 from .engine import lint_paths
-from .report import render_human, render_json
-from .rules import RULES
+from .report import render_human, render_json, render_sarif
+from .rules import PROGRAM_RULE_IDS, RULES
 
 __all__ = ["add_lint_arguments", "main", "run"]
 
@@ -34,35 +42,137 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
              "(default: current directory)")
     parser.add_argument(
         "--format", dest="fmt", default="human",
-        choices=["human", "json"],
-        help="human-readable text or the stable repro.lint/report/v1 "
-             "JSON document")
+        choices=["human", "json", "sarif"],
+        help="human-readable text, the stable repro.lint/report/v1 "
+             "JSON document, or a SARIF 2.1.0 log")
+    parser.add_argument(
+        "--per-file", action="store_true",
+        help="per-file rules only: no import graph, no RL1xx/RL3xx/"
+             "RL4xx program families (the pre-PR-10 behaviour)")
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="content-hash analysis cache (repro.lint/cache/v1); "
+             "unchanged files skip parsing on warm runs")
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="report violations only in files git considers changed "
+             "(diff vs HEAD plus untracked); the import graph is still "
+             "built over the full tree")
+    parser.add_argument(
+        "--obs-inventory", action="store_true",
+        help="print the generated obs metric/span inventory as a "
+             "markdown table and exit")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
 
 
 def _list_rules() -> int:
+    from .report import _PROGRAM_RULE_INFO
+
     for rule in RULES:
         print(f"{rule.id}  {rule.title}")
         print(f"       guards: {rule.guards}")
+    for rule_id in PROGRAM_RULE_IDS:
+        info = _PROGRAM_RULE_INFO.get(rule_id, {})
+        print(f"{rule_id}  {info.get('title', rule_id)} "
+              f"[whole-program]")
+        print(f"       guards: {info.get('guards', '')}")
     print("RL000  pragma hygiene")
     print("       guards: suppressions stay justified and live")
     return 0
+
+
+def _resolve_root(paths: List[str], root: str,
+                  ) -> Tuple[Optional[List[str]], Optional[str],
+                             Optional[str]]:
+    """Rebase absolute PATH arguments onto the analysis root.
+
+    Rule scopes and the module map key files by their layout-relative
+    path (``src/repro/...``), so an absolute argument linted verbatim
+    would silently escape every scope and derive no module names.
+    Absolute paths under ``root`` are relativized; when ``root`` is
+    the default and every argument is absolute with one common
+    ``src``/``tests`` ancestor, that ancestor becomes the root.
+    Anything else is a usage error, not a scope-less run.
+
+    Returns ``(paths, root, None)`` on success, ``(None, None,
+    message)`` on a usage error.
+    """
+    if not any(os.path.isabs(path) for path in paths):
+        return paths, root, None
+    root_abs = os.path.abspath(root)
+    rebased = [
+        os.path.relpath(os.path.abspath(path), root_abs)
+        .replace(os.sep, "/")
+        for path in paths]
+    if all(not path.startswith("..") for path in rebased):
+        return rebased, root, None
+    if root == "." and all(os.path.isabs(path) for path in paths):
+        anchors = set()
+        suffixes = []
+        for path in paths:
+            parts = os.path.abspath(path).replace(os.sep, "/").split("/")
+            for idx in range(len(parts) - 1, 0, -1):
+                if parts[idx] in ("src", "tests"):
+                    anchors.add("/".join(parts[:idx]) or "/")
+                    suffixes.append("/".join(parts[idx:]))
+                    break
+            else:
+                anchors.add(None)
+        if None not in anchors and len(anchors) == 1:
+            return suffixes, anchors.pop(), None
+    return None, None, (
+        "absolute lint paths escape --root; pass --root DIR so rule "
+        "scopes and the module map anchor at the repository root")
+
+
+def render_obs_inventory(rows: List[dict]) -> str:
+    """The obs inventory as a markdown table (README-embeddable)."""
+    lines = ["| name | kinds | subsystems | sites |",
+             "| --- | --- | --- | --- |"]
+    for row in rows:
+        lines.append(
+            f"| `{row['name']}` | {', '.join(row['kinds'])} | "
+            f"{', '.join(row['subsystems'])} | {row['sites']} |")
+    return "\n".join(lines) + "\n"
 
 
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
     if args.list_rules:
         return _list_rules()
-    paths = args.paths or list(DEFAULT_PATHS)
+    paths, root, usage_error = _resolve_root(
+        args.paths or list(DEFAULT_PATHS), args.root)
+    if usage_error:
+        print(f"repro lint: error: {usage_error}", file=sys.stderr)
+        return 2
+    per_file = getattr(args, "per_file", False)
+    if per_file and (args.cache or args.changed_only
+                     or getattr(args, "obs_inventory", False)):
+        print("repro lint: error: --cache/--changed-only/"
+              "--obs-inventory require the whole-program pass",
+              file=sys.stderr)
+        return 2
     try:
-        result = lint_paths(paths, root=args.root)
+        if per_file:
+            result = lint_paths(paths, root=root)
+        else:
+            from .program import lint_project
+
+            result = lint_project(
+                paths, root=root, cache_path=args.cache,
+                changed_only=args.changed_only)
     except (ReproError, OSError) as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "obs_inventory", False):
+        sys.stdout.write(render_obs_inventory(result.obs_inventory))
+        return 0 if result.clean else 1
     if args.fmt == "json":
         sys.stdout.write(render_json(result))
+    elif args.fmt == "sarif":
+        sys.stdout.write(render_sarif(result))
     else:
         sys.stdout.write(render_human(result))
     return 0 if result.clean else 1
@@ -72,9 +182,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Stand-alone entry point (``python -m repro.lint``)."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Enforce the repro codebase's determinism, "
-                    "atomicity, and error-contract invariants "
-                    "(rules RL001-RL006).")
+        description="Enforce the repro codebase's invariants: per-file "
+                    "idiom rules (RL001-RL006, RL2xx, RL301) plus the "
+                    "whole-program layering, schema-registry, and obs-"
+                    "namespace families (RL101/RL102/RL302/RL4xx).")
     add_lint_arguments(parser)
     return run(parser.parse_args(argv))
 

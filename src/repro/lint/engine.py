@@ -27,15 +27,18 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from .rules import PRAGMA_RE, RULES, Rule, Violation
+from .rules import PRAGMA_RE, PROGRAM_RULE_IDS, RULES, Rule, Violation
 
 __all__ = [
     "FileContext",
     "LintResult",
     "Pragma",
+    "apply_pragmas",
     "collect_files",
     "lint_file",
     "lint_paths",
+    "pragma_hygiene",
+    "statement_extents",
 ]
 
 
@@ -213,6 +216,79 @@ class FileContext:
         return ".".join(base)
 
 
+def statement_extents(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Line extents of every multi-line statement in ``tree``.
+
+    A pragma anchored anywhere inside a multi-line *simple* statement
+    (an assignment or call spanning several lines) covers the whole
+    statement, because the violation it suppresses may be anchored at
+    any line of the statement — the opening line for the statement node
+    itself, an interior line for a nested argument.  Compound statements
+    (``if``/``with``/``for``/``def``) contribute only their *header*
+    extent, never their body: a pragma on a ``with`` header must not
+    silence the entire block under it.
+    """
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if body and isinstance(body, list) and body \
+                and isinstance(body[0], ast.stmt):
+            # Compound statement: the header runs up to the line before
+            # the first body statement.
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", start) or start
+        if end > start:
+            extents.append((start, end))
+    return extents
+
+
+def apply_pragmas(hits: List[Violation], pragmas: List[Pragma],
+                  extents: Sequence[Tuple[int, int]] = (),
+                  ) -> Tuple[List[Violation], List[Violation]]:
+    """Split raw ``hits`` into (surviving, suppressed) under ``pragmas``.
+
+    A pragma matches a violation when both sit on the same line, or when
+    both fall inside the same multi-line statement extent (so a trailing
+    pragma on any line of a long call suppresses a violation anchored at
+    any other line of that call).  Matching pragmas have their ``used``
+    counter bumped, which the RL000 hygiene audit reads.
+    """
+    extent_of: Dict[int, Tuple[int, int]] = {}
+    for start, end in extents:
+        for line in range(start, end + 1):
+            # Keep the innermost (shortest) extent when statements nest.
+            held = extent_of.get(line)
+            if held is None or (end - start) < (held[1] - held[0]):
+                extent_of[line] = (start, end)
+
+    def covers(pragma: Pragma, violation: Violation) -> bool:
+        if pragma.anchor == violation.line:
+            return True
+        extent = extent_of.get(pragma.anchor)
+        return extent is not None \
+            and extent == extent_of.get(violation.line)
+
+    surviving: List[Violation] = []
+    suppressed: List[Violation] = []
+    for violation in hits:
+        matched = None
+        for pragma in pragmas:
+            if violation.rule in pragma.rule_ids and pragma.reason \
+                    and covers(pragma, violation):
+                matched = pragma
+                break
+        if matched is not None:
+            matched.used += 1
+            suppressed.append(violation)
+        else:
+            surviving.append(violation)
+    return surviving, suppressed
+
+
 @dataclass
 class LintResult:
     """Outcome of one lint run over a set of paths."""
@@ -223,6 +299,14 @@ class LintResult:
     violations: List[Violation] = field(default_factory=list)
     suppressed: List[Violation] = field(default_factory=list)
     pragmas: List[Pragma] = field(default_factory=list)
+    #: Whole-program extras (populated by :func:`repro.lint.program.
+    #: lint_project`; empty for the per-file path).  Only ever added to,
+    #: matching the report schema's additive-evolution contract.
+    modules: Dict[str, str] = field(default_factory=dict)
+    import_edges: int = 0
+    obs_inventory: List[Dict[str, object]] = field(default_factory=list)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    whole_program: bool = False
 
     @property
     def clean(self) -> bool:
@@ -237,12 +321,24 @@ class LintResult:
         return counts
 
 
-def _hygiene(pragmas: List[Pragma], known_ids: Sequence[str],
-             ) -> List[Violation]:
-    """RL000 audit: every pragma must be well-formed and earn its keep."""
+def pragma_hygiene(pragmas: List[Pragma], known_ids: Sequence[str],
+                   active_ids: Optional[Sequence[str]] = None,
+                   ) -> List[Violation]:
+    """RL000 audit: every pragma must be well-formed and earn its keep.
+
+    ``known_ids`` is the full catalogue (an id outside it is a typo);
+    ``active_ids`` is the subset of rules that actually ran — a pragma
+    naming a rule that did not run (a whole-program rule during a
+    per-file lint) is not reported as unused, because this run cannot
+    know whether it suppresses anything.
+    """
+    if active_ids is None:
+        active_ids = known_ids
     problems = []
     for pragma in pragmas:
         unknown = [rid for rid in pragma.rule_ids if rid not in known_ids]
+        inactive = [rid for rid in pragma.rule_ids
+                    if rid not in active_ids]
         if unknown:
             problems.append(Violation(
                 "RL000", pragma.path, pragma.line, 0,
@@ -251,7 +347,7 @@ def _hygiene(pragmas: List[Pragma], known_ids: Sequence[str],
             problems.append(Violation(
                 "RL000", pragma.path, pragma.line, 0,
                 "pragma has no reason; write '# repro: noqa-RLxxx  why'"))
-        elif not unknown and pragma.used == 0:
+        elif not unknown and not inactive and pragma.used == 0:
             problems.append(Violation(
                 "RL000", pragma.path, pragma.line, 0,
                 "pragma suppresses nothing on this line; remove it"))
@@ -278,25 +374,11 @@ def lint_file(path: str, source: str,
         if rule.applies_to(path):
             hits.extend(rule.check(ctx))
     pragmas = ctx.pragmas()
-    by_line: Dict[int, List[Pragma]] = {}
-    for pragma in pragmas:
-        by_line.setdefault(pragma.anchor, []).append(pragma)
-
-    surviving: List[Violation] = []
-    suppressed: List[Violation] = []
-    for violation in hits:
-        matched = None
-        for pragma in by_line.get(violation.line, ()):
-            if violation.rule in pragma.rule_ids and pragma.reason:
-                matched = pragma
-                break
-        if matched is not None:
-            matched.used += 1
-            suppressed.append(violation)
-        else:
-            surviving.append(violation)
-    known_ids = [rule.id for rule in active] + ["RL000"]
-    surviving.extend(_hygiene(pragmas, known_ids))
+    surviving, suppressed = apply_pragmas(
+        hits, pragmas, statement_extents(ctx.tree))
+    active_ids = [rule.id for rule in active] + ["RL000"]
+    known_ids = active_ids + list(PROGRAM_RULE_IDS)
+    surviving.extend(pragma_hygiene(pragmas, known_ids, active_ids))
     return surviving, suppressed, pragmas
 
 

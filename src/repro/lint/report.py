@@ -1,4 +1,4 @@
-"""Lint reporters: human-readable text and the stable JSON document.
+"""Lint reporters: human text, the stable JSON document, and SARIF.
 
 The JSON form carries the ``repro.lint/report/v1`` schema tag, matching
 the library's other versioned artifacts (run reports, checkpoints,
@@ -26,24 +26,59 @@ under this schema id, never renamed or removed:
 ``rules`` always lists the full catalogue (zero counts included) plus
 an ``RL000`` entry when pragma-hygiene problems were found, so a diff
 between two reports never confuses "rule removed" with "count zero".
+A whole-program run (PR 10) adds a ``program`` section — module count,
+import-edge count, cache hit/miss stats, and the generated obs-name
+inventory — still under the additive-evolution contract.
+
+:func:`render_sarif` emits SARIF 2.1.0 (the static-analysis interchange
+format GitHub code scanning ingests): one run, one ``tool.driver`` with
+the full rule catalogue, one ``result`` per surviving violation with a
+physical location relative to the ``SRCROOT`` URI base.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from ..contracts import LINT_REPORT_V1
+from ..errors import DataError
 from .engine import LintResult
-from .rules import RULES
+from .rules import PROGRAM_RULE_IDS, RULES
 
 __all__ = [
     "REPORT_SCHEMA",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "load_report",
     "render_human",
     "render_json",
+    "render_sarif",
     "to_document",
 ]
 
-REPORT_SCHEMA = "repro.lint/report/v1"
+REPORT_SCHEMA = LINT_REPORT_V1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Program-rule metadata for reports (per-file rules carry their own
+#: title/guards on the Rule object; these five live in repro.lint.program
+#: and are described here so the catalogue is always complete).
+_PROGRAM_RULE_INFO: Dict[str, Dict[str, str]] = {
+    "RL101": {"title": "subsystem layering (imports point downward)",
+              "guards": "the declared dependency DAG stays acyclic and "
+                        "layered"},
+    "RL102": {"title": "no import cycles",
+              "guards": "module-scope imports form a DAG"},
+    "RL302": {"title": "every registered format has a loader",
+              "guards": "no write-only schema versions"},
+    "RL401": {"title": "obs names keep one instrument kind",
+              "guards": "a counter never aliases a timer"},
+    "RL402": {"title": "obs names stay within one subsystem",
+              "guards": "no cross-subsystem metric collisions"},
+}
 
 
 def to_document(result: LintResult) -> Dict[str, Any]:
@@ -64,6 +99,15 @@ def to_document(result: LintResult) -> Dict[str, Any]:
         }
         for rule in RULES
     }
+    if result.whole_program:
+        for rule_id in PROGRAM_RULE_IDS:
+            info = _PROGRAM_RULE_INFO.get(rule_id, {})
+            rules[rule_id] = {
+                "title": info.get("title", rule_id),
+                "guards": info.get("guards", ""),
+                "violations": by_rule.get(rule_id, 0),
+                "suppressed": suppressed_by_rule.get(rule_id, 0),
+            }
     if by_rule.get("RL000"):
         rules["RL000"] = {
             "title": "pragma hygiene",
@@ -71,7 +115,7 @@ def to_document(result: LintResult) -> Dict[str, Any]:
             "violations": by_rule["RL000"],
             "suppressed": 0,
         }
-    return {
+    document = {
         "schema": REPORT_SCHEMA,
         "repro_version": get_version(),
         "root": result.root,
@@ -95,11 +139,135 @@ def to_document(result: LintResult) -> Dict[str, Any]:
             "suppressed_hits": len(result.suppressed),
         },
     }
+    if result.whole_program:
+        document["program"] = {
+            "modules": len(result.modules),
+            "import_edges": result.import_edges,
+            "cache": dict(result.cache_stats),
+            "obs_inventory": list(result.obs_inventory),
+        }
+    return document
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load and validate a persisted ``repro.lint/report/v1`` document.
+
+    The registered loader for the format: checks the schema tag and the
+    presence of every v1-required section, so downstream tooling
+    (count-diffing, the CI guard) can trust the shape.
+
+    Raises:
+        DataError: unreadable file, wrong schema tag, missing section.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise DataError(f"cannot read lint report {path!r}: {exc}") \
+            from exc
+    found = document.get("schema") if isinstance(document, dict) \
+        else None
+    if found != REPORT_SCHEMA:
+        raise DataError(
+            f"{path!r} is not a {REPORT_SCHEMA} document "
+            f"(schema={found!r})")
+    for section in ("rules", "violations", "suppressions", "summary"):
+        if section not in document:
+            raise DataError(
+                f"lint report {path!r} is missing required section "
+                f"{section!r}")
+    return document
 
 
 def render_json(result: LintResult) -> str:
     """The JSON report as an indented, newline-terminated string."""
     return json.dumps(to_document(result), indent=2, sort_keys=False) + "\n"
+
+
+# -------------------------------------------------------------------- SARIF
+def _sarif_rules() -> List[Dict[str, Any]]:
+    """The full rule catalogue as SARIF reportingDescriptor objects."""
+    descriptors = [
+        {"id": rule.id,
+         "name": rule.title,
+         "shortDescription": {"text": rule.title},
+         "fullDescription": {"text": rule.guards},
+         "defaultConfiguration": {"level": "error"}}
+        for rule in RULES
+    ]
+    for rule_id in PROGRAM_RULE_IDS:
+        info = _PROGRAM_RULE_INFO.get(rule_id, {})
+        descriptors.append(
+            {"id": rule_id,
+             "name": info.get("title", rule_id),
+             "shortDescription": {"text": info.get("title", rule_id)},
+             "fullDescription": {"text": info.get("guards", "")},
+             "defaultConfiguration": {"level": "error"}})
+    descriptors.append(
+        {"id": "RL000",
+         "name": "pragma hygiene",
+         "shortDescription": {"text": "pragma hygiene"},
+         "fullDescription": {
+             "text": "suppressions stay justified and live"},
+         "defaultConfiguration": {"level": "error"}})
+    return descriptors
+
+
+def render_sarif(result: LintResult) -> str:
+    """The run as a SARIF 2.1.0 log (GitHub code-scanning compatible).
+
+    Columns are 1-based in SARIF; the engine's 0-based ``col`` is
+    shifted.  Paths are emitted relative to the ``SRCROOT`` URI base so
+    the log is machine-independent.
+    """
+    from .. import get_version
+
+    rules = _sarif_rules()
+    index_of = {rule["id"]: index for index, rule in enumerate(rules)}
+    results = []
+    for violation in result.violations:
+        results.append({
+            "ruleId": violation.rule,
+            "ruleIndex": index_of.get(violation.rule, -1),
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, violation.line),
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        })
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/lint",
+                    "semanticVersion": get_version(),
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": f"file://{result.root}/"},
+            },
+            "invocations": [{
+                "executionSuccessful": True,
+                "exitCode": 0 if result.clean else 1,
+            }],
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=False) + "\n"
 
 
 def render_human(result: LintResult) -> str:
@@ -121,4 +289,10 @@ def render_human(result: LintResult) -> str:
         lines.append(f"repro lint: {len(result.files)} files clean "
                      f"({len(result.pragmas)} suppression"
                      f"{'s' if len(result.pragmas) != 1 else ''} in use)")
+    if result.whole_program:
+        lines.append(f"whole-program: {len(result.modules)} modules, "
+                     f"{result.import_edges} import edges, "
+                     f"{len(result.obs_inventory)} obs names, cache "
+                     f"{result.cache_stats.get('hits', 0)} hits / "
+                     f"{result.cache_stats.get('misses', 0)} misses")
     return "\n".join(lines) + "\n"

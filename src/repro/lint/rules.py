@@ -36,10 +36,32 @@ RL006     Checkpoint writers must thread a ``config=`` fingerprint;
           a checkpoint without one cannot reject a resume under
           different hyperparameters, silently voiding the bit-for-bit
           resume guarantee.
+RL201     No blocking calls inside ``async def``.  ``open``,
+          ``time.sleep``, ``socket.*``, ``subprocess.*`` and direct
+          numpy kernel calls stall the event loop for every connection;
+          engine work must route through the worker-thread offload
+          (``asyncio.to_thread`` / the server's ``_in_worker``).
+RL202     No ``await`` while holding a synchronous lock.  A coroutine
+          parked at an ``await`` inside ``with some_lock:`` keeps every
+          other task out of the lock for an unbounded time — the asyncio
+          analogue of holding a spinlock across a syscall.
+RL203     No fire-and-forget ``asyncio.create_task``.  A task whose
+          handle is dropped can be garbage-collected mid-flight and its
+          exceptions are silently lost; keep the handle and await it or
+          register a done-callback.
+RL301     Versioned format strings (``repro.<pkg>/<name>/v<N>``) may
+          only be written literally in :mod:`repro.contracts`; all
+          other code imports the registered constant, so typos and
+          version drift are structurally impossible.
 RL000     Pragma hygiene (implicit): a ``# repro: noqa-RLxxx`` pragma
           must name a known rule, carry a non-empty reason, and
           actually suppress something.
 ========  =============================================================
+
+Whole-program rules (RL101/RL102 layering and cycles, RL302 registry
+loader coverage, RL401/RL402 obs-name conflicts) live in
+:mod:`repro.lint.program` — they need the project import graph, not a
+single file's AST.
 """
 
 from __future__ import annotations
@@ -54,11 +76,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 __all__ = [
     "PRAGMA_RE",
+    "PROGRAM_RULE_IDS",
     "RULES",
     "Rule",
     "Violation",
     "rule_catalogue",
 ]
+
+#: Rule ids implemented by the whole-program analyzer
+#: (:mod:`repro.lint.program`).  Listed here so the per-file engine can
+#: treat pragmas naming them as known-but-not-run instead of typos.
+PROGRAM_RULE_IDS = ("RL101", "RL102", "RL302", "RL401", "RL402")
 
 #: Suppression pragma: a ``repro: noqa-`` comment naming one or more
 #: comma-separated rule ids, followed by a mandatory reason — a
@@ -501,6 +529,220 @@ class CheckpointsCarryFingerprint(Rule):
                 f"and seed (pass a config_fingerprint-able dict)")
 
 
+# --------------------------------------------------------------------- RL201
+#: Calls that block the thread they run on.  Inside an ``async def``
+#: every one of these stalls the event loop — and with it every open
+#: connection — for its full duration.
+_BLOCKING_EXACT = frozenset({
+    "time.sleep", "io.open", "os.system", "os.popen", "select.select",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+})
+
+#: Resolved-name prefixes that are blocking wholesale: raw sockets and
+#: direct numpy kernels (an ``engine.search`` fanned out through the
+#: worker offload is fine; ``numpy.argsort`` on the loop thread is not).
+_BLOCKING_PREFIXES = ("socket.", "numpy.", "urllib.request.", "requests.")
+
+#: Builtins that block when called bare (no import needed to resolve).
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+
+def _async_body_nodes(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes that execute on the event loop inside ``func``.
+
+    Nested function definitions are pruned: a nested sync ``def`` is
+    worker-offload material (its body runs wherever it is called, and
+    the established idiom ships it through ``asyncio.to_thread``), and a
+    nested ``async def`` is visited as its own function by the rule's
+    outer loop.
+    """
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class NoBlockingInAsync(Rule):
+    """RL201 — the event loop thread never blocks on I/O or kernels."""
+
+    id = "RL201"
+    title = "no blocking calls inside async def"
+    guards = ("PR-8 asyncio serving: a blocked loop stalls every "
+              "connection; engine work goes through the worker-thread "
+              "offload")
+    scope = ("src/repro/",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in _async_body_nodes(node):
+                if isinstance(inner, ast.Call):
+                    yield from self._check_call(ctx, inner)
+
+    def _check_call(self, ctx: "FileContext",
+                    node: ast.Call) -> Iterator[Violation]:
+        resolved = ctx.resolve(node.func)
+        blocking = None
+        if resolved is not None:
+            if resolved in _BLOCKING_EXACT:
+                blocking = resolved
+            else:
+                for prefix in _BLOCKING_PREFIXES:
+                    if resolved.startswith(prefix):
+                        blocking = resolved
+                        break
+        elif isinstance(node.func, ast.Name) \
+                and node.func.id in _BLOCKING_BUILTINS:
+            blocking = node.func.id
+        if blocking is not None:
+            yield self.violation(
+                ctx, node,
+                f"{blocking}(...) blocks the event loop inside an "
+                f"async def; offload it via asyncio.to_thread (the "
+                f"server's _in_worker helper)")
+
+
+# --------------------------------------------------------------------- RL202
+_SYNC_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+
+def _looks_like_sync_lock(ctx: "FileContext", expr: ast.expr) -> bool:
+    """Whether a ``with`` context expression is plausibly a sync lock.
+
+    Matches a direct ``threading.Lock()``-style construction (resolved
+    through imports) or a name/attribute whose final identifier ends in
+    ``lock`` (``self._lock``, ``swap_lock``) — the codebase's naming
+    convention for threading locks.  ``asyncio`` primitives are used
+    with ``async with`` and never reach this check.
+    """
+    if isinstance(expr, ast.Call):
+        resolved = ctx.resolve(expr.func)
+        return resolved in _SYNC_LOCK_FACTORIES
+    terminal = None
+    if isinstance(expr, ast.Attribute):
+        terminal = expr.attr
+    elif isinstance(expr, ast.Name):
+        terminal = expr.id
+    return terminal is not None and terminal.lower().endswith("lock")
+
+
+class NoAwaitUnderLock(Rule):
+    """RL202 — never park a coroutine while holding a sync lock."""
+
+    id = "RL202"
+    title = "no await while a synchronous lock is held"
+    guards = ("PR-8/PR-9 hot-swap drain: an await under a threading "
+              "lock can starve every other task (and the swap path) "
+              "for an unbounded time")
+    scope = ("src/repro/",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in _async_body_nodes(node):
+                # ast.With only: `async with` (ast.AsyncWith) wraps
+                # asyncio primitives, which yield instead of blocking.
+                if not isinstance(inner, ast.With):
+                    continue
+                if not any(_looks_like_sync_lock(ctx, item.context_expr)
+                           for item in inner.items):
+                    continue
+                for sub in ast.walk(inner):
+                    if isinstance(sub, ast.Await):
+                        yield self.violation(
+                            ctx, sub,
+                            "await while a synchronous lock is held: "
+                            "other tasks (and the lock) stall until "
+                            "this coroutine resumes; release the lock "
+                            "first or use an asyncio primitive")
+                        break
+
+
+# --------------------------------------------------------------------- RL203
+class NoDroppedTasks(Rule):
+    """RL203 — every created task keeps a handle."""
+
+    id = "RL203"
+    title = "no fire-and-forget asyncio.create_task"
+    guards = ("PR-8 graceful drain: a dropped task handle can be "
+              "garbage-collected mid-flight and its exceptions are "
+              "silently lost")
+    scope = ("src/repro/",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Expr) \
+                    or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            resolved = ctx.resolve(call.func)
+            is_create = resolved in ("asyncio.create_task",
+                                     "asyncio.ensure_future")
+            if not is_create and isinstance(call.func, ast.Attribute) \
+                    and call.func.attr == "create_task":
+                is_create = True
+            if is_create:
+                yield self.violation(
+                    ctx, node,
+                    "create_task result is dropped; keep the handle "
+                    "(track it in a set, await it, or add a "
+                    "done-callback) so the task cannot be collected "
+                    "mid-flight and its exception is observed")
+
+
+# --------------------------------------------------------------------- RL301
+#: A versioned format string, exactly (docstrings that merely mention a
+#: format inside prose never match the full-string anchors).
+_FORMAT_LITERAL = re.compile(
+    r"^repro\.[a-z_]+(?:\.[a-z_]+)*/[a-z0-9-]+/v[0-9]+$")
+
+
+class RegistryLiteralsOnly(Rule):
+    """RL301 — versioned format strings live only in repro.contracts."""
+
+    id = "RL301"
+    title = "schema literals only in the contracts registry"
+    guards = ("PR-10 schema registry: a format string typo'd or drifted "
+              "at a call site is a latent decode failure; importing the "
+              "registered constant makes drift structurally impossible")
+    scope = ("src/repro/",)
+    allow = ("src/repro/contracts.py",)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Constant) \
+                    or not isinstance(node.value, str):
+                continue
+            if not _FORMAT_LITERAL.match(node.value):
+                continue
+            yield self.violation(ctx, node, self._message(node.value))
+
+    @staticmethod
+    def _message(literal: str) -> str:
+        try:
+            from ..contracts import REGISTRY, constant_name_of
+        except ImportError:  # fixture trees without the package
+            REGISTRY, constant_name_of = {}, lambda fmt: None
+        if literal in REGISTRY:
+            constant = constant_name_of(literal)
+            return (f"format literal {literal!r} duplicates the "
+                    f"registry; import {constant} from repro.contracts")
+        return (f"format literal {literal!r} is not registered in "
+                f"repro.contracts (typo, drifted version, or an "
+                f"unregistered format); register it and import the "
+                f"constant")
+
+
 #: The catalogue, in report order.
 RULES: List[Rule] = [
     NoGlobalRng(),
@@ -509,6 +751,10 @@ RULES: List[Rule] = [
     TypedErrorsOnly(),
     DottedMetricNames(),
     CheckpointsCarryFingerprint(),
+    NoBlockingInAsync(),
+    NoAwaitUnderLock(),
+    NoDroppedTasks(),
+    RegistryLiteralsOnly(),
 ]
 
 

@@ -26,6 +26,7 @@ import time
 import tracemalloc
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..contracts import PROFILE_V1
 from ..errors import DataError
 from .spans import get_spans, set_profile_hooks, top_spans
 
@@ -40,7 +41,7 @@ __all__ = [
     "write_profile_report",
 ]
 
-PROFILE_SCHEMA = "repro.obs/profile/v1"
+PROFILE_SCHEMA = PROFILE_V1
 
 _PROFILING = False
 

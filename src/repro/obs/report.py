@@ -44,6 +44,7 @@ import json
 import time
 from typing import Any, Dict, List, Optional
 
+from ..contracts import RUN_REPORT_V1, RUN_REPORT_V2
 from ..errors import DataError
 from .registry import get_registry
 from .tracer import get_traces
@@ -60,8 +61,8 @@ __all__ = [
     "write_report",
 ]
 
-REPORT_SCHEMA = "repro.obs/run-report/v2"
-REPORT_SCHEMA_V1 = "repro.obs/run-report/v1"
+REPORT_SCHEMA = RUN_REPORT_V2
+REPORT_SCHEMA_V1 = RUN_REPORT_V1
 
 _REPORT_PATH: Optional[str] = None
 

@@ -42,6 +42,7 @@ import struct
 import zlib
 from typing import Any, Callable, Dict, List, Optional
 
+from ..contracts import CHECKPOINT_V1
 from ..errors import ConfigurationError, DataError
 from ..obs.registry import inc, timed
 from .atomic import atomic_write_bytes
@@ -57,7 +58,7 @@ __all__ = [
     "save_framed",
 ]
 
-CHECKPOINT_SCHEMA = "repro.resilience/checkpoint/v1"
+CHECKPOINT_SCHEMA = CHECKPOINT_V1
 
 #: File magic; the trailing byte is the binary format version.
 _MAGIC = b"REPROCKPT\x00\x01"

@@ -52,6 +52,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..contracts import MODEL_V1
 from ..errors import ConfigurationError, DataError
 from ..hierarchy import Topic, TopicalHierarchy
 from ..obs import get_logger, timed
@@ -70,7 +71,7 @@ __all__ = [
     "vocabulary_hash",
 ]
 
-MODEL_SCHEMA = "repro.serve/model/v1"
+MODEL_SCHEMA = MODEL_V1
 
 #: On-disk formats ``save_model`` / ``repro export-model`` can emit.
 ARTIFACT_FORMATS = ("v1", "v2")

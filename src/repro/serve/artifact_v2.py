@@ -70,6 +70,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import MODEL_V2
 from ..errors import DataError
 from ..obs import get_logger, timed
 from ..resilience import atomic_write_bytes
@@ -83,7 +84,7 @@ __all__ = [
     "save_model_document_v2",
 ]
 
-MODEL_SCHEMA_V2 = "repro.serve/model/v2"
+MODEL_SCHEMA_V2 = MODEL_V2
 
 _MAGIC = b"REPROMV2"
 _ALIGN = 64

@@ -29,6 +29,7 @@ import json
 import os
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
+from ..contracts import SHARD_DIR_V1, SHARD_V1, VOCAB_DELTA_V1
 from ..corpus import Corpus, Vocabulary
 from ..corpus.tokenize import DEFAULT_STOPWORDS, tokenize_chunks
 from ..errors import ConfigurationError, DataError
@@ -44,9 +45,9 @@ __all__ = [
     "is_shard_dir",
 ]
 
-SHARD_DIR_SCHEMA = "repro.stream/shard-dir/v1"
-SHARD_SCHEMA = "repro.stream/shard/v1"
-VOCAB_DELTA_SCHEMA = "repro.stream/vocab-delta/v1"
+SHARD_DIR_SCHEMA = SHARD_DIR_V1
+SHARD_SCHEMA = SHARD_V1
+VOCAB_DELTA_SCHEMA = VOCAB_DELTA_V1
 
 #: Frame magic for shard files (same protocol as checkpoints, distinct
 #: magic so a shard can never be mistaken for a solver checkpoint).

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import MOMENT_SKETCH_V1
 from ..errors import ConfigurationError, DataError
 
 
@@ -45,7 +46,7 @@ def word_count_rows(docs: Sequence[Sequence[int]], vocab_size: int,
     return rows
 
 
-MOMENT_SKETCH_SCHEMA = "repro.strod/moment-sketch/v1"
+MOMENT_SKETCH_SCHEMA = MOMENT_SKETCH_V1
 
 
 class MomentSketch:

@@ -58,7 +58,9 @@ class TestTracedEMMonotonicity:
             CathyEM(num_topics=2, max_iter=200, seed=0).fit(network)
             for trace in obs.get_traces("cathy.em"):
                 if trace.termination == "converged":
-                    assert trace.num_iterations < 200
+                    # Convergence may land exactly on the final allowed
+                    # iteration; only exceeding the budget is a bug.
+                    assert trace.num_iterations <= 200
                 else:
                     assert trace.num_iterations == 200
         finally:
